@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks for the core mechanisms the paper's analysis
+//! hinges on: the region-combining diff, recovery-buffer copies, the AVL
+//! descriptor index, buffer-pool replacement, log append/force, and the
+//! per-update cost of hardware vs software detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_esm::{BufferPool, ClientConn, LockManager, LockMode, Server, ServerConfig};
+use qs_sim::Meter;
+use qs_storage::{MemDisk, Page, StableMedia};
+use qs_types::{ClientId, Lsn, Oid, PageId, TxnId, PAGE_SIZE};
+use qs_wal::{LogManager, LogRecord};
+use quickstore::avl::AvlMap;
+use quickstore::diff;
+use quickstore::{Store, SystemConfig};
+use std::sync::Arc;
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for density in [1usize, 16, 128] {
+        let before = vec![0u8; PAGE_SIZE];
+        let mut after = before.clone();
+        for i in 0..density {
+            let at = (i * PAGE_SIZE / density.max(1)) % (PAGE_SIZE - 8);
+            after[at..at + 8].fill(7);
+        }
+        g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+        g.bench_with_input(
+            BenchmarkId::new("page", format!("{density}_regions")),
+            &density,
+            |b, _| b.iter(|| diff::diff_object(&before, &after)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_avl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avl_descriptor_index");
+    let mut map: AvlMap<u64, u32> = AvlMap::new();
+    for i in 0..4096u64 {
+        map.insert(i * PAGE_SIZE as u64, i as u32);
+    }
+    g.bench_function("floor_lookup_4096_frames", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 123_457) % (4096 * PAGE_SIZE as u64);
+            map.floor(&addr)
+        })
+    });
+    g.bench_function("insert_remove_cycle", |b| {
+        let mut k = 1u64 << 40;
+        b.iter(|| {
+            k += PAGE_SIZE as u64;
+            map.insert(k, 1);
+            map.remove(&k);
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_pool");
+    g.bench_function("hit_get", |b| {
+        let mut bp = BufferPool::new(1024);
+        for i in 0..1024u32 {
+            bp.insert(PageId(i), Page::new(), false).unwrap();
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7) % 1024;
+            bp.get(PageId(i)).is_some()
+        })
+    });
+    g.bench_function("miss_insert_evict", |b| {
+        let mut bp = BufferPool::new(256);
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            bp.insert(PageId(i), Page::new(), false).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    let media: Arc<dyn StableMedia> =
+        Arc::new(MemDisk::new(LogManager::required_bytes(64 << 20)));
+    let log = LogManager::format(media, 64 << 20).unwrap();
+    let rec = LogRecord::Update {
+        txn: TxnId(1),
+        prev: Lsn::NULL,
+        page: PageId(1),
+        slot: 0,
+        offset: 0,
+        before: vec![0u8; 16],
+        after: vec![1u8; 16],
+    };
+    g.throughput(Throughput::Bytes(rec.encoded_len() as u64));
+    g.bench_function("append_update_record", |b| {
+        let mut since_truncate = 0u32;
+        b.iter(|| {
+            let l = log.append(&rec).unwrap();
+            // Keep the circular window bounded: drain every ~50k records
+            // (≈6 MB of the 64 MB body).
+            since_truncate += 1;
+            if since_truncate == 50_000 {
+                since_truncate = 0;
+                log.force(log.tail_lsn()).unwrap();
+                log.truncate_to(log.durable_lsn()).unwrap();
+            }
+            l
+        })
+    });
+    g.bench_function("encode_decode_round_trip", |b| {
+        b.iter(|| {
+            let e = rec.encode();
+            LogRecord::decode(&e).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+    g.bench_function("uncontended_x_lock_release", |b| {
+        let lm = LockManager::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            lm.lock(TxnId(1), PageId(i % 512), LockMode::X).unwrap();
+            if i.is_multiple_of(512) {
+                lm.release_all(TxnId(1));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end update cost per scheme: hardware (fault-driven) vs software
+/// (update-function) detection — the §3.2-vs-§3.3 tradeoff.
+fn bench_update_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_path");
+    g.sample_size(20);
+    for cfg in [
+        SystemConfig::pd_esm().with_memory(2.0, 0.5),
+        SystemConfig::sd_esm().with_memory(2.0, 0.5),
+        SystemConfig::wpl().with_memory(2.0, 0.0),
+    ] {
+        let name = cfg.name();
+        let meter = Meter::new();
+        let server = Arc::new(
+            Server::format(
+                ServerConfig::new(cfg.flavor)
+                    .with_pool_mb(4.0)
+                    .with_volume_pages(512)
+                    .with_log_mb(64.0),
+                Arc::clone(&meter),
+            )
+            .unwrap(),
+        );
+        let pids = server.bulk_allocate(64).unwrap();
+        let mut oids = Vec::new();
+        for &pid in &pids {
+            let mut p = Page::new();
+            for _ in 0..32 {
+                oids.push(Oid::new(pid, p.insert(pid, &[0u8; 128]).unwrap()));
+            }
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        let client = ClientConn::new(ClientId(0), server, cfg.client_pool_pages(), meter);
+        let mut store = Store::new(client, cfg).unwrap();
+        g.bench_function(BenchmarkId::new("txn_64pages_2048_updates", name), |b| {
+            b.iter(|| {
+                store.begin().unwrap();
+                for (i, &oid) in oids.iter().enumerate() {
+                    store.modify(oid, (i % 16) * 8, &[i as u8; 8]).unwrap();
+                }
+                store.commit().unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_avl,
+    bench_buffer_pool,
+    bench_log,
+    bench_locks,
+    bench_update_paths
+);
+criterion_main!(benches);

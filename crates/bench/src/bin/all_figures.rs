@@ -1,0 +1,38 @@
+//! Regenerates every table and figure of the paper in one run, writing
+//! each to stdout and to `results/<name>.txt`.
+
+use std::fs;
+use std::time::Instant;
+
+type FigureFn = fn() -> qs_types::QsResult<String>;
+
+fn main() {
+    let jobs: Vec<(&str, FigureFn)> = vec![
+        ("table1_2", qs_bench::figures::table1_2),
+        ("table3", qs_bench::figures::table3),
+        ("fig04_05", qs_bench::figures::fig04_05),
+        ("fig06_07", qs_bench::figures::fig06_07),
+        ("fig08", qs_bench::figures::fig08),
+        ("fig09", qs_bench::figures::fig09),
+        ("fig10_11", qs_bench::figures::fig10_11),
+        ("fig12_13", qs_bench::figures::fig12_13),
+        ("fig14", qs_bench::figures::fig14),
+        ("fig15_16", qs_bench::figures::fig15_16),
+        ("fig17_18", qs_bench::figures::fig17_18),
+    ];
+    fs::create_dir_all("results").ok();
+    for (name, f) in jobs {
+        let t0 = Instant::now();
+        match f() {
+            Ok(s) => {
+                println!("{s}");
+                println!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+                fs::write(format!("results/{name}.txt"), &s).ok();
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

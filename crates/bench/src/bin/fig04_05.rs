@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig04_05 output. See DESIGN.md §4.
+
+fn main() {
+    match qs_bench::figures::fig04_05() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

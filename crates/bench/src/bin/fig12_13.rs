@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig12_13 output. See DESIGN.md §4.
+
+fn main() {
+    match qs_bench::figures::fig12_13() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

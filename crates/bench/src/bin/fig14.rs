@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig14 output. See DESIGN.md §4.
+
+fn main() {
+    match qs_bench::figures::fig14() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

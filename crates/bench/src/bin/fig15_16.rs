@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig15_16 output. See DESIGN.md §4.
+
+fn main() {
+    match qs_bench::figures::fig15_16() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

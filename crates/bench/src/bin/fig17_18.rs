@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig17_18 output. See DESIGN.md §4.
+
+fn main() {
+    match qs_bench::figures::fig17_18() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

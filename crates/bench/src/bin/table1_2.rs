@@ -1,0 +1,11 @@
+//! Regenerates the paper's table1_2 output. See DESIGN.md §4.
+
+fn main() {
+    match qs_bench::figures::table1_2() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

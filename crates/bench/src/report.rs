@@ -1,0 +1,114 @@
+//! Plain-text rendering of figure data: one table for response time, one
+//! for throughput, matching the paper's axes (x = number of clients).
+
+use crate::experiment::ExperimentPoint;
+
+/// Render the response-time and throughput tables for a set of per-system
+/// curves (each a Vec of points at clients = 1..=N).
+pub fn render_curve_tables(title: &str, curves: &[Vec<ExperimentPoint>]) -> String {
+    let mut out = String::new();
+    let n = curves.first().map(|c| c.len()).unwrap_or(0);
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str("\nResponse time (seconds)\n");
+    out.push_str(&header_row(curves));
+    for i in 0..n {
+        out.push_str(&format!("{:>8}", curves[0][i].clients));
+        for c in curves {
+            out.push_str(&format!("{:>12.1}", c[i].response_s));
+        }
+        out.push('\n');
+    }
+    out.push_str("\nThroughput (transactions/minute)\n");
+    out.push_str(&header_row(curves));
+    for i in 0..n {
+        out.push_str(&format!("{:>8}", curves[0][i].clients));
+        for c in curves {
+            out.push_str(&format!("{:>12.3}", c[i].tpm));
+        }
+        out.push('\n');
+    }
+    out.push_str("\nBottleneck utilization at max clients\n");
+    out.push_str(&header_row(curves));
+    out.push_str(&format!("{:>8}", ""));
+    for c in curves {
+        let last = c.last().unwrap();
+        let names = ["net", "scpu", "ddisk", "ldisk"];
+        let (k, u) = last
+            .utilization
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        out.push_str(&format!("{:>12}", format!("{} {:.0}%", names[k], u * 100.0)));
+    }
+    out.push('\n');
+    out
+}
+
+fn header_row(curves: &[Vec<ExperimentPoint>]) -> String {
+    let mut s = format!("{:>8}", "#clients");
+    for c in curves {
+        s.push_str(&format!("{:>12}", c[0].system));
+    }
+    s.push('\n');
+    s
+}
+
+/// Render the client-writes chart (Figures 9 and 14): pages shipped from a
+/// client to the server per transaction, total and log-record pages, keyed
+/// by the underlying scheme.
+pub fn render_writes_table(title: &str, rows: &[(String, f64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<24}{:>14}{:>14}\n",
+        "system", "total writes", "log writes"
+    ));
+    for (name, total, log) in rows {
+        out.push_str(&format!("{name:<24}{total:>14.1}{log:>14.1}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_sim::{Demand, MeterSnapshot};
+
+    fn pt(system: &str, clients: usize, r: f64, x: f64) -> ExperimentPoint {
+        ExperimentPoint {
+            system: system.into(),
+            clients,
+            response_s: r,
+            tpm: x,
+            demand: Demand::default(),
+            utilization: [0.1, 0.2, 0.3, 0.4],
+            total_pages_shipped_per_txn: 0.0,
+            log_pages_shipped_per_txn: 0.0,
+            log_records_per_txn: 0.0,
+            window: MeterSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn tables_render_all_systems_and_rows() {
+        let curves = vec![
+            vec![pt("PD-ESM", 1, 10.0, 6.0), pt("PD-ESM", 2, 11.0, 10.9)],
+            vec![pt("WPL", 1, 12.0, 5.0), pt("WPL", 2, 20.0, 6.0)],
+        ];
+        let s = render_curve_tables("Figure X", &curves);
+        assert!(s.contains("PD-ESM") && s.contains("WPL"));
+        assert!(s.contains("10.0") && s.contains("20.0"));
+        assert!(s.contains("ldisk 40%"));
+    }
+
+    #[test]
+    fn writes_table_renders() {
+        let s = render_writes_table(
+            "Figure 9",
+            &[("ESM (T2A)".into(), 440.0, 5.0), ("WPL (T2A)".into(), 435.0, 0.0)],
+        );
+        assert!(s.contains("ESM (T2A)"));
+        assert!(s.contains("435.0"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Dynamic buffer-pool / recovery-buffer balancing — the paper's proposed
+//! future work (§7): "dynamically varying the amount of memory allocated
+//! to the buffer pool and the recovery buffer of a client during and
+//! across transactions."
+//!
+//! The policy watches two antagonistic signals from the last transaction:
+//! recovery-buffer overflows (too little recovery memory → early log
+//! records, the constrained-cache pathology of Figures 10–14) and client
+//! buffer-pool evictions (too little pool → paging, the big-database
+//! pathology of Figures 15–18). It shifts one step of memory toward
+//! whichever hurt, with hysteresis so a balanced system stays put.
+
+use crate::store::Store;
+use qs_sim::MeterSnapshot;
+use qs_types::{QsResult, PAGE_SIZE};
+
+/// Step-based adaptive controller for the client memory split.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSplit {
+    /// Total client memory under management (fixed).
+    pub total_mb: f64,
+    /// Current recovery-buffer share.
+    pub recovery_mb: f64,
+    /// Smallest / largest recovery share the controller may choose.
+    pub min_recovery_mb: f64,
+    pub max_recovery_mb: f64,
+    /// How much memory one adjustment moves.
+    pub step_mb: f64,
+    adjustments: u64,
+}
+
+impl AdaptiveSplit {
+    pub fn new(total_mb: f64, initial_recovery_mb: f64) -> AdaptiveSplit {
+        AdaptiveSplit {
+            total_mb,
+            recovery_mb: initial_recovery_mb,
+            min_recovery_mb: 0.25,
+            max_recovery_mb: total_mb / 2.0,
+            step_mb: 0.5,
+            adjustments: 0,
+        }
+    }
+
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Decide a new recovery-buffer size from the last transaction's
+    /// counter window. Returns `Some(new_mb)` if the split should change.
+    pub fn decide(&mut self, window: &MeterSnapshot) -> Option<f64> {
+        let overflowing = window.recovery_buffer_overflows > 0;
+        let paging = window.client_evictions > 0;
+        let proposed = if overflowing && !paging {
+            // Early log records but no paging: grow the recovery buffer.
+            (self.recovery_mb + self.step_mb).min(self.max_recovery_mb)
+        } else if paging && !overflowing {
+            // Paging but recovery memory is idle: give pages to the pool.
+            (self.recovery_mb - self.step_mb).max(self.min_recovery_mb)
+        } else {
+            // Balanced, or both hurting (total memory is just too small —
+            // moving it around cannot help): stay put.
+            self.recovery_mb
+        };
+        if (proposed - self.recovery_mb).abs() < 1e-9 {
+            return None;
+        }
+        self.recovery_mb = proposed;
+        self.adjustments += 1;
+        Some(proposed)
+    }
+
+    /// Apply a decision to a store between transactions.
+    pub fn apply(&mut self, store: &mut Store, window: &MeterSnapshot) -> QsResult<bool> {
+        match self.decide(window) {
+            Some(mb) => {
+                store.set_memory_split(self.total_mb, mb)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Recovery-buffer size in bytes for the current split.
+    pub fn recovery_bytes(&self) -> usize {
+        (self.recovery_mb * 1024.0 * 1024.0) as usize
+    }
+
+    /// Buffer-pool pages for the current split.
+    pub fn pool_pages(&self) -> usize {
+        (((self.total_mb - self.recovery_mb) * 1024.0 * 1024.0) as usize / PAGE_SIZE).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(overflows: u64, evictions: u64) -> MeterSnapshot {
+        MeterSnapshot {
+            recovery_buffer_overflows: overflows,
+            client_evictions: evictions,
+            ..MeterSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn grows_recovery_buffer_on_overflow() {
+        let mut a = AdaptiveSplit::new(8.0, 0.5);
+        assert_eq!(a.decide(&window(3, 0)), Some(1.0));
+        assert_eq!(a.decide(&window(1, 0)), Some(1.5));
+        assert_eq!(a.adjustments(), 2);
+    }
+
+    #[test]
+    fn shrinks_recovery_buffer_on_paging() {
+        let mut a = AdaptiveSplit::new(8.0, 2.0);
+        assert_eq!(a.decide(&window(0, 10)), Some(1.5));
+        assert_eq!(a.decide(&window(0, 10)), Some(1.0));
+    }
+
+    #[test]
+    fn stable_when_balanced_or_doubly_constrained() {
+        let mut a = AdaptiveSplit::new(8.0, 1.0);
+        assert_eq!(a.decide(&window(0, 0)), None, "balanced: no change");
+        assert_eq!(a.decide(&window(5, 5)), None, "both hurting: no reshuffle");
+        assert_eq!(a.adjustments(), 0);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut a = AdaptiveSplit::new(8.0, 0.5);
+        a.min_recovery_mb = 0.5;
+        assert_eq!(a.decide(&window(0, 9)), None, "already at the floor");
+        a.recovery_mb = 4.0; // = max (total/2)
+        assert_eq!(a.decide(&window(9, 0)), None, "already at the ceiling");
+    }
+
+    #[test]
+    fn split_arithmetic() {
+        let a = AdaptiveSplit::new(12.0, 4.0);
+        assert_eq!(a.recovery_bytes(), 4 * 1024 * 1024);
+        assert_eq!(a.pool_pages(), 1024);
+    }
+}

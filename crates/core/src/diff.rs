@@ -1,0 +1,219 @@
+//! The differencing algorithm (paper §3.2.2).
+//!
+//! Given the before-image of an object and its updated in-place value, find
+//! the modified regions and decide which adjacent regions to combine into a
+//! single log record. With `H` the log-record header size, two consecutive
+//! modified regions separated by a clean gap `D` cost:
+//!
+//! * separate: `2H + 2·(s1 + s2)` bytes of log,
+//! * combined: `H + 2·(s1 + D + s2)` bytes,
+//!
+//! so separate records win exactly when `2·D > H` — the paper's rule. The
+//! decision depends only on the gap, so a left-to-right greedy pass yields
+//! the global minimum ("the algorithm is guaranteed to generate the minimum
+//! amount of log traffic"), a fact the property tests check against brute
+//! force.
+
+use qs_types::LOG_HEADER_SIZE;
+
+/// A modified byte range `[start, end)` within an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Region {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Maximal runs of bytes that differ between `before` and `after`.
+/// Both slices must be the same length (in-place updates never resize).
+pub fn raw_modified_runs(before: &[u8], after: &[u8]) -> Vec<Region> {
+    debug_assert_eq!(before.len(), after.len());
+    let mut runs = Vec::new();
+    let mut i = 0;
+    let n = before.len();
+    while i < n {
+        if before[i] != after[i] {
+            let start = i;
+            while i < n && before[i] != after[i] {
+                i += 1;
+            }
+            runs.push(Region { start, end: i });
+        } else {
+            i += 1;
+        }
+    }
+    runs
+}
+
+/// Combine adjacent runs per the `2·gap > H` rule (header size `h`).
+pub fn combine_regions(runs: &[Region], h: usize) -> Vec<Region> {
+    let mut out = Vec::new();
+    let mut iter = runs.iter();
+    let Some(first) = iter.next() else {
+        return out;
+    };
+    let mut pending = *first;
+    for r in iter {
+        let gap = r.start - pending.end;
+        if 2 * gap > h {
+            out.push(pending);
+            pending = *r;
+        } else {
+            pending.end = r.end;
+        }
+    }
+    out.push(pending);
+    out
+}
+
+/// Diff one object: modified regions, already combined for minimal log
+/// traffic with the standard header size.
+pub fn diff_object(before: &[u8], after: &[u8]) -> Vec<Region> {
+    combine_regions(&raw_modified_runs(before, after), LOG_HEADER_SIZE)
+}
+
+/// Total log bytes a set of regions would occupy (header + before + after
+/// per region) — the quantity the algorithm minimizes.
+pub fn log_bytes(regions: &[Region], h: usize) -> usize {
+    regions.iter().map(|r| h + 2 * r.len()).sum()
+}
+
+/// Exhaustive minimum over all ways of merging the raw runs into
+/// consecutive groups (exponential; test oracle only).
+pub fn brute_force_min_log_bytes(runs: &[Region], h: usize) -> usize {
+    fn rec(runs: &[Region], h: usize, i: usize, open: Option<Region>) -> usize {
+        match (i == runs.len(), open) {
+            (true, None) => 0,
+            (true, Some(r)) => h + 2 * r.len(),
+            (false, None) => rec(runs, h, i + 1, Some(runs[i])),
+            (false, Some(r)) => {
+                // Close the open group before runs[i] …
+                let close = h + 2 * r.len() + rec(runs, h, i + 1, Some(runs[i]));
+                // … or extend it through the gap.
+                let extend =
+                    rec(runs, h, i + 1, Some(Region { start: r.start, end: runs[i].end }));
+                close.min(extend)
+            }
+        }
+    }
+    rec(runs, h, 0, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(v: &[(usize, usize)]) -> Vec<Region> {
+        v.iter().map(|&(s, e)| Region { start: s, end: e }).collect()
+    }
+
+    #[test]
+    fn identical_objects_produce_nothing() {
+        let a = vec![7u8; 100];
+        assert!(diff_object(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn single_changed_word() {
+        let before = vec![0u8; 64];
+        let mut after = before.clone();
+        after[8..12].fill(9);
+        assert_eq!(diff_object(&before, &after), regions(&[(8, 12)]));
+    }
+
+    #[test]
+    fn papers_first_and_third_word_example() {
+        // §3.2.2: words 1 and 3 of an object updated (1 word = 4 bytes).
+        // Gap D = 4 bytes; 2·4 = 8 ≤ H = 50 → combine into one region
+        // covering words 1–3 (12 bytes), for 74 total log bytes vs 116.
+        let before = vec![0u8; 64];
+        let mut after = before.clone();
+        after[0..4].fill(1); // word 1
+        after[8..12].fill(3); // word 3
+        let combined = diff_object(&before, &after);
+        assert_eq!(combined, regions(&[(0, 12)]));
+        assert_eq!(log_bytes(&combined, LOG_HEADER_SIZE), 74);
+        let separate = raw_modified_runs(&before, &after);
+        assert_eq!(log_bytes(&separate, LOG_HEADER_SIZE), 116);
+    }
+
+    #[test]
+    fn large_gap_keeps_regions_separate() {
+        // Gap of 26 bytes: 2·26 = 52 > 50 → separate records.
+        let before = vec![0u8; 64];
+        let mut after = before.clone();
+        after[0..4].fill(1);
+        after[30..34].fill(1);
+        assert_eq!(diff_object(&before, &after), regions(&[(0, 4), (30, 34)]));
+        // Gap of 25 bytes: 2·25 = 50 = H → combine (strict inequality).
+        let mut after2 = before.clone();
+        after2[0..4].fill(1);
+        after2[29..33].fill(1);
+        assert_eq!(diff_object(&before, &after2), regions(&[(0, 33)]));
+    }
+
+    #[test]
+    fn figure2_three_regions() {
+        // Figure 2: R1, R2 close together (combine), R3 far away (separate).
+        let before = vec![0u8; 200];
+        let mut after = before.clone();
+        after[0..8].fill(1); // R1
+        after[12..20].fill(2); // R2: gap 4 → combine with R1
+        after[120..128].fill(3); // R3: gap 100 → separate
+        assert_eq!(diff_object(&before, &after), regions(&[(0, 20), (120, 128)]));
+    }
+
+    #[test]
+    fn whole_object_changed() {
+        let before = vec![0u8; 256];
+        let after = vec![1u8; 256];
+        assert_eq!(diff_object(&before, &after), regions(&[(0, 256)]));
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_tricky_layouts() {
+        // Several region layouts around the threshold; the greedy result
+        // must always equal the exhaustive optimum.
+        let layouts: &[&[(usize, usize)]] = &[
+            &[(0, 4), (8, 12), (40, 44)],
+            &[(0, 2), (27, 29), (56, 58), (85, 87)],
+            &[(0, 10), (11, 21), (60, 61)],
+            &[(5, 6), (32, 33), (59, 60), (86, 87), (113, 114)],
+            &[(0, 1), (26, 27), (53, 54)],
+        ];
+        for l in layouts {
+            let runs = regions(l);
+            let greedy = combine_regions(&runs, LOG_HEADER_SIZE);
+            assert_eq!(
+                log_bytes(&greedy, LOG_HEADER_SIZE),
+                brute_force_min_log_bytes(&runs, LOG_HEADER_SIZE),
+                "layout {l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regions_cover_all_raw_runs() {
+        let before: Vec<u8> = (0..255u8).collect();
+        let mut after = before.clone();
+        for i in (0..255).step_by(17) {
+            after[i] ^= 0xFF;
+        }
+        let combined = diff_object(&before, &after);
+        for run in raw_modified_runs(&before, &after) {
+            assert!(
+                combined.iter().any(|r| r.start <= run.start && run.end <= r.end),
+                "run {run:?} not covered"
+            );
+        }
+    }
+}

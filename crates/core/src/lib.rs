@@ -1,0 +1,62 @@
+//! QuickStore: a memory-mapped object store with pluggable crash-recovery
+//! strategies — a from-scratch reproduction of the system studied in
+//! White & DeWitt, *"Implementing Crash Recovery in QuickStore: A
+//! Performance Study"* (SIGMOD 1995).
+//!
+//! The store gives applications access to persistent objects through
+//! virtual-memory mapping (simulated deterministically by `qs-vmem`): reads
+//! run at memory speed; the *first* update to a page is intercepted —
+//! either by a write-protection fault (page differencing, whole-page
+//! logging, redo-at-server) or by a compiler-inserted update function
+//! (sub-page differencing/logging) — to enable recovery for that page.
+//!
+//! Crate map:
+//!
+//! * [`avl`] — the height-balanced tree behind the descriptor table.
+//! * [`descriptor`] — page descriptors + address-indexed table (Fig. 1).
+//! * [`recovery_buffer`] — FIFO-managed before-image memory (Fig. 1/3).
+//! * [`diff`] — the region-combining diff algorithm (Fig. 2), provably
+//!   minimal in log bytes.
+//! * [`config`] — the paper's software versions (Table 3).
+//! * [`store`] — the [`Store`] API: `begin/commit/abort`, `read`,
+//!   `write` (hardware detection), `update` (software detection),
+//!   `allocate`.
+//!
+//! ```
+//! use quickstore::{Store, SystemConfig};
+//! use qs_esm::{ClientConn, Server, ServerConfig, RecoveryFlavor};
+//! use qs_sim::Meter;
+//! use qs_types::ClientId;
+//! use std::sync::Arc;
+//!
+//! let meter = Meter::new();
+//! let cfg = SystemConfig::pd_esm().with_memory(2.0, 0.5);
+//! let server = Arc::new(Server::format(
+//!     ServerConfig::new(RecoveryFlavor::EsmAries).with_pool_mb(1.0).with_log_mb(8.0)
+//!         .with_volume_pages(64),
+//!     Arc::clone(&meter),
+//! ).unwrap());
+//! let client = ClientConn::new(ClientId(0), server, cfg.client_pool_pages(), meter);
+//! let mut store = Store::new(client, cfg).unwrap();
+//!
+//! store.begin().unwrap();
+//! let oid = store.allocate(b"hello, persistent world").unwrap();
+//! store.commit().unwrap();
+//!
+//! store.begin().unwrap();
+//! assert_eq!(store.read(oid).unwrap(), b"hello, persistent world");
+//! store.modify(oid, 0, b"HELLO").unwrap();
+//! store.commit().unwrap();
+//! ```
+
+pub mod adaptive;
+pub mod avl;
+pub mod config;
+pub mod descriptor;
+pub mod diff;
+pub mod recovery_buffer;
+pub mod store;
+
+pub use adaptive::AdaptiveSplit;
+pub use config::{LogGeneration, SystemConfig};
+pub use store::Store;

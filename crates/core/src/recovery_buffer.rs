@@ -1,0 +1,274 @@
+//! The recovery buffer (paper §3.2.1, Figure 1).
+//!
+//! A fixed-size area of client memory holding *before-images*: whole pages
+//! under page differencing, individual blocks under the sub-page schemes.
+//! When it fills, space is reclaimed in FIFO order by generating log
+//! records early for the oldest copied page ("Space in the recovery buffer
+//! is managed using a simple FIFO replacement policy") — the caller runs
+//! the diff and then frees the copy. In the constrained-cache experiments
+//! this overflow is precisely what drives PD's extra log traffic (Fig. 14).
+
+use qs_storage::Page;
+use qs_types::{PageId, PAGE_SIZE};
+use std::collections::{HashMap, VecDeque};
+
+/// Before-image of one page, at the granularity the scheme copies.
+#[derive(Debug, Clone)]
+pub enum Copied {
+    /// PD: the complete page as of recovery-enable time.
+    Full(Box<Page>),
+    /// SD/SL: copied blocks, keyed by block index, each `block_size` bytes
+    /// (the paper's per-page array of block pointers, Figure 3).
+    Blocks { block_size: usize, blocks: HashMap<u16, Vec<u8>> },
+}
+
+impl Copied {
+    /// Bytes of recovery-buffer space this copy occupies.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Copied::Full(_) => PAGE_SIZE,
+            Copied::Blocks { block_size, blocks } => block_size * blocks.len(),
+        }
+    }
+}
+
+/// The fixed-capacity recovery buffer.
+#[derive(Debug)]
+pub struct RecoveryBuffer {
+    capacity: usize,
+    used: usize,
+    copies: HashMap<PageId, Copied>,
+    /// FIFO order of first copy per page.
+    fifo: VecDeque<PageId>,
+    overflows: u64,
+}
+
+impl RecoveryBuffer {
+    /// `capacity` in bytes (e.g. 4 MB or 0.5 MB in the paper's experiments).
+    pub fn new(capacity: usize) -> RecoveryBuffer {
+        RecoveryBuffer {
+            capacity,
+            used: 0,
+            copies: HashMap::new(),
+            fifo: VecDeque::new(),
+            overflows: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    pub fn pages(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Times a copy request had to evict older copies.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.copies.contains_key(&pid)
+    }
+
+    pub fn get(&self, pid: PageId) -> Option<&Copied> {
+        self.copies.get(&pid)
+    }
+
+    /// Pages that must be flushed (log records generated) to free at least
+    /// `need` bytes, FIFO order. The caller diffs each and then calls
+    /// [`RecoveryBuffer::remove`]; this method only *plans* the eviction.
+    pub fn overflow_victims(&mut self, need: usize) -> Vec<PageId> {
+        let mut free = self.capacity - self.used;
+        if free >= need {
+            return Vec::new();
+        }
+        self.overflows += 1;
+        let mut victims = Vec::new();
+        for &pid in self.fifo.iter() {
+            if free >= need {
+                break;
+            }
+            if let Some(c) = self.copies.get(&pid) {
+                free += c.bytes();
+                victims.push(pid);
+            }
+        }
+        victims
+    }
+
+    /// Store the full-page before-image (PD). Panics if space was not made
+    /// first (callers must use [`RecoveryBuffer::overflow_victims`]).
+    pub fn insert_full(&mut self, pid: PageId, page: Page) {
+        assert!(!self.copies.contains_key(&pid), "page {pid} already copied");
+        assert!(self.used + PAGE_SIZE <= self.capacity, "recovery buffer overflow");
+        self.used += PAGE_SIZE;
+        self.copies.insert(pid, Copied::Full(Box::new(page)));
+        self.fifo.push_back(pid);
+    }
+
+    /// Store one block's before-image (SD/SL). Creates the page's entry on
+    /// first block.
+    pub fn insert_block(&mut self, pid: PageId, block_size: usize, index: u16, data: Vec<u8>) {
+        assert_eq!(data.len(), block_size);
+        assert!(self.used + block_size <= self.capacity, "recovery buffer overflow");
+        let entry = self.copies.entry(pid).or_insert_with(|| {
+            self.fifo.push_back(pid);
+            Copied::Blocks { block_size, blocks: HashMap::new() }
+        });
+        match entry {
+            Copied::Blocks { blocks, .. } => {
+                let prev = blocks.insert(index, data);
+                assert!(prev.is_none(), "block {index} of {pid} already copied");
+                self.used += block_size;
+            }
+            Copied::Full(_) => panic!("mixing block and full copies for {pid}"),
+        }
+    }
+
+    /// Is this block already copied? (The SD update function's cheap check,
+    /// §3.3.1.)
+    pub fn block_copied(&self, pid: PageId, index: u16) -> bool {
+        match self.copies.get(&pid) {
+            Some(Copied::Blocks { blocks, .. }) => blocks.contains_key(&index),
+            Some(Copied::Full(_)) => true,
+            None => false,
+        }
+    }
+
+    /// Drop a page's copy (after its log records have been generated).
+    pub fn remove(&mut self, pid: PageId) -> Option<Copied> {
+        let c = self.copies.remove(&pid)?;
+        self.used -= c.bytes();
+        self.fifo.retain(|&p| p != pid);
+        Some(c)
+    }
+
+    /// Drop everything (transaction boundary).
+    pub fn clear(&mut self) {
+        self.copies.clear();
+        self.fifo.clear();
+        self.used = 0;
+    }
+
+    /// Pages currently copied, FIFO order.
+    pub fn pages_fifo(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.fifo.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Page {
+        Page::new()
+    }
+
+    #[test]
+    fn full_copies_account_page_size() {
+        let mut rb = RecoveryBuffer::new(3 * PAGE_SIZE);
+        rb.insert_full(PageId(1), page());
+        rb.insert_full(PageId(2), page());
+        assert_eq!(rb.used(), 2 * PAGE_SIZE);
+        assert_eq!(rb.pages(), 2);
+        assert!(rb.contains(PageId(1)));
+        rb.remove(PageId(1)).unwrap();
+        assert_eq!(rb.used(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn fifo_overflow_planning() {
+        let mut rb = RecoveryBuffer::new(2 * PAGE_SIZE);
+        rb.insert_full(PageId(1), page());
+        rb.insert_full(PageId(2), page());
+        // Need one more page: the oldest copy (1) must be flushed.
+        let victims = rb.overflow_victims(PAGE_SIZE);
+        assert_eq!(victims, vec![PageId(1)]);
+        assert_eq!(rb.overflows(), 1);
+        for v in victims {
+            rb.remove(v).unwrap();
+        }
+        rb.insert_full(PageId(3), page());
+        assert_eq!(rb.pages(), 2);
+        // Next overflow evicts 2 (FIFO), not 3.
+        assert_eq!(rb.overflow_victims(PAGE_SIZE), vec![PageId(2)]);
+    }
+
+    #[test]
+    fn no_victims_when_space_exists() {
+        let mut rb = RecoveryBuffer::new(4 * PAGE_SIZE);
+        rb.insert_full(PageId(1), page());
+        assert!(rb.overflow_victims(PAGE_SIZE).is_empty());
+        assert_eq!(rb.overflows(), 0);
+    }
+
+    #[test]
+    fn block_copies_accumulate_per_page() {
+        let mut rb = RecoveryBuffer::new(1024);
+        rb.insert_block(PageId(7), 64, 0, vec![0; 64]);
+        rb.insert_block(PageId(7), 64, 3, vec![1; 64]);
+        rb.insert_block(PageId(9), 64, 0, vec![2; 64]);
+        assert_eq!(rb.used(), 192);
+        assert_eq!(rb.pages(), 2);
+        assert!(rb.block_copied(PageId(7), 0));
+        assert!(rb.block_copied(PageId(7), 3));
+        assert!(!rb.block_copied(PageId(7), 1));
+        assert!(!rb.block_copied(PageId(11), 0));
+        match rb.remove(PageId(7)).unwrap() {
+            Copied::Blocks { blocks, .. } => assert_eq!(blocks.len(), 2),
+            _ => panic!("expected blocks"),
+        }
+        assert_eq!(rb.used(), 64);
+    }
+
+    #[test]
+    fn blocks_need_less_space_than_pages() {
+        // The SD advantage in the constrained experiments: a 0.5 MB buffer
+        // holds before-images for far more sparsely-updated pages as
+        // blocks than as full pages.
+        let mut rb_blocks = RecoveryBuffer::new(PAGE_SIZE);
+        for i in 0..100u32 {
+            rb_blocks.insert_block(PageId(i), 64, 0, vec![0; 64]);
+        }
+        assert_eq!(rb_blocks.pages(), 100, "100 sparse pages fit as blocks");
+        assert!(rb_blocks.used() <= PAGE_SIZE);
+        let mut rb_pages = RecoveryBuffer::new(PAGE_SIZE);
+        rb_pages.insert_full(PageId(0), page());
+        assert!(!rb_pages.overflow_victims(PAGE_SIZE).is_empty(), "only 1 full page fits");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut rb = RecoveryBuffer::new(2 * PAGE_SIZE);
+        rb.insert_full(PageId(1), page());
+        rb.insert_block(PageId(2), 32, 0, vec![0; 32]);
+        rb.clear();
+        assert_eq!(rb.used(), 0);
+        assert_eq!(rb.pages(), 0);
+        assert!(!rb.contains(PageId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already copied")]
+    fn double_full_copy_panics() {
+        let mut rb = RecoveryBuffer::new(4 * PAGE_SIZE);
+        rb.insert_full(PageId(1), page());
+        rb.insert_full(PageId(1), page());
+    }
+
+    #[test]
+    fn fifo_order_exposed() {
+        let mut rb = RecoveryBuffer::new(4 * PAGE_SIZE);
+        rb.insert_full(PageId(3), page());
+        rb.insert_full(PageId(1), page());
+        rb.insert_full(PageId(2), page());
+        let order: Vec<_> = rb.pages_fifo().collect();
+        assert_eq!(order, vec![PageId(3), PageId(1), PageId(2)]);
+    }
+}

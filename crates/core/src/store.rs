@@ -1,0 +1,673 @@
+//! The QuickStore store: the application-facing API tying together the
+//! software MMU, the page-descriptor table, the recovery buffer, the diff
+//! algorithm, and the ESM client.
+//!
+//! An application reads persistent objects "by dereferencing standard
+//! virtual memory pointers": here [`Store::read`] / [`Store::read_at`]
+//! check the access against the MMU and, on a fault, run the QuickStore
+//! fault handler (fetch + map on a mapping fault; enable recovery on a
+//! write-protection fault — §3.2.1's sequence: descriptor search in the
+//! AVL table, page copy into the recovery buffer, exclusive lock, enable
+//! write access).
+//!
+//! Updates take one of two routes, matching the paper's two detection
+//! strategies:
+//!
+//! * [`Store::write`] — the hardware route (PD / WPL / REDO): a raw store
+//!   through the frame; the first one per page write-faults.
+//! * [`Store::update`] — the software route (SD / SL): a call into the
+//!   runtime that copies the touched blocks before writing (§3.3.1). Under
+//!   these schemes raw [`Store::write`]s to unmodified pages stay
+//!   protected, catching stray writes — the paper keeps this property
+//!   deliberately, and so do we.
+//!
+//! [`Store::modify`] dispatches to the right route for the configured
+//! scheme, letting one traversal implementation drive every system.
+
+use crate::config::{LogGeneration, SystemConfig};
+use crate::descriptor::DescriptorTable;
+use crate::diff;
+use crate::recovery_buffer::{Copied, RecoveryBuffer};
+use qs_esm::ClientConn;
+use qs_sim::Meter;
+use qs_storage::Page;
+use qs_types::{FrameId, Oid, PageId, QsError, QsResult, TxnId, VAddr, PAGE_SIZE};
+use qs_vmem::{AccessFault, Mmu, Prot};
+use qs_wal::LogRecord;
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A QuickStore client store.
+pub struct Store {
+    cfg: SystemConfig,
+    client: ClientConn,
+    mmu: Mmu,
+    table: DescriptorTable,
+    rbuf: RecoveryBuffer,
+    /// Pages created by the current transaction (flushed as whole-page
+    /// images, the way ESM logs new pages).
+    created: HashSet<PageId>,
+    /// Allocation cursor: the created page new objects go to.
+    alloc_cursor: Option<PageId>,
+}
+
+impl Store {
+    /// Wrap an ESM client connection in a QuickStore runtime.
+    pub fn new(client: ClientConn, cfg: SystemConfig) -> QsResult<Store> {
+        cfg.validate()?;
+        if client.flavor() != cfg.flavor {
+            return Err(QsError::Config {
+                detail: format!(
+                    "store configured for {:?} but server runs {:?}",
+                    cfg.flavor,
+                    client.flavor()
+                ),
+            });
+        }
+        let rbuf = RecoveryBuffer::new(cfg.recovery_buffer_bytes());
+        Ok(Store {
+            cfg,
+            client,
+            mmu: Mmu::new(),
+            table: DescriptorTable::new(),
+            rbuf,
+            created: HashSet::new(),
+            alloc_cursor: None,
+        })
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    pub fn meter(&self) -> &Arc<Meter> {
+        self.client.meter()
+    }
+
+    pub fn client(&self) -> &ClientConn {
+        &self.client
+    }
+
+    /// The recovery buffer's overflow count (Figure 14's driver).
+    pub fn recovery_buffer_overflows(&self) -> u64 {
+        self.rbuf.overflows()
+    }
+
+    // ---------------------------------------------------------------------
+    // Transactions
+    // ---------------------------------------------------------------------
+
+    pub fn begin(&mut self) -> QsResult<TxnId> {
+        self.client.begin()
+    }
+
+    /// Commit: generate log records for every dirty page (§3.2.2: "At
+    /// transaction commit time … the old values of objects contained in the
+    /// recovery buffer and their corresponding updated values in the buffer
+    /// pool are compared"), ship dirty pages per the flavor's protocol, and
+    /// finish at the server. Afterwards pages stay cached but protection
+    /// drops back to read-only — locks are gone, so the next update must
+    /// re-enable recovery.
+    pub fn commit(&mut self) -> QsResult<()> {
+        let mut dirty = self.client.dirty_pages();
+        dirty.sort(); // deterministic shipping order
+        for &pid in &dirty {
+            let page = self
+                .client
+                .peek(pid)
+                .ok_or(QsError::Protocol { detail: format!("dirty page {pid} not cached") })?
+                .clone();
+            self.flush_records_for(pid, &page)?;
+        }
+        for &pid in &dirty {
+            self.client.ship_cached_dirty_page(pid)?;
+        }
+        self.client.finish_commit()?;
+        self.end_txn_reset()?;
+        Ok(())
+    }
+
+    /// Abort: discard local dirty state and roll back at the server.
+    pub fn abort(&mut self) -> QsResult<()> {
+        // Dirty pages are dropped by the client; unmap their frames.
+        for pid in self.client.dirty_pages() {
+            if let Some(d) = self.table.get(pid) {
+                self.mmu.protect(d.frame, Prot::None)?;
+            }
+        }
+        self.client.abort()?;
+        self.end_txn_reset()?;
+        Ok(())
+    }
+
+    fn end_txn_reset(&mut self) -> QsResult<()> {
+        // Commit drains the recovery buffer page by page; abort simply
+        // discards the before-images (the server rolls back).
+        self.rbuf.clear();
+        self.created.clear();
+        self.alloc_cursor = None;
+        let mut to_reprotect = Vec::new();
+        for d in self.table.iter_mut() {
+            d.end_txn();
+            to_reprotect.push((d.page, d.frame));
+        }
+        for (_pid, frame) in to_reprotect {
+            // Every frame drops to no-access: with locks released, the
+            // next transaction's first touch of each page must fault so it
+            // can re-acquire a lock (cached pages, uncached locks).
+            self.mmu.protect(frame, Prot::None)?;
+        }
+        Ok(())
+    }
+
+    /// Re-divide client memory between the buffer pool and the recovery
+    /// buffer (the paper's §7 future-work extension; see
+    /// [`crate::adaptive::AdaptiveSplit`]). Only legal between
+    /// transactions, when the recovery buffer is empty and every cached
+    /// page is clean; shrink-evicted pages are simply unmapped.
+    pub fn set_memory_split(&mut self, total_mb: f64, recovery_mb: f64) -> QsResult<()> {
+        if self.client.in_txn() {
+            return Err(QsError::Protocol {
+                detail: "memory split can only change between transactions".into(),
+            });
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.client_memory_mb = total_mb;
+        cfg.recovery_buffer_mb =
+            if cfg.log_gen == LogGeneration::WholePage { 0.0 } else { recovery_mb };
+        cfg.validate()?;
+        debug_assert_eq!(self.rbuf.pages(), 0);
+        self.rbuf = RecoveryBuffer::new(cfg.recovery_buffer_bytes());
+        for ev in self.client.set_pool_capacity(cfg.client_pool_pages())? {
+            debug_assert!(!ev.dirty, "dirty page at a transaction boundary");
+            if let Some(d) = self.table.get(ev.page_id) {
+                self.mmu.protect(d.frame, Prot::None)?;
+            }
+        }
+        self.cfg = cfg;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Mapping and the fault handler
+    // ---------------------------------------------------------------------
+
+    /// The virtual address of an object's first byte, mapping its page in
+    /// if necessary — i.e. what a swizzled pointer to the object holds.
+    pub fn resolve(&mut self, oid: Oid) -> QsResult<VAddr> {
+        let frame = self.ensure_mapped(oid.page)?;
+        let page = self.client.peek(oid.page).expect("just mapped");
+        let (off, _len) = page.object_offset(oid.page, oid.slot)?;
+        Ok(VAddr::new(frame, off))
+    }
+
+    /// Object length (schema lookup in a real system).
+    pub fn object_len(&mut self, oid: Oid) -> QsResult<usize> {
+        self.ensure_mapped(oid.page)?;
+        let page = self.client.peek(oid.page).expect("just mapped");
+        Ok(page.object_offset(oid.page, oid.slot)?.1)
+    }
+
+    /// Ensure `pid` is resident and mapped; returns its frame. This is the
+    /// *mapping fault* path: LRU room is made (evictions run the paging
+    /// branch of the recovery machinery), the page is fetched with a shared
+    /// lock, and the frame becomes readable.
+    fn ensure_mapped(&mut self, pid: PageId) -> QsResult<FrameId> {
+        if let Some(d) = self.table.get(pid) {
+            let frame = d.frame;
+            if self.client.cached(pid) {
+                if !d.s_locked {
+                    // First touch this transaction: the frame was left
+                    // unprotected at the last commit (locks are not cached
+                    // across transactions), so the access faults, the page
+                    // is S-locked at the server, and the frame becomes
+                    // readable again.
+                    self.meter().read_faults.fetch_add(1, Ordering::Relaxed);
+                    self.client.s_lock(pid)?;
+                    self.mmu.protect(frame, Prot::Read)?;
+                    self.table.get_mut(pid).expect("descriptor").s_locked = true;
+                }
+                return Ok(frame);
+            }
+        }
+        // Mapping fault.
+        self.meter().read_faults.fetch_add(1, Ordering::Relaxed);
+        while let Some(ev) = self.client.ensure_room() {
+            self.on_client_eviction(ev)?;
+        }
+        self.client.fetch_page(pid, qs_esm::LockMode::S)?;
+        let frame = match self.table.get(pid) {
+            Some(d) => d.frame,
+            None => {
+                let f = self.mmu.alloc_frame();
+                self.table.bind(pid, f);
+                f
+            }
+        };
+        self.mmu.protect(frame, Prot::Read)?;
+        if let Some(d) = self.table.get_mut(pid) {
+            // Residency was lost; recovery state starts over for this page.
+            d.recovery_enabled = false;
+            d.s_locked = true; // the fetch acquired the lock at the server
+        }
+        Ok(frame)
+    }
+
+    /// A page left the client buffer pool. If dirty, this is the paper's
+    /// "when paging in the buffer pool occurs" case: its log records are
+    /// generated *now* and the page is shipped (per flavor) before the
+    /// frame's protection drops.
+    fn on_client_eviction(&mut self, ev: qs_esm::Evicted) -> QsResult<()> {
+        let pid = ev.page_id;
+        if let Some(d) = self.table.get(pid) {
+            self.mmu.protect(d.frame, Prot::None)?;
+        }
+        if ev.dirty {
+            self.flush_records_for(pid, &ev.page)?;
+            self.client.ship_dirty_page(pid, ev.page)?;
+            if let Some(d) = self.table.get_mut(pid) {
+                // Lock stays held (strict 2PL) but recovery must be
+                // re-enabled if the page is updated again this transaction.
+                d.recovery_enabled = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// The write-protection fault handler (§3.2.1): find the descriptor in
+    /// the AVL table, take the before-image (scheme-dependent), obtain the
+    /// exclusive lock if needed, and enable write access on the frame.
+    fn write_fault(&mut self, va: VAddr) -> QsResult<()> {
+        self.meter().write_faults.fetch_add(1, Ordering::Relaxed);
+        let (pid, frame) = {
+            let d = self.table.lookup_vaddr(va)?;
+            (d.page, d.frame)
+        };
+        // Exclusive lock, if not already held this transaction.
+        if !self.table.get(pid).expect("descriptor").x_locked {
+            self.client.x_lock(pid)?;
+            let d = self.table.get_mut(pid).expect("descriptor");
+            d.x_locked = true;
+            d.s_locked = true;
+        }
+        // Before-image, per scheme.
+        match self.cfg.log_gen {
+            LogGeneration::PageDiff => {
+                let already =
+                    self.rbuf.contains(pid) || self.created.contains(&pid);
+                if !already {
+                    self.make_rbuf_room(PAGE_SIZE)?;
+                    let page = self
+                        .client
+                        .peek(pid)
+                        .ok_or(QsError::Protocol {
+                            detail: format!("write fault on non-resident {pid}"),
+                        })?
+                        .clone();
+                    self.meter().bytes_copied.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+                    self.rbuf.insert_full(pid, page);
+                }
+            }
+            LogGeneration::WholePage => {
+                // No copy: the whole dirty page will be logged at the
+                // server. Enabling write access is all the work there is.
+            }
+            LogGeneration::SubPageDiff { .. } | LogGeneration::SubPageLog { .. } => {
+                // The software schemes never enable writes via faults; a
+                // raw write through a protected frame is a stray pointer.
+                return Err(QsError::ProtectionFault {
+                    detail: format!(
+                        "raw write at {va} under {}: updates must go through Store::update",
+                        self.cfg.name()
+                    ),
+                });
+            }
+        }
+        self.mmu.protect(frame, Prot::ReadWrite)?;
+        self.table.get_mut(pid).expect("descriptor").recovery_enabled = true;
+        Ok(())
+    }
+
+    /// Free recovery-buffer space by generating log records early for FIFO
+    /// victims (the overflow path that hurts PD in the constrained-cache
+    /// experiments).
+    fn make_rbuf_room(&mut self, need: usize) -> QsResult<()> {
+        let victims = self.rbuf.overflow_victims(need);
+        if victims.is_empty() {
+            return Ok(());
+        }
+        self.meter().recovery_buffer_overflows.fetch_add(1, Ordering::Relaxed);
+        for pid in victims {
+            let page = self
+                .client
+                .peek(pid)
+                .ok_or(QsError::Protocol {
+                    detail: format!("recovery copy of {pid} outlived its cached page"),
+                })?
+                .clone();
+            self.flush_records_for(pid, &page)?;
+            // The page stays dirty and updatable: recovery remains enabled
+            // (write access is already on); future updates will be captured
+            // by a *fresh* copy on the next fault? No — write access is
+            // still enabled, so further updates to this page in this
+            // transaction go unrecorded unless we drop protection now.
+            if let Some(d) = self.table.get(pid) {
+                self.mmu.protect(d.frame, Prot::Read)?;
+            }
+            if let Some(d) = self.table.get_mut(pid) {
+                d.recovery_enabled = false;
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Object access
+    // ---------------------------------------------------------------------
+
+    fn object_va(&mut self, oid: Oid, offset: usize, len: usize) -> QsResult<(VAddr, usize)> {
+        let frame = self.ensure_mapped(oid.page)?;
+        let page = self.client.peek(oid.page).expect("mapped");
+        let (obj_off, obj_len) = page.object_offset(oid.page, oid.slot)?;
+        if offset + len > obj_len {
+            return Err(QsError::Protocol {
+                detail: format!(
+                    "access [{offset}, {offset}+{len}) past end of {oid:?} ({obj_len} bytes)"
+                ),
+            });
+        }
+        Ok((VAddr::new(frame, obj_off + offset), obj_off))
+    }
+
+    /// Read `len` bytes of an object at `offset` (a pointer dereference).
+    pub fn read_at(&mut self, oid: Oid, offset: usize, len: usize) -> QsResult<Vec<u8>> {
+        let (va, _) = self.object_va(oid, offset, len)?;
+        loop {
+            match self.mmu.check_read(va, len)? {
+                Ok(_) => break,
+                Err(AccessFault::Unmapped(_)) => {
+                    self.ensure_mapped(oid.page)?;
+                }
+                Err(AccessFault::WriteProtected(_)) => unreachable!("reads never write-fault"),
+            }
+        }
+        let page = self.client.peek(oid.page).expect("mapped");
+        let (obj_off, _) = page.object_offset(oid.page, oid.slot)?;
+        Ok(page.bytes()[obj_off + offset..obj_off + offset + len].to_vec())
+    }
+
+    /// Read a whole object.
+    pub fn read(&mut self, oid: Oid) -> QsResult<Vec<u8>> {
+        let len = self.object_len(oid)?;
+        self.read_at(oid, 0, len)
+    }
+
+    /// Raw in-place update through the mapped frame (PD / WPL / REDO): the
+    /// first store to a protected page triggers the write fault.
+    pub fn write(&mut self, oid: Oid, offset: usize, data: &[u8]) -> QsResult<()> {
+        let (va, _) = self.object_va(oid, offset, data.len())?;
+        loop {
+            match self.mmu.check_write(va, data.len())? {
+                Ok(_) => break,
+                Err(AccessFault::Unmapped(_)) => {
+                    self.ensure_mapped(oid.page)?;
+                }
+                Err(AccessFault::WriteProtected(_)) => self.write_fault(va)?,
+            }
+        }
+        let page = self
+            .client
+            .page_mut(oid.page)
+            .ok_or(QsError::Protocol { detail: format!("page {} not resident", oid.page) })?;
+        let obj = page.object_mut(oid.page, oid.slot)?;
+        obj[offset..offset + data.len()].copy_from_slice(data);
+        self.client.mark_dirty(oid.page);
+        self.meter().updates.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The software update function (SD / SL, §3.3.1): look up the page
+    /// descriptor from the address, copy any not-yet-copied blocks the
+    /// write touches, take the lock on first touch, then perform the
+    /// update. Write access on the frame is *not* enabled — stray raw
+    /// writes keep faulting, by design.
+    pub fn update(&mut self, oid: Oid, offset: usize, data: &[u8]) -> QsResult<()> {
+        let block =
+            self.cfg.log_gen.block_size().ok_or(QsError::Protocol {
+                detail: format!("Store::update under {} (hardware scheme)", self.cfg.name()),
+            })?;
+        let (va, obj_off) = self.object_va(oid, offset, data.len())?;
+        self.meter().update_fn_calls.fetch_add(1, Ordering::Relaxed);
+        let pid = {
+            let d = self.table.lookup_vaddr(va)?;
+            d.page
+        };
+        debug_assert_eq!(pid, oid.page);
+        if !self.table.get(pid).expect("descriptor").x_locked {
+            self.client.x_lock(pid)?;
+            let d = self.table.get_mut(pid).expect("descriptor");
+            d.x_locked = true;
+            d.s_locked = true;
+        }
+        // Copy every touched, not-yet-copied block (cheap index arithmetic
+        // on the faulting address, as the paper stresses).
+        if !self.created.contains(&pid) {
+            let start = obj_off + offset;
+            let end = start + data.len();
+            let first = (start / block) as u16;
+            let last = ((end - 1) / block) as u16;
+            for idx in first..=last {
+                if !self.rbuf.block_copied(pid, idx) {
+                    self.make_rbuf_room(block)?;
+                    let page = self.client.peek(pid).expect("mapped");
+                    let b0 = idx as usize * block;
+                    let data = page.bytes()[b0..b0 + block].to_vec();
+                    self.meter().bytes_copied.fetch_add(block as u64, Ordering::Relaxed);
+                    self.rbuf.insert_block(pid, block, idx, data);
+                }
+            }
+        }
+        self.table.get_mut(pid).expect("descriptor").recovery_enabled = true;
+        let page = self.client.page_mut(pid).expect("mapped");
+        let obj = page.object_mut(oid.page, oid.slot)?;
+        obj[offset..offset + data.len()].copy_from_slice(data);
+        self.client.mark_dirty(pid);
+        self.meter().updates.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Dispatch to [`Store::update`] or [`Store::write`] according to the
+    /// configured scheme — what the specially-compiled application (or the
+    /// paper's hand-inserted calls) would do.
+    pub fn modify(&mut self, oid: Oid, offset: usize, data: &[u8]) -> QsResult<()> {
+        if self.cfg.log_gen.software_updates() {
+            self.update(oid, offset, data)
+        } else {
+            self.write(oid, offset, data)
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Object allocation
+    // ---------------------------------------------------------------------
+
+    /// Allocate a new persistent object. New objects go to pages created by
+    /// this transaction (flushed as whole-page images at commit).
+    pub fn allocate(&mut self, data: &[u8]) -> QsResult<Oid> {
+        if let Some(pid) = self.alloc_cursor {
+            let fits = self
+                .client
+                .peek(pid)
+                .map(|p| p.free_space() >= data.len() + 8)
+                .unwrap_or(false);
+            if fits {
+                let page = self.client.page_mut(pid).expect("cursor page resident");
+                let slot = page.insert(pid, data)?;
+                self.client.mark_dirty(pid);
+                self.meter().updates.fetch_add(1, Ordering::Relaxed);
+                return Ok(Oid::new(pid, slot));
+            }
+        }
+        // Open a fresh page.
+        let pid = self.client.allocate_page()?;
+        while let Some(ev) = self.client.ensure_room() {
+            self.on_client_eviction(ev)?;
+        }
+        let mut page = Page::new();
+        let slot = page.insert(pid, data)?;
+        self.client.install_new_page(pid, page)?;
+        let frame = match self.table.get(pid) {
+            Some(d) => d.frame,
+            None => {
+                let f = self.mmu.alloc_frame();
+                self.table.bind(pid, f);
+                f
+            }
+        };
+        self.mmu.protect(frame, Prot::ReadWrite)?;
+        let d = self.table.get_mut(pid).expect("descriptor");
+        d.x_locked = true;
+        d.s_locked = true;
+        d.recovery_enabled = true;
+        d.created_this_txn = true;
+        self.created.insert(pid);
+        self.alloc_cursor = Some(pid);
+        self.meter().updates.fetch_add(1, Ordering::Relaxed);
+        Ok(Oid::new(pid, slot))
+    }
+
+    // ---------------------------------------------------------------------
+    // Log-record generation (§3.2.2 / §3.3.2)
+    // ---------------------------------------------------------------------
+
+    /// Generate and queue log records describing all captured updates to
+    /// `pid`, then release its recovery-buffer space. `current` is the
+    /// page's updated content.
+    fn flush_records_for(&mut self, pid: PageId, current: &Page) -> QsResult<()> {
+        if self.cfg.log_gen == LogGeneration::WholePage {
+            return Ok(()); // no client log records, ever
+        }
+        let txn = self.client.txn()?;
+        if self.created.contains(&pid) {
+            // Newly created page: whole-page image (ESM's own policy).
+            let rec = LogRecord::WholePage {
+                txn,
+                prev: qs_types::Lsn::NULL,
+                page: pid,
+                image: current.bytes().to_vec(),
+            };
+            self.client.add_log_records(pid, vec![rec])?;
+            self.created.remove(&pid);
+            if self.alloc_cursor == Some(pid) {
+                self.alloc_cursor = None;
+            }
+            return Ok(());
+        }
+        let Some(copied) = self.rbuf.remove(pid) else {
+            // Dirty with no before-image: nothing was captured, so nothing
+            // to log (e.g. WPL-style marking never reaches here). Declare
+            // the page logged to satisfy the ordering rule.
+            return self.client.note_page_logged(pid);
+        };
+        let records = match (&copied, self.cfg.log_gen) {
+            (Copied::Full(old), _) => {
+                self.meter()
+                    .bytes_diffed
+                    .fetch_add(current.live_bytes() as u64, Ordering::Relaxed);
+                Self::diff_records(txn, pid, old.bytes(), current)
+            }
+            (Copied::Blocks { block_size, blocks }, LogGeneration::SubPageDiff { .. }) => {
+                // Reconstruct the before-image over the copied ranges only;
+                // everything else is untouched by construction.
+                let mut old = *current.bytes();
+                let mut copied_bytes = 0u64;
+                for (&idx, data) in blocks {
+                    let b0 = idx as usize * block_size;
+                    old[b0..b0 + block_size].copy_from_slice(data);
+                    copied_bytes += *block_size as u64;
+                }
+                self.meter().bytes_diffed.fetch_add(copied_bytes, Ordering::Relaxed);
+                Self::diff_records(txn, pid, &old, current)
+            }
+            (Copied::Blocks { block_size, blocks }, LogGeneration::SubPageLog { .. }) => {
+                // No diffing: log every copied block wholesale, clipped to
+                // object boundaries (records cannot span objects).
+                let mut old = *current.bytes();
+                for (&idx, data) in blocks {
+                    let b0 = idx as usize * block_size;
+                    old[b0..b0 + block_size].copy_from_slice(data);
+                }
+                let mut ranges: Vec<(usize, usize)> = blocks
+                    .keys()
+                    .map(|&i| (i as usize * block_size, (i as usize + 1) * block_size))
+                    .collect();
+                ranges.sort_unstable();
+                // Merge adjacent blocks into maximal runs.
+                let mut merged: Vec<(usize, usize)> = Vec::new();
+                for r in ranges {
+                    match merged.last_mut() {
+                        Some(last) if last.1 == r.0 => last.1 = r.1,
+                        _ => merged.push(r),
+                    }
+                }
+                let mut recs = Vec::new();
+                for (slot, obj_off, obj_len) in current.live_objects() {
+                    for &(s, e) in &merged {
+                        let s = s.max(obj_off);
+                        let e = e.min(obj_off + obj_len);
+                        if s >= e {
+                            continue;
+                        }
+                        recs.push(LogRecord::Update {
+                            txn,
+                            prev: qs_types::Lsn::NULL,
+                            page: pid,
+                            slot,
+                            offset: (s - obj_off) as u16,
+                            before: old[s..e].to_vec(),
+                            after: current.bytes()[s..e].to_vec(),
+                        });
+                    }
+                }
+                recs
+            }
+            (Copied::Blocks { .. }, other) => {
+                return Err(QsError::Protocol {
+                    detail: format!("block copies under {other:?}"),
+                });
+            }
+        };
+        if records.is_empty() {
+            self.client.note_page_logged(pid)
+        } else {
+            self.client.add_log_records(pid, records)
+        }
+    }
+
+    /// Object-wise diff of a page (log records never span objects).
+    fn diff_records(
+        txn: TxnId,
+        pid: PageId,
+        old: &[u8; PAGE_SIZE],
+        current: &Page,
+    ) -> Vec<LogRecord> {
+        let mut recs = Vec::new();
+        for (slot, off, len) in current.live_objects() {
+            let before = &old[off..off + len];
+            let after = &current.bytes()[off..off + len];
+            for region in diff::diff_object(before, after) {
+                recs.push(LogRecord::Update {
+                    txn,
+                    prev: qs_types::Lsn::NULL,
+                    page: pid,
+                    slot,
+                    offset: region.start as u16,
+                    before: before[region.start..region.end].to_vec(),
+                    after: after[region.start..region.end].to_vec(),
+                });
+            }
+        }
+        recs
+    }
+}

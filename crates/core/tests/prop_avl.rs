@@ -1,0 +1,59 @@
+//! Model-based property test: the AVL map must behave exactly like
+//! `BTreeMap` under arbitrary insert/remove/get sequences, while staying
+//! height-balanced.
+
+use proptest::prelude::*;
+use quickstore::avl::AvlMap;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Floor(u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 256, v)),
+            any::<u16>().prop_map(|k| Op::Remove(k % 256)),
+            any::<u16>().prop_map(|k| Op::Get(k % 256)),
+            any::<u16>().prop_map(|k| Op::Floor(k % 256)),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn behaves_like_btreemap(ops in ops()) {
+        let mut avl: AvlMap<u16, u32> = AvlMap::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(avl.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(avl.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(avl.get(&k), model.get(&k));
+                }
+                Op::Floor(k) => {
+                    let want = model.range(..=k).next_back();
+                    prop_assert_eq!(avl.floor(&k), want);
+                }
+            }
+            prop_assert_eq!(avl.len(), model.len());
+        }
+        // Height must be logarithmic: 1.44·log2(n+2) + 1 generous bound.
+        let n = avl.len().max(1) as f64;
+        prop_assert!((avl.height() as f64) <= 1.45 * (n + 2.0).log2() + 1.0);
+        let got: Vec<_> = avl.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the region-combining diff algorithm: patch
+//! round-trip, coverage, and log-byte minimality against brute force.
+
+use proptest::prelude::*;
+use quickstore::diff::{
+    brute_force_min_log_bytes, combine_regions, diff_object, log_bytes, raw_modified_runs,
+};
+use qs_types::LOG_HEADER_SIZE;
+
+fn object_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    // An object up to 512 bytes plus a set of mutations.
+    (1usize..512)
+        .prop_flat_map(|len| {
+            (
+                proptest::collection::vec(any::<u8>(), len),
+                proptest::collection::vec((0..len, any::<u8>()), 0..40),
+            )
+        })
+        .prop_map(|(before, muts)| {
+            let mut after = before.clone();
+            for (i, v) in muts {
+                after[i] = v;
+            }
+            (before, after)
+        })
+}
+
+proptest! {
+    #[test]
+    fn patch_round_trip((before, after) in object_pair()) {
+        // Applying the after-images of the diff regions to the before-image
+        // must reproduce the after-image (this is what redo does), and
+        // applying before-images to the after-image must reproduce the
+        // before-image (undo).
+        let regions = diff_object(&before, &after);
+        let mut redo = before.clone();
+        for r in &regions {
+            redo[r.start..r.end].copy_from_slice(&after[r.start..r.end]);
+        }
+        prop_assert_eq!(&redo, &after);
+        let mut undo = after.clone();
+        for r in &regions {
+            undo[r.start..r.end].copy_from_slice(&before[r.start..r.end]);
+        }
+        prop_assert_eq!(&undo, &before);
+    }
+
+    #[test]
+    fn all_differences_covered((before, after) in object_pair()) {
+        let regions = diff_object(&before, &after);
+        for i in 0..before.len() {
+            if before[i] != after[i] {
+                prop_assert!(
+                    regions.iter().any(|r| r.start <= i && i < r.end),
+                    "differing byte {} not covered", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_minimal((before, after) in object_pair()) {
+        let runs = raw_modified_runs(&before, &after);
+        prop_assume!(runs.len() <= 16); // brute force is exponential
+        let greedy = combine_regions(&runs, LOG_HEADER_SIZE);
+        prop_assert_eq!(
+            log_bytes(&greedy, LOG_HEADER_SIZE),
+            brute_force_min_log_bytes(&runs, LOG_HEADER_SIZE)
+        );
+    }
+
+    #[test]
+    fn regions_sorted_and_disjoint((before, after) in object_pair()) {
+        let regions = diff_object(&before, &after);
+        for w in regions.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "regions must be disjoint with a gap");
+        }
+        for r in &regions {
+            prop_assert!(!r.is_empty());
+        }
+    }
+}

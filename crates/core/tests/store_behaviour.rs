@@ -1,0 +1,318 @@
+//! End-to-end behaviour of the QuickStore store under every recovery
+//! scheme: the same workload must produce the same durable database, and
+//! each scheme must exhibit its distinguishing protocol traffic.
+
+use qs_esm::{ClientConn, RecoveryFlavor, Server, ServerConfig};
+use qs_sim::Meter;
+use qs_storage::Page;
+use qs_types::{ClientId, Oid, PageId};
+use quickstore::{Store, SystemConfig};
+use std::sync::Arc;
+
+fn server_cfg(flavor: RecoveryFlavor) -> ServerConfig {
+    ServerConfig::new(flavor)
+        .with_pool_mb(1.0)
+        .with_volume_pages(512)
+        .with_log_mb(16.0)
+}
+
+/// Build a store over a freshly bulk-loaded database of `pages` pages, each
+/// holding `objs_per_page` objects of `obj_size` bytes, all zeroed.
+fn setup(
+    cfg: SystemConfig,
+    pages: usize,
+    objs_per_page: usize,
+    obj_size: usize,
+) -> (Store, Vec<Oid>) {
+    let meter = Meter::new();
+    let server =
+        Arc::new(Server::format(server_cfg(cfg.flavor), Arc::clone(&meter)).unwrap());
+    let pids = server.bulk_allocate(pages).unwrap();
+    let mut oids = Vec::new();
+    for &pid in &pids {
+        let mut p = Page::new();
+        for _ in 0..objs_per_page {
+            let slot = p.insert(pid, &vec![0u8; obj_size]).unwrap();
+            oids.push(Oid::new(pid, slot));
+        }
+        server.bulk_write(pid, &p).unwrap();
+    }
+    server.bulk_sync().unwrap();
+    let client = ClientConn::new(ClientId(0), server, cfg.client_pool_pages(), meter);
+    (Store::new(client, cfg).unwrap(), oids)
+}
+
+fn all_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::pd_esm().with_memory(1.0, 0.25),
+        SystemConfig::sd_esm().with_memory(1.0, 0.25),
+        SystemConfig::sl_esm().with_memory(1.0, 0.25),
+        SystemConfig::pd_redo().with_memory(1.0, 0.25),
+        SystemConfig::wpl().with_memory(1.0, 0.25),
+    ]
+}
+
+#[test]
+fn read_after_write_within_txn() {
+    for cfg in all_configs() {
+        let name = cfg.name();
+        let (mut store, oids) = setup(cfg, 4, 8, 64);
+        store.begin().unwrap();
+        store.modify(oids[3], 8, &[7u8; 16]).unwrap();
+        let back = store.read(oids[3]).unwrap();
+        assert_eq!(&back[8..24], &[7u8; 16], "{name}");
+        assert_eq!(&back[0..8], &[0u8; 8], "{name}");
+        store.commit().unwrap();
+    }
+}
+
+#[test]
+fn committed_updates_visible_next_txn_and_after_crash() {
+    for cfg in all_configs() {
+        let name = cfg.name();
+        let flavor = cfg.flavor;
+        let (mut store, oids) = setup(cfg, 8, 4, 128);
+        store.begin().unwrap();
+        for (i, &oid) in oids.iter().enumerate().take(16) {
+            store.modify(oid, 0, &[(i + 1) as u8; 32]).unwrap();
+        }
+        store.commit().unwrap();
+
+        // Visible in a fresh transaction from the same client cache.
+        store.begin().unwrap();
+        for (i, &oid) in oids.iter().enumerate().take(16) {
+            assert_eq!(store.read(oid).unwrap()[..32], [(i + 1) as u8; 32], "{name}");
+        }
+        store.commit().unwrap();
+
+        // And after a full server crash + restart.
+        let (client_part, oids2) = (store, oids);
+        let server = Arc::try_unwrap(Arc::clone(client_part.client().server()))
+            .err()
+            .unwrap();
+        drop(client_part); // release the other Arc
+        let server = Arc::try_unwrap(server).ok().expect("sole owner now");
+        let parts = server.crash();
+        let s2 = Server::restart(parts, server_cfg(flavor), Meter::new()).unwrap();
+        for (i, &oid) in oids2.iter().enumerate().take(16) {
+            let page = s2.read_page_for_test(oid.page).unwrap();
+            assert_eq!(
+                page.object(oid.page, oid.slot).unwrap()[..32],
+                [(i + 1) as u8; 32],
+                "{name} after crash"
+            );
+        }
+    }
+}
+
+#[test]
+fn aborted_updates_invisible() {
+    for cfg in all_configs() {
+        let name = cfg.name();
+        let (mut store, oids) = setup(cfg, 4, 4, 64);
+        store.begin().unwrap();
+        store.modify(oids[0], 0, &[9u8; 64]).unwrap();
+        store.abort().unwrap();
+        store.begin().unwrap();
+        assert_eq!(store.read(oids[0]).unwrap(), vec![0u8; 64], "{name}");
+        store.commit().unwrap();
+    }
+}
+
+#[test]
+fn scheme_traffic_signatures() {
+    // One transaction updating 4 bytes on each of 3 pages.
+    let run = |cfg: SystemConfig| {
+        let (mut store, oids) = setup(cfg, 4, 4, 64);
+        store.begin().unwrap();
+        for &oid in &[oids[0], oids[4], oids[8]] {
+            store.modify(oid, 0, &[1u8; 4]).unwrap();
+        }
+        store.commit().unwrap();
+        store.meter().snapshot()
+    };
+
+    let pd = run(SystemConfig::pd_esm().with_memory(1.0, 0.25));
+    assert_eq!(pd.dirty_pages_shipped, 3);
+    assert_eq!(pd.log_records_generated, 3, "one combined record per page");
+    assert_eq!(pd.write_faults, 3);
+    assert_eq!(pd.update_fn_calls, 0);
+    assert_eq!(pd.bytes_copied, 3 * 8192, "whole pages copied");
+
+    let sd = run(SystemConfig::sd_esm().with_memory(1.0, 0.25));
+    assert_eq!(sd.dirty_pages_shipped, 3);
+    assert_eq!(sd.log_records_generated, 3);
+    assert_eq!(sd.write_faults, 0, "software detection");
+    assert_eq!(sd.update_fn_calls, 3);
+    assert_eq!(sd.bytes_copied, 3 * 64, "only touched blocks copied");
+
+    let sl = run(SystemConfig::sl_esm().with_memory(1.0, 0.25));
+    assert_eq!(sl.bytes_diffed, 0, "SL never diffs");
+    // SL logs whole 64-byte blocks: more image bytes than SD's 4-byte diffs.
+    assert!(sl.log_image_bytes > sd.log_image_bytes, "{} vs {}", sl.log_image_bytes, sd.log_image_bytes);
+
+    let redo = run(SystemConfig::pd_redo().with_memory(1.0, 0.25));
+    assert_eq!(redo.dirty_pages_shipped, 0, "REDO ships no pages");
+    assert_eq!(redo.redo_applies, 3, "server applied each record");
+
+    let wpl = run(SystemConfig::wpl().with_memory(1.0, 0.25));
+    assert_eq!(wpl.dirty_pages_shipped, 3);
+    assert_eq!(wpl.log_records_generated, 0, "WPL: no client records");
+    assert_eq!(wpl.bytes_copied, 0, "WPL: no recovery copies");
+    assert!(wpl.log_pages_written >= 3, "whole pages hit the log disk");
+}
+
+#[test]
+fn repeated_updates_produce_single_record_under_diffing() {
+    // T2C's lesson: updating the same word many times must cost one log
+    // record under PD/SD (the before/after pair spans the net change).
+    let (mut store, oids) = setup(SystemConfig::pd_esm().with_memory(1.0, 0.25), 2, 4, 64);
+    store.begin().unwrap();
+    for round in 1..=4u8 {
+        store.modify(oids[0], 0, &[round; 4]).unwrap();
+    }
+    store.commit().unwrap();
+    let s = store.meter().snapshot();
+    assert_eq!(s.updates, 4);
+    assert_eq!(s.log_records_generated, 1, "batched into one diff record");
+}
+
+#[test]
+fn raw_write_rejected_under_software_schemes() {
+    let (mut store, oids) = setup(SystemConfig::sd_esm().with_memory(1.0, 0.25), 2, 4, 64);
+    store.begin().unwrap();
+    let err = store.write(oids[0], 0, &[1u8; 4]).unwrap_err();
+    assert!(err.to_string().contains("Store::update"), "{err}");
+    // update() works and the store remains usable.
+    store.update(oids[0], 0, &[1u8; 4]).unwrap();
+    store.commit().unwrap();
+}
+
+#[test]
+fn update_rejected_under_hardware_schemes() {
+    let (mut store, oids) = setup(SystemConfig::pd_esm().with_memory(1.0, 0.25), 2, 4, 64);
+    store.begin().unwrap();
+    assert!(store.update(oids[0], 0, &[1u8; 4]).is_err());
+    store.write(oids[0], 0, &[1u8; 4]).unwrap();
+    store.commit().unwrap();
+}
+
+#[test]
+fn recovery_buffer_overflow_generates_early_records() {
+    // Recovery buffer of 2 pages; update 5 pages → overflow forces early
+    // log-record generation, exactly the constrained-cache effect.
+    let mut cfg = SystemConfig::pd_esm();
+    cfg.client_memory_mb = 1.0;
+    cfg.recovery_buffer_mb = 2.0 * 8192.0 / (1024.0 * 1024.0); // 2 pages
+    let (mut store, oids) = setup(cfg, 8, 4, 64);
+    store.begin().unwrap();
+    for page in 0..5 {
+        store.write(oids[page * 4], 0, &[3u8; 8]).unwrap();
+    }
+    assert!(store.recovery_buffer_overflows() > 0);
+    let before_commit = store.meter().snapshot().log_records_generated;
+    assert!(before_commit >= 3, "records generated before commit: {before_commit}");
+    store.commit().unwrap();
+    // All 5 pages' updates are durable regardless.
+    store.begin().unwrap();
+    for page in 0..5 {
+        assert_eq!(store.read(oids[page * 4]).unwrap()[..8], [3u8; 8]);
+    }
+    store.commit().unwrap();
+}
+
+#[test]
+fn overflowed_page_can_be_updated_again() {
+    // After an early flush the page's protection drops; a second update
+    // must fault again, take a fresh copy, and produce a second record.
+    let mut cfg = SystemConfig::pd_esm();
+    cfg.client_memory_mb = 1.0;
+    cfg.recovery_buffer_mb = 8192.0 / (1024.0 * 1024.0); // 1 page
+    let (mut store, oids) = setup(cfg, 4, 4, 64);
+    store.begin().unwrap();
+    store.write(oids[0], 0, &[1u8; 4]).unwrap(); // page A copied
+    store.write(oids[4], 0, &[2u8; 4]).unwrap(); // page B → A flushed early
+    store.write(oids[0], 4, &[3u8; 4]).unwrap(); // page A again → B flushed
+    store.commit().unwrap();
+    store.begin().unwrap();
+    let a = store.read(oids[0]).unwrap();
+    assert_eq!(&a[0..4], &[1u8; 4]);
+    assert_eq!(&a[4..8], &[3u8; 4]);
+    assert_eq!(store.read(oids[4]).unwrap()[..4], [2u8; 4]);
+    store.commit().unwrap();
+    assert!(store.meter().snapshot().write_faults >= 3);
+}
+
+#[test]
+fn client_paging_ships_pages_mid_transaction() {
+    // Client pool of 4 pages, working set of 8: paging must generate log
+    // records and ship dirty pages before eviction completes.
+    let mut cfg = SystemConfig::pd_esm();
+    cfg.client_memory_mb = (4.0 * 8192.0 + 2.0 * 8192.0) / (1024.0 * 1024.0);
+    cfg.recovery_buffer_mb = 2.0 * 8192.0 / (1024.0 * 1024.0);
+    let (mut store, oids) = setup(cfg, 8, 4, 64);
+    store.begin().unwrap();
+    for page in 0..8 {
+        store.write(oids[page * 4], 0, &[(page + 1) as u8; 8]).unwrap();
+    }
+    store.commit().unwrap();
+    let s = store.meter().snapshot();
+    assert!(s.client_evictions > 0, "paging occurred");
+    assert_eq!(s.dirty_pages_shipped, 8, "every dirty page reached the server");
+    store.begin().unwrap();
+    for page in 0..8 {
+        assert_eq!(store.read(oids[page * 4]).unwrap()[..8], [(page + 1) as u8; 8]);
+    }
+    store.commit().unwrap();
+}
+
+#[test]
+fn allocation_within_transaction_is_durable() {
+    for cfg in all_configs() {
+        let name = cfg.name();
+        let (mut store, _) = setup(cfg, 2, 1, 32);
+        store.begin().unwrap();
+        let oid = store.allocate(b"created mid-transaction").unwrap();
+        store.commit().unwrap();
+        store.begin().unwrap();
+        assert_eq!(store.read(oid).unwrap(), b"created mid-transaction", "{name}");
+        store.commit().unwrap();
+    }
+}
+
+#[test]
+fn all_schemes_leave_identical_databases() {
+    // The cross-scheme equivalence check: one deterministic workload, five
+    // schemes, five quiesced servers — identical page images everywhere.
+    let workload = |store: &mut Store, oids: &[Oid]| {
+        for round in 0..3u8 {
+            store.begin().unwrap();
+            for (i, &oid) in oids.iter().enumerate() {
+                if (i + round as usize).is_multiple_of(3) {
+                    store.modify(oid, (i % 4) * 8, &[round * 37 + i as u8; 8]).unwrap();
+                }
+            }
+            store.commit().unwrap();
+        }
+    };
+    let mut images: Vec<(String, Vec<Vec<u8>>)> = Vec::new();
+    for cfg in all_configs() {
+        let name = cfg.name();
+        let (mut store, oids) = setup(cfg, 6, 4, 64);
+        workload(&mut store, &oids);
+        let server = store.client().server().clone();
+        server.quiesce().unwrap();
+        let pages: Vec<Vec<u8>> = (0..6)
+            .map(|i| server.read_page_for_test(PageId(i)).unwrap().bytes().to_vec())
+            .collect();
+        images.push((name, pages));
+    }
+    let (ref_name, ref_pages) = &images[0];
+    for (name, pages) in &images[1..] {
+        for (i, (a, b)) in ref_pages.iter().zip(pages).enumerate() {
+            // Compare object contents (skip the pageLSN header word, which
+            // legitimately differs by scheme).
+            assert_eq!(a[16..], b[16..], "page {i}: {ref_name} vs {name}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! ARIES-style restart for the ESM and REDO flavors ([Frank92]'s
+//! client-server adaptation of [Mohan92]): analysis from the most recent
+//! checkpoint, redo of all logged work, undo of loser transactions with
+//! CLRs. Page-level locking only, exactly like ESM.
+//!
+//! Because the diffing schemes log *after-images* (not operation deltas),
+//! redo is naturally idempotent; the pageLSN test merely avoids wasted
+//! work. Whole-page records (ESM's treatment of newly created pages) redo
+//! by image replacement.
+
+use crate::server::Server;
+use crate::txn::TxnTable;
+use qs_storage::Page;
+use qs_types::{Lsn, PageId, QsResult, TxnId};
+use qs_wal::LogRecord;
+use std::collections::{HashMap, HashSet};
+
+/// What analysis learned from the log.
+#[derive(Debug, Default)]
+struct Analysis {
+    /// Loser candidates: txn → last LSN seen.
+    att: HashMap<TxnId, Lsn>,
+    /// Dirty-page table: page → recovery LSN.
+    dpt: HashMap<PageId, Lsn>,
+    /// Highest transaction id seen (id assignment resumes above it).
+    max_txn: TxnId,
+    /// Highest page id + 1 implied by allocation records.
+    max_alloc: u64,
+}
+
+/// Run restart recovery. Called by [`Server::restart`] with a freshly
+/// opened volume and log.
+pub fn restart(server: &Server) -> QsResult<()> {
+    let analysis = server.with_inner(|inner| -> QsResult<Analysis> {
+        let ck = inner.log.checkpoint_lsn();
+        let scan_from = if ck.is_null() { inner.log.start_lsn() } else { ck };
+
+        let mut a = Analysis { max_txn: TxnId::INVALID, ..Analysis::default() };
+        let mut committed: HashSet<TxnId> = HashSet::new();
+
+        // Seed from the checkpoint record (sharp checkpoints leave the DPT
+        // empty, but the code stays general).
+        if !ck.is_null() {
+            let (LogRecord::Checkpoint { body }, _) = inner.log.read_record(ck)? else {
+                return Err(qs_types::QsError::RecoveryFailed {
+                    detail: format!("no checkpoint record at {ck}"),
+                });
+            };
+            for (t, l) in body.active_txns {
+                a.att.insert(t, l);
+            }
+            for (p, l) in body.dirty_pages {
+                a.dpt.insert(p, l);
+            }
+            a.max_alloc = body.allocated_pages;
+        }
+
+        // Forward analysis pass.
+        for item in inner.log.scan_forward(scan_from) {
+            let (lsn, rec) = item?;
+            let txn = rec.txn();
+            if txn != TxnId::INVALID {
+                if a.max_txn == TxnId::INVALID || txn.0 > a.max_txn.0 {
+                    a.max_txn = txn;
+                }
+                match &rec {
+                    LogRecord::Commit { .. } => {
+                        committed.insert(txn);
+                        a.att.remove(&txn);
+                    }
+                    LogRecord::Abort { .. } => {
+                        a.att.remove(&txn);
+                    }
+                    _ => {
+                        a.att.insert(txn, lsn);
+                    }
+                }
+            }
+            if let Some(page) = rec.page() {
+                a.dpt.entry(page).or_insert(lsn);
+                a.max_alloc = a.max_alloc.max(page.0 as u64 + 1);
+            }
+            if let LogRecord::PageAlloc { page, .. } = rec {
+                a.max_alloc = a.max_alloc.max(page.0 as u64 + 1);
+            }
+        }
+        inner.volume.ensure_allocated(a.max_alloc as usize)?;
+        Ok(a)
+    })?;
+
+    // Redo pass: repeat history from the earliest recovery LSN.
+    server.with_inner(|inner| -> QsResult<()> {
+        let Some(&redo_from) = analysis.dpt.values().min() else {
+            return Ok(());
+        };
+        let mut resident: HashMap<PageId, Page> = HashMap::new();
+        for item in inner.log.scan_forward(redo_from) {
+            let (lsn, rec) = item?;
+            let Some(pid) = rec.page() else { continue };
+            let Some(&rec_lsn) = analysis.dpt.get(&pid) else { continue };
+            if lsn < rec_lsn {
+                continue;
+            }
+            let page = match resident.entry(pid) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(inner.volume.read_page(pid)?)
+                }
+            };
+            if page.lsn() >= lsn {
+                continue; // effect already on disk image
+            }
+            match &rec {
+                LogRecord::Update { slot, offset, after, .. } => {
+                    let obj = page.object_mut(pid, *slot)?;
+                    let off = *offset as usize;
+                    obj[off..off + after.len()].copy_from_slice(after);
+                }
+                LogRecord::Clr { slot, offset, after, .. } => {
+                    let obj = page.object_mut(pid, *slot)?;
+                    let off = *offset as usize;
+                    obj[off..off + after.len()].copy_from_slice(after);
+                }
+                LogRecord::WholePage { image, .. } => {
+                    *page = Page::from_bytes(image)?;
+                }
+                _ => {}
+            }
+            page.set_lsn(lsn);
+        }
+        // Install redone pages into the pool as dirty so undo sees them and
+        // the post-restart checkpoint flushes them.
+        for (pid, page) in resident {
+            let ev = inner.pool.insert(pid, page, true)?;
+            if let Some(ev) = ev {
+                // Restart pools are sized like production pools; eviction
+                // during redo writes through (WAL is satisfied: everything
+                // in the durable log already).
+                if ev.dirty {
+                    inner.volume.write_page(ev.page_id, &ev.page)?;
+                }
+            }
+            inner.dpt.insert(pid, redo_from);
+        }
+        Ok(())
+    })?;
+
+    // Undo pass: roll back losers with CLRs, then mark them aborted.
+    let losers: Vec<(TxnId, Lsn)> = {
+        let mut l: Vec<_> = analysis.att.into_iter().collect();
+        // Undo in reverse order of recency, mirroring ARIES' single
+        // backward pass over all losers.
+        l.sort_by_key(|&(_, lsn)| std::cmp::Reverse(lsn));
+        l
+    };
+    server.with_inner(|inner| -> QsResult<()> {
+        for &(txn, last) in &losers {
+            inner.txns.restore(txn, last);
+        }
+        Ok(())
+    })?;
+    for (txn, last) in losers {
+        server.with_inner(|inner| -> QsResult<()> {
+            server.undo_chain(inner, txn, last)?;
+            let prev = inner.txns.get(txn)?.last_lsn;
+            inner.log.append(&LogRecord::Abort { txn, prev })?;
+            inner.txns.remove(txn);
+            Ok(())
+        })?;
+    }
+
+    // Resume id assignment above everything seen, then make the recovered
+    // state durable and truncate the log.
+    server.with_inner(|inner| {
+        let resumed = TxnTable::resuming_after(analysis.max_txn);
+        // Preserve whichever is higher (restore() may already have bumped).
+        if inner.txns.is_empty() {
+            inner.txns = resumed;
+        }
+    });
+    server.checkpoint()?;
+    Ok(())
+}

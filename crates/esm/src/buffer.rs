@@ -1,0 +1,426 @@
+//! A page buffer pool with O(1) true-LRU replacement, pin counts, and dirty
+//! tracking. Used by both the server (STEAL/NO-FORCE) and the clients
+//! (inter-transaction caching, §3.1: "Clients can cache pages in their
+//! local buffer pools across transaction boundaries").
+//!
+//! The pool never does I/O itself: on overflow it *returns* the evicted
+//! frame ([`Evicted`]) and the caller decides what shipping / logging /
+//! write-back the recovery scheme requires. That inversion is essential
+//! here — under PD an evicted dirty client page must be diffed first, under
+//! WPL it must be shipped whole, and at the server a stolen page must obey
+//! WAL — all policy that lives above the pool.
+
+use qs_types::{PageId, QsError, QsResult};
+use qs_storage::Page;
+use std::collections::HashMap;
+
+/// Doubly-linked LRU list over a slab of nodes; O(1) touch/insert/remove.
+#[derive(Debug, Default)]
+struct LruList {
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: Option<usize>, // most-recently used
+    tail: Option<usize>, // least-recently used
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LruNode {
+    page: PageId,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl LruList {
+    fn push_front(&mut self, page: PageId) -> usize {
+        let node = LruNode { page, prev: None, next: self.head };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        if let Some(h) = self.head {
+            self.nodes[h].prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+        idx
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            Some(p) => self.nodes[p].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.nodes[n].prev = prev,
+            None => self.tail = prev,
+        }
+        self.free.push(idx);
+    }
+
+    fn touch(&mut self, idx: usize) -> usize {
+        let page = self.nodes[idx].page;
+        self.unlink(idx);
+        self.push_front(page)
+    }
+
+    /// Walk from the LRU end, returning the first node accepted by `f`.
+    fn lru_find(&self, mut f: impl FnMut(PageId) -> bool) -> Option<usize> {
+        let mut cur = self.tail;
+        while let Some(i) = cur {
+            if f(self.nodes[i].page) {
+                return Some(i);
+            }
+            cur = self.nodes[i].prev;
+        }
+        None
+    }
+}
+
+/// One cached page.
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    lru_idx: usize,
+}
+
+/// A frame pushed out of the pool, handed back to the caller.
+#[derive(Debug)]
+pub struct Evicted {
+    pub page_id: PageId,
+    pub page: Page,
+    pub dirty: bool,
+}
+
+/// Fixed-capacity page cache with LRU replacement.
+pub struct BufferPool {
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    lru: LruList,
+    evictions: u64,
+}
+
+impl BufferPool {
+    /// `capacity` in pages (e.g. 8 MB / 8 KB = 1024).
+    pub fn new(capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool must hold at least one page");
+        BufferPool {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            lru: LruList::default(),
+            evictions: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.frames.contains_key(&pid)
+    }
+
+    /// Borrow a cached page, refreshing its recency.
+    pub fn get(&mut self, pid: PageId) -> Option<&Page> {
+        match self.frames.get_mut(&pid) {
+            Some(f) => {
+                f.lru_idx = self.lru.touch(f.lru_idx);
+                Some(&self.frames[&pid].page)
+            }
+            None => None,
+        }
+    }
+
+    /// Borrow a cached page mutably (does not set the dirty bit — callers
+    /// mark dirtiness explicitly, because "dirty" means *must be recovered*,
+    /// not merely *was touched*).
+    pub fn get_mut(&mut self, pid: PageId) -> Option<&mut Page> {
+        match self.frames.get_mut(&pid) {
+            Some(f) => {
+                f.lru_idx = self.lru.touch(f.lru_idx);
+                Some(&mut self.frames.get_mut(&pid).unwrap().page)
+            }
+            None => None,
+        }
+    }
+
+    /// Peek without touching recency (used by diff/ship passes that must
+    /// not perturb replacement behaviour).
+    pub fn peek(&self, pid: PageId) -> Option<&Page> {
+        self.frames.get(&pid).map(|f| &f.page)
+    }
+
+    pub fn is_dirty(&self, pid: PageId) -> bool {
+        self.frames.get(&pid).map(|f| f.dirty).unwrap_or(false)
+    }
+
+    pub fn mark_dirty(&mut self, pid: PageId) {
+        if let Some(f) = self.frames.get_mut(&pid) {
+            f.dirty = true;
+        }
+    }
+
+    pub fn clear_dirty(&mut self, pid: PageId) {
+        if let Some(f) = self.frames.get_mut(&pid) {
+            f.dirty = false;
+        }
+    }
+
+    pub fn pin(&mut self, pid: PageId) {
+        if let Some(f) = self.frames.get_mut(&pid) {
+            f.pins += 1;
+        }
+    }
+
+    pub fn unpin(&mut self, pid: PageId) {
+        if let Some(f) = self.frames.get_mut(&pid) {
+            debug_assert!(f.pins > 0, "unpin of unpinned page {pid}");
+            f.pins = f.pins.saturating_sub(1);
+        }
+    }
+
+    /// Insert (or replace) a page. If the pool is full, the LRU unpinned
+    /// frame is evicted and returned; the caller must deal with it *before*
+    /// using the pool again if it was dirty.
+    pub fn insert(&mut self, pid: PageId, page: Page, dirty: bool) -> QsResult<Option<Evicted>> {
+        if let Some(f) = self.frames.get_mut(&pid) {
+            f.page = page;
+            f.dirty = f.dirty || dirty;
+            f.lru_idx = self.lru.touch(f.lru_idx);
+            return Ok(None);
+        }
+        let evicted = if self.frames.len() >= self.capacity {
+            Some(self.evict_lru()?)
+        } else {
+            None
+        };
+        let lru_idx = self.lru.push_front(pid);
+        self.frames.insert(pid, Frame { page, dirty, pins: 0, lru_idx });
+        Ok(evicted)
+    }
+
+    fn evict_lru(&mut self) -> QsResult<Evicted> {
+        let frames = &self.frames;
+        let idx = self
+            .lru
+            .lru_find(|pid| frames.get(&pid).map(|f| f.pins == 0).unwrap_or(false))
+            .ok_or(QsError::BufferPoolExhausted { capacity: self.capacity })?;
+        let pid = self.lru.nodes[idx].page;
+        self.lru.unlink(idx);
+        let f = self.frames.remove(&pid).expect("LRU node without frame");
+        self.evictions += 1;
+        Ok(Evicted { page_id: pid, page: f.page, dirty: f.dirty })
+    }
+
+    /// The page the LRU policy would evict next (first unpinned from the
+    /// cold end), without removing it.
+    pub fn lru_victim(&self) -> Option<PageId> {
+        let frames = &self.frames;
+        let idx =
+            self.lru.lru_find(|pid| frames.get(&pid).map(|f| f.pins == 0).unwrap_or(false))?;
+        Some(self.lru.nodes[idx].page)
+    }
+
+    /// Remove a specific page from the pool (e.g. abort invalidation).
+    pub fn remove(&mut self, pid: PageId) -> Option<Evicted> {
+        let f = self.frames.remove(&pid)?;
+        self.lru.unlink(f.lru_idx);
+        Some(Evicted { page_id: pid, page: f.page, dirty: f.dirty })
+    }
+
+    /// Ids of all dirty pages (unsorted).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.frames.iter().filter(|(_, f)| f.dirty).map(|(p, _)| *p).collect()
+    }
+
+    /// Ids of all cached pages (unsorted).
+    pub fn cached_pages(&self) -> Vec<PageId> {
+        self.frames.keys().copied().collect()
+    }
+
+    /// Change the pool's capacity (the §7 future-work extension: shifting
+    /// memory between the buffer pool and the recovery buffer between
+    /// transactions). Shrinking evicts LRU unpinned frames and returns
+    /// them; growing returns nothing.
+    pub fn set_capacity(&mut self, capacity: usize) -> QsResult<Vec<Evicted>> {
+        assert!(capacity > 0);
+        let mut out = Vec::new();
+        while self.frames.len() > capacity {
+            out.push(self.evict_lru()?);
+        }
+        self.capacity = capacity;
+        Ok(out)
+    }
+
+    /// Drop every frame (client cache flush in tests).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.lru = LruList::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(tag: u8) -> Page {
+        let mut p = Page::new();
+        p.insert(PageId(0), &[tag; 16]).unwrap();
+        p
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut bp = BufferPool::new(2);
+        bp.insert(PageId(1), page_with(1), false).unwrap();
+        assert!(bp.contains(PageId(1)));
+        assert_eq!(bp.get(PageId(1)).unwrap().object(PageId(0), 0).unwrap(), &[1u8; 16]);
+        assert!(bp.get(PageId(9)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut bp = BufferPool::new(2);
+        bp.insert(PageId(1), page_with(1), false).unwrap();
+        bp.insert(PageId(2), page_with(2), false).unwrap();
+        // Touch 1 so 2 becomes LRU.
+        bp.get(PageId(1));
+        let ev = bp.insert(PageId(3), page_with(3), false).unwrap().unwrap();
+        assert_eq!(ev.page_id, PageId(2));
+        assert!(bp.contains(PageId(1)) && bp.contains(PageId(3)));
+    }
+
+    #[test]
+    fn pinned_pages_skip_eviction() {
+        let mut bp = BufferPool::new(2);
+        bp.insert(PageId(1), page_with(1), false).unwrap();
+        bp.insert(PageId(2), page_with(2), false).unwrap();
+        bp.pin(PageId(1)); // 1 is LRU but pinned
+        bp.get(PageId(2)); // wait, this makes 1 LRU
+        let ev = bp.insert(PageId(3), page_with(3), false).unwrap().unwrap();
+        assert_eq!(ev.page_id, PageId(2), "pinned LRU page skipped, next victim chosen");
+        bp.unpin(PageId(1));
+        let ev = bp.insert(PageId(4), page_with(4), false).unwrap().unwrap();
+        assert_eq!(ev.page_id, PageId(1));
+    }
+
+    #[test]
+    fn all_pinned_is_an_error() {
+        let mut bp = BufferPool::new(1);
+        bp.insert(PageId(1), page_with(1), false).unwrap();
+        bp.pin(PageId(1));
+        assert!(matches!(
+            bp.insert(PageId(2), page_with(2), false),
+            Err(QsError::BufferPoolExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn dirty_flag_propagates_through_eviction() {
+        let mut bp = BufferPool::new(1);
+        bp.insert(PageId(1), page_with(1), false).unwrap();
+        bp.mark_dirty(PageId(1));
+        let ev = bp.insert(PageId(2), page_with(2), false).unwrap().unwrap();
+        assert!(ev.dirty);
+        assert_eq!(bp.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_merges_dirty_and_does_not_evict() {
+        let mut bp = BufferPool::new(1);
+        bp.insert(PageId(1), page_with(1), true).unwrap();
+        let ev = bp.insert(PageId(1), page_with(9), false).unwrap();
+        assert!(ev.is_none());
+        assert!(bp.is_dirty(PageId(1)), "dirty bit sticky across reinsert");
+        assert_eq!(bp.get(PageId(1)).unwrap().object(PageId(0), 0).unwrap(), &[9u8; 16]);
+    }
+
+    #[test]
+    fn remove_and_dirty_listing() {
+        let mut bp = BufferPool::new(4);
+        bp.insert(PageId(1), page_with(1), true).unwrap();
+        bp.insert(PageId(2), page_with(2), false).unwrap();
+        bp.insert(PageId(3), page_with(3), true).unwrap();
+        let mut d = bp.dirty_pages();
+        d.sort();
+        assert_eq!(d, vec![PageId(1), PageId(3)]);
+        let ev = bp.remove(PageId(3)).unwrap();
+        assert!(ev.dirty);
+        assert!(!bp.contains(PageId(3)));
+        assert!(bp.remove(PageId(3)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut bp = BufferPool::new(2);
+        bp.insert(PageId(1), page_with(1), false).unwrap();
+        bp.insert(PageId(2), page_with(2), false).unwrap();
+        bp.peek(PageId(1)); // 1 stays LRU
+        let ev = bp.insert(PageId(3), page_with(3), false).unwrap().unwrap();
+        assert_eq!(ev.page_id, PageId(1));
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut bp = BufferPool::new(16);
+        for i in 0..1000u32 {
+            bp.insert(PageId(i), page_with((i % 251) as u8), i % 3 == 0).unwrap();
+        }
+        assert_eq!(bp.len(), 16);
+        assert_eq!(bp.evictions(), 1000 - 16);
+        // The 16 most recent pages are resident.
+        for i in 984..1000u32 {
+            assert!(bp.contains(PageId(i)), "missing {i}");
+        }
+    }
+
+    #[test]
+    fn set_capacity_shrinks_and_grows() {
+        let mut bp = BufferPool::new(4);
+        for i in 0..4u32 {
+            bp.insert(PageId(i), page_with(i as u8), i == 1).unwrap();
+        }
+        bp.get(PageId(0)); // 0 becomes MRU
+        let evicted = bp.set_capacity(2).unwrap();
+        assert_eq!(evicted.len(), 2);
+        assert!(bp.contains(PageId(0)), "MRU survives the shrink");
+        assert_eq!(bp.capacity(), 2);
+        // Growing is free.
+        assert!(bp.set_capacity(8).unwrap().is_empty());
+        bp.insert(PageId(9), page_with(9), false).unwrap();
+        assert_eq!(bp.len(), 3);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let mut bp = BufferPool::new(4);
+        bp.insert(PageId(1), page_with(1), true).unwrap();
+        bp.clear();
+        assert!(bp.is_empty());
+        bp.insert(PageId(2), page_with(2), false).unwrap();
+        assert_eq!(bp.len(), 1);
+    }
+}

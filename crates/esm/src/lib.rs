@@ -1,0 +1,34 @@
+//! The EXODUS Storage Manager (ESM) substrate: a client-server,
+//! page-shipping storage manager (paper §3.1).
+//!
+//! * Clients and the server each manage their own buffer pool
+//!   ([`buffer::BufferPool`]).
+//! * Clients fetch pages from the server over a (metered, simulated)
+//!   network, update objects locally, generate log records, and ship log
+//!   records *before* the pages they describe (the log-before-page rule).
+//! * The server manages a circular log (via `qs-wal`), page-level locks
+//!   ([`lock::LockManager`]), a STEAL/NO-FORCE buffer pool, and restart
+//!   recovery — ARIES-style for the ESM/REDO flavors ([`aries`]),
+//!   backward-scan reconstruction for whole-page logging ([`wpl`]).
+//! * Three server flavors ([`RecoveryFlavor`]) correspond to the paper's
+//!   underlying recovery strategies: `EsmAries` (log records + dirty pages
+//!   shipped), `RedoAtServer` (log records only; server applies redo), and
+//!   `Wpl` (dirty pages only; whole-page logging at the server).
+//!
+//! Everything the server keeps in ordinary memory is volatile: a simulated
+//! crash ([`server::Server::crash`]) drops the struct and keeps only the
+//! stable media, from which [`server::Server::restart`] recovers.
+
+pub mod aries;
+pub mod buffer;
+pub mod client;
+pub mod lock;
+pub mod net;
+pub mod server;
+pub mod txn;
+pub mod wpl;
+
+pub use buffer::{BufferPool, Evicted};
+pub use client::ClientConn;
+pub use lock::{LockManager, LockMode};
+pub use server::{RecoveryFlavor, Server, ServerConfig, StableParts};

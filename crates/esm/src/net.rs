@@ -1,0 +1,68 @@
+//! Simulated network: message-size accounting for the shared Ethernet.
+//!
+//! Clients and the server communicate by direct method calls; what makes it
+//! a "network" for the performance model is that every crossing meters one
+//! message of a realistic size on the shared [`qs_sim::Meter`]. The paper's
+//! testbed was an isolated 10 Mb/s Ethernet; the byte counts below follow
+//! RPC framing of that era (small fixed headers around page-sized payloads).
+
+use qs_sim::Meter;
+use qs_types::PAGE_SIZE;
+
+/// Bytes of a small control message (page request, lock request, ack…).
+pub const CONTROL_MSG_BYTES: u64 = 64;
+/// Bytes of a message carrying one 8 KB page (payload + framing).
+pub const PAGE_MSG_BYTES: u64 = PAGE_SIZE as u64 + 64;
+
+/// Meter a control round trip (request + reply).
+pub fn control_round_trip(meter: &Meter) {
+    meter.net(CONTROL_MSG_BYTES);
+    meter.net(CONTROL_MSG_BYTES);
+}
+
+/// Meter a page fetch: control request out, page back.
+pub fn page_fetch(meter: &Meter) {
+    meter.net(CONTROL_MSG_BYTES);
+    meter.net(PAGE_MSG_BYTES);
+}
+
+/// Meter a page-sized upload (dirty page or a page of log records) + ack.
+pub fn page_upload(meter: &Meter) {
+    meter.net(PAGE_MSG_BYTES);
+    meter.net(CONTROL_MSG_BYTES);
+}
+
+/// Meter an upload of `bytes` that is smaller than a page (final partial
+/// log-record batch) + ack.
+pub fn partial_upload(meter: &Meter, bytes: u64) {
+    meter.net(bytes.min(PAGE_MSG_BYTES) + 32);
+    meter.net(CONTROL_MSG_BYTES);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_fetch_moves_a_page_plus_control() {
+        let m = Meter::new();
+        page_fetch(&m);
+        let s = m.snapshot();
+        assert_eq!(s.net_msgs, 2);
+        assert_eq!(s.net_bytes, CONTROL_MSG_BYTES + PAGE_MSG_BYTES);
+    }
+
+    #[test]
+    fn uploads_and_control() {
+        let m = Meter::new();
+        control_round_trip(&m);
+        page_upload(&m);
+        partial_upload(&m, 500);
+        let s = m.snapshot();
+        assert_eq!(s.net_msgs, 6);
+        assert_eq!(
+            s.net_bytes,
+            2 * CONTROL_MSG_BYTES + (PAGE_MSG_BYTES + CONTROL_MSG_BYTES) + (532 + CONTROL_MSG_BYTES)
+        );
+    }
+}

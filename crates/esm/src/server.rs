@@ -1,0 +1,1198 @@
+//! The ESM server: page shipping, STEAL/NO-FORCE buffering, logging,
+//! commit/abort, checkpointing, crash and restart.
+//!
+//! One [`Server`] instance plays the paper's Sun IPX: it owns the data
+//! volume, the log disk, the lock manager, the transaction table, the
+//! ARIES dirty-page table, and (under whole-page logging) the WPL table.
+//! Clients call its methods directly; every call that would cross the wire
+//! is metered by the *client* side (`qs-esm::client`), while the server
+//! meters its own CPU/disk events.
+//!
+//! A simulated crash ([`Server::crash`]) consumes the server and returns
+//! only the stable media; [`Server::restart`] rebuilds a consistent server
+//! from them, running the flavor-appropriate restart algorithm
+//! ([`crate::aries::restart`] or the WPL backward scan in [`Server::wpl_restart`]).
+
+use crate::buffer::BufferPool;
+use crate::lock::{LockManager, LockMode};
+use crate::txn::{TxnStatus, TxnTable};
+use crate::wpl::WplTable;
+use parking_lot::Mutex;
+use qs_sim::Meter;
+use qs_storage::{MemDisk, Page, StableMedia, Volume};
+use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
+use qs_wal::{CheckpointBody, LogManager, LogRecord};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which underlying recovery strategy the server runs (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryFlavor {
+    /// ESM's ARIES-style scheme: clients ship log records *and* dirty
+    /// pages; only log records are forced at commit (§3.1).
+    EsmAries,
+    /// Redo-at-server: clients ship log records only; the server applies
+    /// the redo information to its copy of each page (§3.5).
+    RedoAtServer,
+    /// Whole-page logging: clients ship dirty pages only; the server
+    /// appends them to the log and tracks them in the WPL table (§3.4).
+    Wpl,
+}
+
+impl RecoveryFlavor {
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryFlavor::EsmAries => "ESM",
+            RecoveryFlavor::RedoAtServer => "REDO",
+            RecoveryFlavor::Wpl => "WPL",
+        }
+    }
+}
+
+/// Server sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    pub flavor: RecoveryFlavor,
+    /// Server buffer pool, in pages. Paper: 36 MB of the IPX's 48 MB.
+    pub pool_pages: usize,
+    /// Data volume capacity, in pages.
+    pub volume_pages: usize,
+    /// Circular log body capacity, in bytes.
+    pub log_bytes: usize,
+    /// Start maintenance (checkpoint / WPL reclaim) when the log is fuller
+    /// than this fraction.
+    pub log_high_watermark: f64,
+    /// Maintenance drives log usage back below this fraction.
+    pub log_low_watermark: f64,
+}
+
+impl ServerConfig {
+    pub fn new(flavor: RecoveryFlavor) -> ServerConfig {
+        ServerConfig {
+            flavor,
+            pool_pages: 36 * 1024 * 1024 / PAGE_SIZE,
+            volume_pages: 24 * 1024, // 192 MB
+            log_bytes: 192 * 1024 * 1024,
+            log_high_watermark: 0.60,
+            log_low_watermark: 0.30,
+        }
+    }
+
+    pub fn with_pool_mb(mut self, mb: f64) -> ServerConfig {
+        self.pool_pages = qs_types::mb_to_pages(mb).max(1);
+        self
+    }
+
+    pub fn with_volume_pages(mut self, pages: usize) -> ServerConfig {
+        self.volume_pages = pages;
+        self
+    }
+
+    pub fn with_log_mb(mut self, mb: f64) -> ServerConfig {
+        self.log_bytes = (mb * 1024.0 * 1024.0) as usize;
+        self
+    }
+}
+
+/// The crash-surviving pieces: what a reboot finds on the machine.
+pub struct StableParts {
+    pub data_media: Arc<dyn StableMedia>,
+    pub log_media: Arc<dyn StableMedia>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) volume: Volume,
+    pub(crate) log: LogManager,
+    pub(crate) pool: BufferPool,
+    pub(crate) txns: TxnTable,
+    /// ARIES dirty-page table: page → recovery LSN.
+    pub(crate) dpt: HashMap<PageId, Lsn>,
+    pub(crate) wpl: WplTable,
+}
+
+/// The ESM server.
+pub struct Server {
+    cfg: ServerConfig,
+    inner: Mutex<Inner>,
+    locks: LockManager,
+    meter: Arc<Meter>,
+    data_media: Arc<dyn StableMedia>,
+    log_media: Arc<dyn StableMedia>,
+    /// Checkpoints taken (stat for tests/harness).
+    checkpoints: AtomicU64,
+    /// WPL images reclaimed (flushed or superseded).
+    reclaimed: AtomicU64,
+}
+
+impl Server {
+    /// Create a fresh server on fresh in-memory media.
+    pub fn format(cfg: ServerConfig, meter: Arc<Meter>) -> QsResult<Server> {
+        let data_media: Arc<dyn StableMedia> =
+            Arc::new(MemDisk::new(Volume::required_bytes(cfg.volume_pages)));
+        let log_media: Arc<dyn StableMedia> =
+            Arc::new(MemDisk::new(LogManager::required_bytes(cfg.log_bytes)));
+        Self::format_on(StableParts { data_media, log_media }, cfg, meter)
+    }
+
+    /// Create a fresh server on the given media (formats them).
+    pub fn format_on(parts: StableParts, cfg: ServerConfig, meter: Arc<Meter>) -> QsResult<Server> {
+        let volume = Volume::format(Arc::clone(&parts.data_media), cfg.volume_pages)?;
+        let log = LogManager::format(Arc::clone(&parts.log_media), cfg.log_bytes)?;
+        Ok(Server {
+            inner: Mutex::new(Inner {
+                volume,
+                log,
+                pool: BufferPool::new(cfg.pool_pages),
+                txns: TxnTable::new(),
+                dpt: HashMap::new(),
+                wpl: WplTable::new(),
+            }),
+            locks: LockManager::new(),
+            meter,
+            data_media: parts.data_media,
+            log_media: parts.log_media,
+            checkpoints: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            cfg,
+        })
+    }
+
+    /// Simulate a crash: all volatile state is lost; only media survive.
+    pub fn crash(self) -> StableParts {
+        StableParts { data_media: self.data_media, log_media: self.log_media }
+    }
+
+    /// Clone handles to the stable media (e.g. to image the disks in tests).
+    pub fn stable_parts(&self) -> StableParts {
+        StableParts {
+            data_media: Arc::clone(&self.data_media),
+            log_media: Arc::clone(&self.log_media),
+        }
+    }
+
+    /// Rebuild a server from crashed media, running restart recovery.
+    pub fn restart(parts: StableParts, cfg: ServerConfig, meter: Arc<Meter>) -> QsResult<Server> {
+        let volume = Volume::open(Arc::clone(&parts.data_media))?;
+        let log = LogManager::open(Arc::clone(&parts.log_media))?;
+        let server = Server {
+            inner: Mutex::new(Inner {
+                volume,
+                log,
+                pool: BufferPool::new(cfg.pool_pages),
+                txns: TxnTable::new(),
+                dpt: HashMap::new(),
+                wpl: WplTable::new(),
+            }),
+            locks: LockManager::new(),
+            meter,
+            data_media: parts.data_media,
+            log_media: parts.log_media,
+            checkpoints: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            cfg,
+        };
+        match server.cfg.flavor {
+            RecoveryFlavor::Wpl => server.wpl_restart()?,
+            _ => crate::aries::restart(&server)?,
+        }
+        Ok(server)
+    }
+
+    pub fn flavor(&self) -> RecoveryFlavor {
+        self.cfg.flavor
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    pub fn meter(&self) -> &Arc<Meter> {
+        &self.meter
+    }
+
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    pub fn wpl_images_reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    // ---------------------------------------------------------------------
+    // Bulk load (logging bypassed — database generation utility)
+    // ---------------------------------------------------------------------
+
+    /// Allocate `n` fresh pages without logging (bulk loader only).
+    pub fn bulk_allocate(&self, n: usize) -> QsResult<Vec<PageId>> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(inner.volume.allocate()?);
+        }
+        Ok(out)
+    }
+
+    /// Write a page directly to the volume without logging (bulk loader).
+    pub fn bulk_write(&self, pid: PageId, page: &Page) -> QsResult<()> {
+        self.inner.lock().volume.write_page(pid, page)
+    }
+
+    /// Make the bulk load durable.
+    pub fn bulk_sync(&self) -> QsResult<()> {
+        self.inner.lock().volume.sync_header()
+    }
+
+    /// Pages currently allocated on the volume.
+    pub fn allocated_pages(&self) -> usize {
+        self.inner.lock().volume.allocated()
+    }
+
+    // ---------------------------------------------------------------------
+    // Transactions
+    // ---------------------------------------------------------------------
+
+    pub fn begin(&self) -> TxnId {
+        self.inner.lock().txns.begin()
+    }
+
+    /// Acquire a page lock on behalf of `txn` (the paper's "obtains an
+    /// exclusive lock on the page from ESM"). Blocking; deadlocks abort the
+    /// requester with `LockConflict`.
+    pub fn lock_page(&self, txn: TxnId, pid: PageId, mode: LockMode) -> QsResult<()> {
+        self.locks.lock(txn, pid, mode)?;
+        self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Allocate a page inside a transaction (logged, recoverable).
+    pub fn allocate_page(&self, txn: TxnId) -> QsResult<PageId> {
+        let mut inner = self.inner.lock();
+        let pid = inner.volume.allocate()?;
+        let prev = inner.txns.active_mut(txn)?.last_lsn;
+        let lsn = inner.log.append(&LogRecord::PageAlloc { txn, prev, page: pid })?;
+        inner.txns.active_mut(txn)?.note_logged(lsn);
+        drop(inner);
+        self.locks.lock(txn, pid, LockMode::X)?;
+        self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
+        Ok(pid)
+    }
+
+    /// Serve a page to a client. The caller must already hold a lock
+    /// (QuickStore acquires S on read-fault, X on write-fault).
+    pub fn fetch_page(&self, txn: TxnId, pid: PageId) -> QsResult<Page> {
+        let mut inner = self.inner.lock();
+        inner.txns.active_mut(txn)?; // validate
+        self.read_page_locked(&mut inner, Some(txn), pid)
+    }
+
+    /// Shared read path: pool → (WPL table → log) → volume.
+    fn read_page_locked(
+        &self,
+        inner: &mut Inner,
+        reader: Option<TxnId>,
+        pid: PageId,
+    ) -> QsResult<Page> {
+        if let Some(p) = inner.pool.get(pid) {
+            return Ok(p.clone());
+        }
+        self.meter.server_pool_misses.fetch_add(1, Ordering::Relaxed);
+        let page = if self.cfg.flavor == RecoveryFlavor::Wpl {
+            match inner.wpl.newest(pid) {
+                // The newest logged image is authoritative. Page locking
+                // guarantees an uncommitted image is only ever re-read by
+                // its own transaction (X lock held), which the paper relies
+                // on too ("read from the log if it is reaccessed during the
+                // same transaction").
+                Some(v) if v.committed || reader == Some(v.txn) => {
+                    let lsn = v.lsn;
+                    self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                    Self::page_image_from_log(&inner.log, lsn, pid)?
+                }
+                Some(v) => {
+                    return Err(QsError::Protocol {
+                        detail: format!(
+                            "page {pid} has uncommitted logged image of {} but is read by {reader:?}",
+                            v.txn
+                        ),
+                    });
+                }
+                None => {
+                    self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
+                    inner.volume.read_page(pid)?
+                }
+            }
+        } else {
+            self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
+            inner.volume.read_page(pid)?
+        };
+        let evicted = inner.pool.insert(pid, page.clone(), false)?;
+        if let Some(ev) = evicted {
+            self.handle_server_eviction(inner, ev)?;
+        }
+        Ok(page)
+    }
+
+    fn page_image_from_log(log: &LogManager, lsn: Lsn, pid: PageId) -> QsResult<Page> {
+        match log.read_record(lsn)?.0 {
+            LogRecord::WholePage { page, image, .. } if page == pid => Page::from_bytes(&image),
+            other => Err(QsError::RecoveryFailed {
+                detail: format!("expected WholePage for {pid} at {lsn}, found {other:?}"),
+            }),
+        }
+    }
+
+    /// STEAL handling: a dirty page leaves the server pool.
+    fn handle_server_eviction(&self, inner: &mut Inner, ev: crate::buffer::Evicted) -> QsResult<()> {
+        if !ev.dirty {
+            return Ok(());
+        }
+        match self.cfg.flavor {
+            RecoveryFlavor::Wpl => {
+                // The image is already in the log (it was appended on
+                // receipt); the permanent location must NOT be overwritten
+                // before commit. Drop the copy — re-reads go to the log.
+                Ok(())
+            }
+            _ => {
+                // WAL: force the log up to the page's LSN, then steal.
+                let stats = inner.log.force(ev.page.lsn())?;
+                self.meter_force(stats);
+                inner.volume.write_page(ev.page_id, &ev.page)?;
+                self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                inner.dpt.remove(&ev.page_id);
+                Ok(())
+            }
+        }
+    }
+
+    fn meter_force(&self, stats: qs_wal::log::ForceStats) {
+        if stats.wrote {
+            self.meter.log_pages_written.fetch_add(stats.pages_written, Ordering::Relaxed);
+            self.meter.log_forces.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Receive a batch of client-generated log records (ESM and REDO
+    /// flavors). Under REDO the redo information is applied to the server's
+    /// copy of each page immediately (§3.5), reading the page from disk if
+    /// necessary — the scheme's Achilles heel.
+    pub fn receive_log_records(&self, txn: TxnId, records: Vec<LogRecord>) -> QsResult<()> {
+        if self.cfg.flavor == RecoveryFlavor::Wpl {
+            return Err(QsError::Protocol {
+                detail: "WPL clients do not generate log records".into(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        inner.txns.active_mut(txn)?;
+        for rec in records {
+            if rec.txn() != txn {
+                return Err(QsError::Protocol {
+                    detail: format!("record for {} shipped by {txn}", rec.txn()),
+                });
+            }
+            // Client-side `prev` is unknown to the client; rebuild the
+            // backward chain here where the authoritative last_lsn lives.
+            let rec = Self::rechain(rec, inner.txns.get(txn)?.last_lsn);
+            let lsn = inner.log.append(&rec)?;
+            inner.txns.active_mut(txn)?.note_logged(lsn);
+            if let Some(pid) = rec.page() {
+                inner.dpt.entry(pid).or_insert(lsn);
+                inner.txns.active_mut(txn)?.pages_logged.insert(pid);
+                if self.cfg.flavor == RecoveryFlavor::RedoAtServer {
+                    self.apply_redo(&mut inner, Some(txn), &rec, lsn)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rechain(rec: LogRecord, prev: Lsn) -> LogRecord {
+        match rec {
+            LogRecord::Update { txn, page, slot, offset, before, after, .. } => {
+                LogRecord::Update { txn, prev, page, slot, offset, before, after }
+            }
+            LogRecord::WholePage { txn, page, image, .. } => {
+                LogRecord::WholePage { txn, prev, page, image }
+            }
+            LogRecord::PageAlloc { txn, page, .. } => LogRecord::PageAlloc { txn, prev, page },
+            other => other,
+        }
+    }
+
+    /// Apply one redo record to the server's copy of the page.
+    fn apply_redo(
+        &self,
+        inner: &mut Inner,
+        reader: Option<TxnId>,
+        rec: &LogRecord,
+        lsn: Lsn,
+    ) -> QsResult<()> {
+        let pid = rec.page().expect("redo record without page");
+        // Ensure the page is resident (disk read on miss — metered).
+        if !inner.pool.contains(pid) {
+            let page = self.read_page_locked(inner, reader, pid)?;
+            // read_page_locked installed it; `page` clone is dropped.
+            drop(page);
+        }
+        let page = inner.pool.get_mut(pid).expect("page resident after read");
+        match rec {
+            LogRecord::Update { slot, offset, after, .. } => {
+                let obj = page.object_mut(pid, *slot)?;
+                let off = *offset as usize;
+                if off + after.len() > obj.len() {
+                    return Err(QsError::RecoveryFailed {
+                        detail: format!("redo range past object end on {pid}"),
+                    });
+                }
+                obj[off..off + after.len()].copy_from_slice(after);
+            }
+            LogRecord::WholePage { image, .. } => {
+                *page = Page::from_bytes(image)?;
+            }
+            _ => {}
+        }
+        page.set_lsn(lsn);
+        inner.pool.mark_dirty(pid);
+        inner.dpt.entry(pid).or_insert(lsn);
+        self.meter.redo_applies.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Client declares that all log records it will generate for `pid` in
+    /// this transaction have been shipped (possibly zero). Enforcement hook
+    /// for the log-before-page rule.
+    pub fn note_page_logged(&self, txn: TxnId, pid: PageId) -> QsResult<()> {
+        let mut inner = self.inner.lock();
+        inner.txns.active_mut(txn)?.pages_logged.insert(pid);
+        Ok(())
+    }
+
+    /// Receive a dirty page from a client.
+    pub fn receive_dirty_page(&self, txn: TxnId, pid: PageId, page: Page) -> QsResult<()> {
+        let mut inner = self.inner.lock();
+        inner.txns.active_mut(txn)?;
+        match self.cfg.flavor {
+            RecoveryFlavor::RedoAtServer => Err(QsError::Protocol {
+                detail: "REDO clients do not ship dirty pages".into(),
+            }),
+            RecoveryFlavor::EsmAries => {
+                // Log-before-page rule (§3.1): the server must never cache a
+                // page for which it lacks the update log records.
+                if !inner.txns.get(txn)?.pages_logged.contains(&pid) {
+                    return Err(QsError::LogBeforePageViolation(pid));
+                }
+                let mut page = page;
+                page.set_lsn(inner.txns.get(txn)?.last_lsn);
+                let rec_lsn = inner.log.tail_lsn();
+                let evicted = inner.pool.insert(pid, page, true)?;
+                inner.dpt.entry(pid).or_insert(rec_lsn);
+                if let Some(ev) = evicted {
+                    self.handle_server_eviction(&mut inner, ev)?;
+                }
+                Ok(())
+            }
+            RecoveryFlavor::Wpl => {
+                // Append the whole page to the log; track it in the WPL
+                // table; cache it. Its permanent location stays untouched
+                // until after commit (§3.4.2).
+                let prev = inner.txns.get(txn)?.last_lsn;
+                let mut page = page;
+                let rec = LogRecord::WholePage {
+                    txn,
+                    prev,
+                    page: pid,
+                    image: page.bytes().to_vec(),
+                };
+                let lsn = inner.log.append(&rec)?;
+                page.set_lsn(lsn);
+                let t = inner.txns.active_mut(txn)?;
+                t.note_logged(lsn);
+                t.logged_pages.push(pid);
+                inner.wpl.log_page(pid, lsn, txn);
+                let evicted = inner.pool.insert(pid, page, true)?;
+                if let Some(ev) = evicted {
+                    self.handle_server_eviction(&mut inner, ev)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Commit: force the log (records + commit record; under WPL this
+    /// forces the page images too), flip WPL entries to committed, release
+    /// locks. NO-FORCE: data pages are *not* written to the volume here.
+    pub fn commit(&self, txn: TxnId) -> QsResult<()> {
+        let mut inner = self.inner.lock();
+        let prev = inner.txns.active_mut(txn)?.last_lsn;
+        let lsn = inner.log.append(&LogRecord::Commit { txn, prev })?;
+        let stats = inner.log.force(lsn)?;
+        self.meter_force(stats);
+        if self.cfg.flavor == RecoveryFlavor::Wpl {
+            let logged = std::mem::take(&mut inner.txns.active_mut(txn)?.logged_pages);
+            inner.wpl.on_commit(txn, &logged);
+        }
+        inner.txns.get_mut(txn)?.status = TxnStatus::Committed;
+        inner.txns.remove(txn);
+        drop(inner);
+        self.locks.release_all(txn);
+        self.meter.commits.fetch_add(1, Ordering::Relaxed);
+        self.maybe_maintain()?;
+        Ok(())
+    }
+
+    /// Abort: ARIES-style undo with CLRs (ESM/REDO flavors); under WPL
+    /// simply forget the transaction's logged images and drop its cached
+    /// pages (§3.4.2: "abort … by simply ignoring, from then on, any of its
+    /// updated values").
+    pub fn abort(&self, txn: TxnId) -> QsResult<()> {
+        let mut inner = self.inner.lock();
+        inner.txns.active_mut(txn)?;
+        match self.cfg.flavor {
+            RecoveryFlavor::Wpl => {
+                inner.wpl.on_abort(txn);
+                let logged = inner.txns.get(txn)?.logged_pages.clone();
+                for pid in logged {
+                    inner.pool.remove(pid);
+                }
+            }
+            _ => {
+                let last = inner.txns.get(txn)?.last_lsn;
+                self.undo_chain(&mut inner, txn, last)?;
+                let prev = inner.txns.get(txn)?.last_lsn;
+                inner.log.append(&LogRecord::Abort { txn, prev })?;
+            }
+        }
+        inner.txns.get_mut(txn)?.status = TxnStatus::Aborted;
+        inner.txns.remove(txn);
+        drop(inner);
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// Walk a transaction's backward chain applying before-images, writing
+    /// CLRs. Used by abort and by restart undo.
+    pub(crate) fn undo_chain(&self, inner: &mut Inner, txn: TxnId, from: Lsn) -> QsResult<()> {
+        let mut at = from;
+        while !at.is_null() {
+            let (rec, _) = inner.log.read_record(at)?;
+            match rec {
+                LogRecord::Update { page: pid, slot, offset, before, prev, .. } => {
+                    if !inner.pool.contains(pid) {
+                        let p = self.read_page_locked(inner, Some(txn), pid)?;
+                        drop(p);
+                    }
+                    let clr_lsn_guess = inner.log.tail_lsn();
+                    let page = inner.pool.get_mut(pid).expect("resident");
+                    let obj = page.object_mut(pid, slot)?;
+                    let off = offset as usize;
+                    obj[off..off + before.len()].copy_from_slice(&before);
+                    page.set_lsn(clr_lsn_guess);
+                    inner.pool.mark_dirty(pid);
+                    let t_prev = inner.txns.get(txn)?.last_lsn;
+                    let clr = LogRecord::Clr {
+                        txn,
+                        prev: t_prev,
+                        page: pid,
+                        slot,
+                        offset,
+                        after: before.clone(),
+                        undo_next: prev,
+                    };
+                    let lsn = inner.log.append(&clr)?;
+                    inner.txns.active_mut(txn)?.note_logged(lsn);
+                    inner.dpt.entry(pid).or_insert(lsn);
+                    at = prev;
+                }
+                LogRecord::Clr { undo_next, .. } => at = undo_next,
+                LogRecord::WholePage { prev, .. }
+                | LogRecord::PageAlloc { prev, .. }
+                | LogRecord::Commit { prev, .. }
+                | LogRecord::Abort { prev, .. } => at = prev,
+                LogRecord::Checkpoint { .. } => break,
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Checkpointing, maintenance, reclamation
+    // ---------------------------------------------------------------------
+
+    /// Run maintenance if the log is past its high watermark.
+    pub fn maybe_maintain(&self) -> QsResult<()> {
+        let (used, cap) = {
+            let inner = self.inner.lock();
+            (inner.log.used_bytes(), inner.log.body_capacity())
+        };
+        if (used as f64) < self.cfg.log_high_watermark * cap as f64 {
+            return Ok(());
+        }
+        match self.cfg.flavor {
+            RecoveryFlavor::Wpl => self.wpl_reclaim(),
+            _ => self.checkpoint(),
+        }
+    }
+
+    /// Take a checkpoint. For the ARIES flavors this flushes all dirty
+    /// pages first (a sharp checkpoint) so the log can truncate to the
+    /// checkpoint; under WPL it snapshots the WPL table (§3.4.3).
+    pub fn checkpoint(&self) -> QsResult<()> {
+        let mut inner = self.inner.lock();
+        if self.cfg.flavor != RecoveryFlavor::Wpl {
+            // Flush every dirty page, obeying WAL.
+            let dirty = inner.pool.dirty_pages();
+            if !dirty.is_empty() {
+                let max_lsn =
+                    dirty.iter().filter_map(|p| inner.pool.peek(*p)).map(|p| p.lsn()).max();
+                if let Some(l) = max_lsn {
+                    let stats = inner.log.force(l)?;
+                    self.meter_force(stats);
+                }
+                for pid in dirty {
+                    let page = inner.pool.peek(pid).expect("dirty page resident").clone();
+                    inner.volume.write_page(pid, &page)?;
+                    self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                    inner.pool.clear_dirty(pid);
+                }
+            }
+            inner.dpt.clear();
+        }
+        let body = CheckpointBody {
+            active_txns: inner.txns.active().map(|t| (t.id, t.last_lsn)).collect(),
+            dirty_pages: inner.dpt.iter().map(|(&p, &l)| (p, l)).collect(),
+            wpl_entries: if self.cfg.flavor == RecoveryFlavor::Wpl {
+                inner.wpl.checkpoint_entries()
+            } else {
+                Vec::new()
+            },
+            allocated_pages: inner.volume.allocated() as u64,
+        };
+        let ck_lsn = inner.log.append(&LogRecord::Checkpoint { body })?;
+        let stats = inner.log.force(inner.log.tail_lsn())?;
+        self.meter_force(stats);
+        inner.log.set_checkpoint(ck_lsn)?;
+        inner.volume.sync_header()?;
+        // Truncate to the earliest record still needed.
+        let mut keep = ck_lsn;
+        if let Some(l) = inner.txns.min_active_first_lsn() {
+            keep = keep.min(l);
+        }
+        if self.cfg.flavor == RecoveryFlavor::Wpl {
+            if let Some(l) = inner.wpl.min_needed_lsn() {
+                keep = keep.min(l);
+            }
+        } else if let Some(&l) = inner.dpt.values().min() {
+            keep = keep.min(l);
+        }
+        inner.log.truncate_to(keep)?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// WPL log-space reclamation (the paper's background thread, §3.4.2,
+    /// run here synchronously until the low watermark is reached). Images
+    /// superseded by newer committed images are dropped without I/O; live
+    /// images are read back (from the pool when still cached — the paper's
+    /// optimization — else from the log) and written to their permanent
+    /// locations.
+    pub fn wpl_reclaim(&self) -> QsResult<()> {
+        let mut inner = self.inner.lock();
+        let low = (self.cfg.log_low_watermark * inner.log.body_capacity() as f64) as usize;
+        loop {
+            if inner.log.used_bytes() <= low {
+                break;
+            }
+            let Some((pid, lsn, superseded)) = inner.wpl.reclaim_candidate() else {
+                break;
+            };
+            if !superseded {
+                // Find the committed image and flush it home.
+                let cached_ok = inner
+                    .wpl
+                    .newest(pid)
+                    .map(|v| v.lsn == lsn && inner.pool.contains(pid))
+                    .unwrap_or(false);
+                let page = if cached_ok {
+                    inner.pool.peek(pid).expect("cached").clone()
+                } else {
+                    self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                    Self::page_image_from_log(&inner.log, lsn, pid)?
+                };
+                inner.volume.write_page(pid, &page)?;
+                self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                if cached_ok {
+                    inner.pool.clear_dirty(pid);
+                }
+            }
+            inner.wpl.remove_version(pid, lsn);
+            self.reclaimed.fetch_add(1, Ordering::Relaxed);
+
+            // Advance the log start as far as the table and active
+            // transactions allow; if we cannot advance past an uncommitted
+            // image, stop (the paper's thread would wait for the commit).
+            let mut keep = inner.log.durable_lsn();
+            if let Some(l) = inner.wpl.min_needed_lsn() {
+                keep = keep.min(l);
+            }
+            if let Some(l) = inner.txns.min_active_first_lsn() {
+                keep = keep.min(l);
+            }
+            let ck = inner.log.checkpoint_lsn();
+            if !ck.is_null() {
+                keep = keep.min(ck);
+            }
+            inner.log.truncate_to(keep)?;
+            if inner.log.used_bytes() > low && inner.wpl.oldest_is_uncommitted() {
+                break;
+            }
+        }
+        drop(inner);
+        // Refresh the checkpoint so restart's backward scan stays short and
+        // the old checkpoint stops pinning the log tail.
+        self.checkpoint()
+    }
+
+    /// Flush everything dirty and checkpoint (test/benchmark quiesce hook).
+    pub fn quiesce(&self) -> QsResult<()> {
+        if self.cfg.flavor == RecoveryFlavor::Wpl {
+            // Drain the WPL table completely.
+            loop {
+                let done = {
+                    let inner = self.inner.lock();
+                    inner.wpl.reclaim_candidate().is_none()
+                };
+                if done {
+                    break;
+                }
+                let mut inner = self.inner.lock();
+                let (pid, lsn, superseded) = inner.wpl.reclaim_candidate().expect("checked");
+                if !superseded {
+                    let cached_ok = inner
+                        .wpl
+                        .newest(pid)
+                        .map(|v| v.lsn == lsn && inner.pool.contains(pid))
+                        .unwrap_or(false);
+                    let page = if cached_ok {
+                        inner.pool.peek(pid).expect("cached").clone()
+                    } else {
+                        self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                        Self::page_image_from_log(&inner.log, lsn, pid)?
+                    };
+                    inner.volume.write_page(pid, &page)?;
+                    self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                    if cached_ok {
+                        inner.pool.clear_dirty(pid);
+                    }
+                }
+                inner.wpl.remove_version(pid, lsn);
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.checkpoint()
+    }
+
+    // ---------------------------------------------------------------------
+    // Introspection for tests and the restart modules
+    // ---------------------------------------------------------------------
+
+    /// Read a page the way a post-restart client would (pool → WPL table →
+    /// volume), without transaction context. Test helper.
+    pub fn read_page_for_test(&self, pid: PageId) -> QsResult<Page> {
+        let mut inner = self.inner.lock();
+        self.read_page_locked(&mut inner, None, pid)
+    }
+
+    /// Number of active transactions.
+    pub fn active_txns(&self) -> usize {
+        self.inner.lock().txns.active().count()
+    }
+
+    /// WPL table size (pages tracked).
+    pub fn wpl_table_len(&self) -> usize {
+        self.inner.lock().wpl.len()
+    }
+
+    /// Current log occupancy in bytes.
+    pub fn log_used_bytes(&self) -> usize {
+        self.inner.lock().log.used_bytes()
+    }
+
+    // ---------------------------------------------------------------------
+    // WPL restart (§3.4.3)
+    // ---------------------------------------------------------------------
+
+    /// Reconstruct the WPL table after a crash: one backward pass from the
+    /// end of the (durable) log to the most recent checkpoint, building the
+    /// committed-transactions list (CTL) and inserting WPL entries for
+    /// pages whose writers committed; then merge the checkpoint's entries.
+    fn wpl_restart(&self) -> QsResult<()> {
+        let mut inner = self.inner.lock();
+        let end = inner.log.durable_lsn();
+        let ck = inner.log.checkpoint_lsn();
+        let stop = if ck.is_null() { inner.log.start_lsn() } else { ck };
+
+        let mut ctl: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
+        let mut claimed: std::collections::HashSet<PageId> = std::collections::HashSet::new();
+        let mut max_txn = TxnId::INVALID;
+        let mut max_page: Option<u32> = None;
+        let mut checkpoint_body: Option<CheckpointBody> = None;
+
+        let mut at = end;
+        while at > stop {
+            let (rec, start) = inner.log.read_record_ending_at(at)?;
+            self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+            match &rec {
+                LogRecord::Commit { txn, .. } => {
+                    ctl.insert(*txn);
+                }
+                LogRecord::WholePage { txn, page, .. } => {
+                    if ctl.contains(txn) && claimed.insert(*page) {
+                        // Newest committed image for this page (backward
+                        // scan sees newest first).
+                        inner.wpl.insert_restored(*page, start, *txn);
+                    }
+                    max_page = Some(max_page.unwrap_or(0).max(page.0 + 1));
+                }
+                LogRecord::Checkpoint { body } => {
+                    checkpoint_body = Some(body.clone());
+                }
+                _ => {}
+            }
+            let t = rec.txn();
+            if t != TxnId::INVALID && (max_txn == TxnId::INVALID || t.0 > max_txn.0) {
+                max_txn = t;
+            }
+            at = start;
+        }
+        // The checkpoint record sits exactly at `stop` when one exists.
+        if !ck.is_null() && checkpoint_body.is_none() {
+            if let LogRecord::Checkpoint { body } = inner.log.read_record(ck)?.0 {
+                self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                checkpoint_body = Some(body);
+            }
+        }
+        if let Some(body) = checkpoint_body {
+            for e in &body.wpl_entries {
+                if (e.committed || ctl.contains(&e.txn)) && claimed.insert(e.page) {
+                    inner.wpl.insert_restored(e.page, e.lsn, e.txn);
+                }
+                max_page = Some(max_page.unwrap_or(0).max(e.page.0 + 1));
+            }
+            inner.volume.ensure_allocated(body.allocated_pages as usize)?;
+        }
+        if let Some(mp) = max_page {
+            inner.volume.ensure_allocated(mp as usize)?;
+        }
+        inner.txns = TxnTable::resuming_after(max_txn);
+        drop(inner);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(flavor: RecoveryFlavor) -> ServerConfig {
+        ServerConfig {
+            flavor,
+            pool_pages: 64,
+            volume_pages: 256,
+            log_bytes: 4 * 1024 * 1024,
+            log_high_watermark: 0.6,
+            log_low_watermark: 0.3,
+        }
+    }
+
+    fn loaded_server(flavor: RecoveryFlavor) -> (Server, Vec<PageId>) {
+        let server = Server::format(small_cfg(flavor), Meter::new()).unwrap();
+        let pids = server.bulk_allocate(8).unwrap();
+        for &pid in &pids {
+            let mut p = Page::new();
+            p.insert(pid, &[0u8; 64]).unwrap();
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        (server, pids)
+    }
+
+    fn updated_page(server: &Server, txn: TxnId, pid: PageId, val: u8) -> Page {
+        let mut page = server.fetch_page(txn, pid).unwrap();
+        let obj = page.object_mut(pid, 0).unwrap();
+        obj.fill(val);
+        page
+    }
+
+    /// Run one committed update through the ESM flavor and crash.
+    fn esm_commit_crash(flavor: RecoveryFlavor) -> (StableParts, ServerConfig, PageId) {
+        let (server, pids) = loaded_server(flavor);
+        let pid = pids[0];
+        let txn = server.begin();
+        server.lock_page(txn, pid, LockMode::X).unwrap();
+        let page = updated_page(&server, txn, pid, 7);
+        match flavor {
+            RecoveryFlavor::Wpl => {
+                server.receive_dirty_page(txn, pid, page).unwrap();
+            }
+            _ => {
+                let rec = LogRecord::Update {
+                    txn,
+                    prev: Lsn::NULL,
+                    page: pid,
+                    slot: 0,
+                    offset: 0,
+                    before: vec![0u8; 64],
+                    after: vec![7u8; 64],
+                };
+                server.receive_log_records(txn, vec![rec]).unwrap();
+                if flavor == RecoveryFlavor::EsmAries {
+                    server.receive_dirty_page(txn, pid, page).unwrap();
+                }
+            }
+        }
+        server.commit(txn).unwrap();
+        let cfg = server.config().clone();
+        (server.crash(), cfg, pid)
+    }
+
+    #[test]
+    fn committed_update_survives_crash_esm() {
+        let (parts, cfg, pid) = esm_commit_crash(RecoveryFlavor::EsmAries);
+        let server = Server::restart(parts, cfg, Meter::new()).unwrap();
+        let page = server.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), &[7u8; 64][..]);
+    }
+
+    #[test]
+    fn committed_update_survives_crash_redo() {
+        let (parts, cfg, pid) = esm_commit_crash(RecoveryFlavor::RedoAtServer);
+        let server = Server::restart(parts, cfg, Meter::new()).unwrap();
+        let page = server.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), &[7u8; 64][..]);
+    }
+
+    #[test]
+    fn committed_update_survives_crash_wpl() {
+        let (parts, cfg, pid) = esm_commit_crash(RecoveryFlavor::Wpl);
+        let server = Server::restart(parts, cfg, Meter::new()).unwrap();
+        assert_eq!(server.wpl_table_len(), 1, "WPL table reconstructed");
+        let page = server.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), &[7u8; 64][..]);
+        // And after draining the table the permanent location is correct.
+        server.quiesce().unwrap();
+        assert_eq!(server.wpl_table_len(), 0);
+        let page = server.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), &[7u8; 64][..]);
+    }
+
+    #[test]
+    fn uncommitted_update_rolled_back_on_restart() {
+        for flavor in [RecoveryFlavor::EsmAries, RecoveryFlavor::RedoAtServer, RecoveryFlavor::Wpl]
+        {
+            let (server, pids) = loaded_server(flavor);
+            let pid = pids[0];
+            let txn = server.begin();
+            server.lock_page(txn, pid, LockMode::X).unwrap();
+            let page = updated_page(&server, txn, pid, 9);
+            match flavor {
+                RecoveryFlavor::Wpl => server.receive_dirty_page(txn, pid, page).unwrap(),
+                _ => {
+                    let rec = LogRecord::Update {
+                        txn,
+                        prev: Lsn::NULL,
+                        page: pid,
+                        slot: 0,
+                        offset: 0,
+                        before: vec![0u8; 64],
+                        after: vec![9u8; 64],
+                    };
+                    server.receive_log_records(txn, vec![rec]).unwrap();
+                    if flavor == RecoveryFlavor::EsmAries {
+                        server.receive_dirty_page(txn, pid, page).unwrap();
+                    }
+                }
+            }
+            // Crash before commit.
+            let cfg = server.config().clone();
+            let server2 = Server::restart(server.crash(), cfg, Meter::new()).unwrap();
+            let page = server2.read_page_for_test(pid).unwrap();
+            assert_eq!(
+                page.object(pid, 0).unwrap(),
+                &[0u8; 64][..],
+                "{flavor:?}: uncommitted update must not survive"
+            );
+            assert_eq!(server2.active_txns(), 0);
+        }
+    }
+
+    #[test]
+    fn explicit_abort_restores_old_value() {
+        for flavor in [RecoveryFlavor::EsmAries, RecoveryFlavor::RedoAtServer, RecoveryFlavor::Wpl]
+        {
+            let (server, pids) = loaded_server(flavor);
+            let pid = pids[0];
+            let txn = server.begin();
+            server.lock_page(txn, pid, LockMode::X).unwrap();
+            let page = updated_page(&server, txn, pid, 5);
+            match flavor {
+                RecoveryFlavor::Wpl => server.receive_dirty_page(txn, pid, page).unwrap(),
+                _ => {
+                    let rec = LogRecord::Update {
+                        txn,
+                        prev: Lsn::NULL,
+                        page: pid,
+                        slot: 0,
+                        offset: 0,
+                        before: vec![0u8; 64],
+                        after: vec![5u8; 64],
+                    };
+                    server.receive_log_records(txn, vec![rec]).unwrap();
+                    if flavor == RecoveryFlavor::EsmAries {
+                        server.receive_dirty_page(txn, pid, page).unwrap();
+                    }
+                }
+            }
+            server.abort(txn).unwrap();
+            let page = server.read_page_for_test(pid).unwrap();
+            assert_eq!(page.object(pid, 0).unwrap(), &[0u8; 64][..], "{flavor:?}");
+        }
+    }
+
+    #[test]
+    fn log_before_page_rule_enforced() {
+        let (server, pids) = loaded_server(RecoveryFlavor::EsmAries);
+        let pid = pids[0];
+        let txn = server.begin();
+        server.lock_page(txn, pid, LockMode::X).unwrap();
+        let page = updated_page(&server, txn, pid, 3);
+        assert!(matches!(
+            server.receive_dirty_page(txn, pid, page),
+            Err(QsError::LogBeforePageViolation(_))
+        ));
+    }
+
+    #[test]
+    fn redo_flavor_rejects_dirty_pages_and_wpl_rejects_records() {
+        let (server, pids) = loaded_server(RecoveryFlavor::RedoAtServer);
+        let txn = server.begin();
+        assert!(server.receive_dirty_page(txn, pids[0], Page::new()).is_err());
+        let (server, pids) = loaded_server(RecoveryFlavor::Wpl);
+        let txn = server.begin();
+        let rec = LogRecord::Update {
+            txn,
+            prev: Lsn::NULL,
+            page: pids[0],
+            slot: 0,
+            offset: 0,
+            before: vec![0],
+            after: vec![1],
+        };
+        assert!(server.receive_log_records(txn, vec![rec]).is_err());
+    }
+
+    #[test]
+    fn wpl_second_committed_version_wins_after_crash() {
+        let (server, pids) = loaded_server(RecoveryFlavor::Wpl);
+        let pid = pids[0];
+        for val in [1u8, 2u8] {
+            let txn = server.begin();
+            server.lock_page(txn, pid, LockMode::X).unwrap();
+            let page = updated_page(&server, txn, pid, val);
+            server.receive_dirty_page(txn, pid, page).unwrap();
+            server.commit(txn).unwrap();
+        }
+        let cfg = server.config().clone();
+        let server2 = Server::restart(server.crash(), cfg, Meter::new()).unwrap();
+        let page = server2.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), &[2u8; 64][..]);
+    }
+
+    #[test]
+    fn wpl_reclaim_keeps_log_bounded() {
+        let mut cfg = small_cfg(RecoveryFlavor::Wpl);
+        cfg.log_bytes = 64 * PAGE_SIZE; // tiny log: forces reclaim
+        let server = Server::format(cfg, Meter::new()).unwrap();
+        let pids = server.bulk_allocate(4).unwrap();
+        for &pid in &pids {
+            let mut p = Page::new();
+            p.insert(pid, &[0u8; 64]).unwrap();
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        // Many transactions re-dirtying the same pages: without reclaim the
+        // 64-page log would overflow after ~60 ships.
+        for round in 0..100u8 {
+            let txn = server.begin();
+            for &pid in &pids {
+                server.lock_page(txn, pid, LockMode::X).unwrap();
+                let page = updated_page(&server, txn, pid, round);
+                server.receive_dirty_page(txn, pid, page).unwrap();
+            }
+            server.commit(txn).unwrap();
+        }
+        assert!(server.wpl_images_reclaimed() > 0);
+        let page = server.read_page_for_test(pids[0]).unwrap();
+        assert_eq!(page.object(pids[0], 0).unwrap(), &[99u8; 64][..]);
+    }
+
+    #[test]
+    fn checkpoint_allows_esm_log_truncation() {
+        let mut cfg = small_cfg(RecoveryFlavor::EsmAries);
+        cfg.log_bytes = 256 * PAGE_SIZE;
+        let server = Server::format(cfg, Meter::new()).unwrap();
+        let pids = server.bulk_allocate(2).unwrap();
+        for &pid in &pids {
+            let mut p = Page::new();
+            p.insert(pid, &[0u8; 1024]).unwrap();
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        for round in 0..2000u32 {
+            let txn = server.begin();
+            let pid = pids[(round % 2) as usize];
+            server.lock_page(txn, pid, LockMode::X).unwrap();
+            let rec = LogRecord::Update {
+                txn,
+                prev: Lsn::NULL,
+                page: pid,
+                slot: 0,
+                offset: 0,
+                before: vec![(round % 251) as u8; 1024],
+                after: vec![((round + 1) % 251) as u8; 1024],
+            };
+            server.receive_log_records(txn, vec![rec]).unwrap();
+            let page = updated_page(&server, txn, pid, ((round + 1) % 251) as u8);
+            server.receive_dirty_page(txn, pid, page).unwrap();
+            server.commit(txn).unwrap();
+        }
+        assert!(server.checkpoints_taken() > 0, "watermark maintenance ran");
+    }
+
+    #[test]
+    fn transactional_page_allocation_survives_crash() {
+        let (server, _) = loaded_server(RecoveryFlavor::EsmAries);
+        let txn = server.begin();
+        let pid = server.allocate_page(txn).unwrap();
+        let mut page = Page::new();
+        page.insert(pid, b"fresh object").unwrap();
+        // New pages are whole-page logged by ESM (§3.6).
+        let rec = LogRecord::WholePage {
+            txn,
+            prev: Lsn::NULL,
+            page: pid,
+            image: page.bytes().to_vec(),
+        };
+        server.receive_log_records(txn, vec![rec]).unwrap();
+        server.receive_dirty_page(txn, pid, page).unwrap();
+        server.commit(txn).unwrap();
+        let cfg = server.config().clone();
+        let server2 = Server::restart(server.crash(), cfg, Meter::new()).unwrap();
+        let page = server2.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), b"fresh object");
+    }
+}

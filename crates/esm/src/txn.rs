@@ -1,0 +1,182 @@
+//! The server's transaction table.
+
+use qs_types::{Lsn, PageId, QsError, QsResult, TxnId};
+use std::collections::{HashMap, HashSet};
+
+/// Lifecycle of a transaction at the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// Per-transaction server state.
+#[derive(Debug)]
+pub struct TxnState {
+    pub id: TxnId,
+    pub status: TxnStatus,
+    /// Most recent log record written by this transaction (backward chain
+    /// head for undo).
+    pub last_lsn: Lsn,
+    /// First log record written by this transaction (log truncation bound).
+    pub first_lsn: Lsn,
+    /// WPL: pages this transaction has had logged (the per-transaction list
+    /// of §3.4.2, walked at commit to flip WPL-table entries to committed).
+    pub logged_pages: Vec<PageId>,
+    /// ESM log-before-page rule enforcement: pages for which this
+    /// transaction has already shipped log records (or declared none
+    /// needed).
+    pub pages_logged: HashSet<PageId>,
+}
+
+impl TxnState {
+    fn new(id: TxnId) -> TxnState {
+        TxnState {
+            id,
+            status: TxnStatus::Active,
+            last_lsn: Lsn::NULL,
+            first_lsn: Lsn::NULL,
+            logged_pages: Vec::new(),
+            pages_logged: HashSet::new(),
+        }
+    }
+
+    /// Record that this transaction wrote a log record at `lsn`.
+    pub fn note_logged(&mut self, lsn: Lsn) {
+        if self.first_lsn.is_null() {
+            self.first_lsn = lsn;
+        }
+        self.last_lsn = lsn;
+    }
+}
+
+/// The transaction table: id assignment plus per-transaction state.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    next_id: u64,
+    txns: HashMap<TxnId, TxnState>,
+}
+
+impl TxnTable {
+    pub fn new() -> TxnTable {
+        TxnTable { next_id: 1, txns: HashMap::new() }
+    }
+
+    /// Restart constructor: id assignment resumes above anything in the log.
+    pub fn resuming_after(max_seen: TxnId) -> TxnTable {
+        let next = if max_seen == TxnId::INVALID { 1 } else { max_seen.0 + 1 };
+        TxnTable { next_id: next, txns: HashMap::new() }
+    }
+
+    pub fn begin(&mut self) -> TxnId {
+        let id = TxnId(self.next_id);
+        self.next_id += 1;
+        self.txns.insert(id, TxnState::new(id));
+        id
+    }
+
+    /// Re-register a loser transaction found by restart analysis so the
+    /// ordinary undo machinery can roll it back.
+    pub fn restore(&mut self, id: TxnId, last_lsn: Lsn) {
+        let mut t = TxnState::new(id);
+        t.last_lsn = last_lsn;
+        self.txns.insert(id, t);
+        self.next_id = self.next_id.max(id.0 + 1);
+    }
+
+    pub fn get(&self, id: TxnId) -> QsResult<&TxnState> {
+        self.txns.get(&id).ok_or(QsError::NoSuchTransaction(id))
+    }
+
+    pub fn get_mut(&mut self, id: TxnId) -> QsResult<&mut TxnState> {
+        self.txns.get_mut(&id).ok_or(QsError::NoSuchTransaction(id))
+    }
+
+    /// Fetch an *active* transaction mutably; error if finished or unknown.
+    pub fn active_mut(&mut self, id: TxnId) -> QsResult<&mut TxnState> {
+        let t = self.txns.get_mut(&id).ok_or(QsError::NoSuchTransaction(id))?;
+        if t.status != TxnStatus::Active {
+            return Err(QsError::TransactionNotActive(id));
+        }
+        Ok(t)
+    }
+
+    /// Drop a finished transaction's state.
+    pub fn remove(&mut self, id: TxnId) {
+        self.txns.remove(&id);
+    }
+
+    /// All currently active transactions.
+    pub fn active(&self) -> impl Iterator<Item = &TxnState> {
+        self.txns.values().filter(|t| t.status == TxnStatus::Active)
+    }
+
+    /// Earliest `first_lsn` among active transactions (log truncation bound).
+    pub fn min_active_first_lsn(&self) -> Option<Lsn> {
+        self.active().filter(|t| !t.first_lsn.is_null()).map(|t| t.first_lsn).min()
+    }
+
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_assigns_monotonic_ids() {
+        let mut tt = TxnTable::new();
+        let a = tt.begin();
+        let b = tt.begin();
+        assert!(b.0 > a.0);
+        assert_eq!(tt.len(), 2);
+    }
+
+    #[test]
+    fn note_logged_tracks_first_and_last() {
+        let mut tt = TxnTable::new();
+        let id = tt.begin();
+        let t = tt.active_mut(id).unwrap();
+        t.note_logged(Lsn(100));
+        t.note_logged(Lsn(250));
+        assert_eq!(t.first_lsn, Lsn(100));
+        assert_eq!(t.last_lsn, Lsn(250));
+    }
+
+    #[test]
+    fn active_mut_rejects_finished() {
+        let mut tt = TxnTable::new();
+        let id = tt.begin();
+        tt.get_mut(id).unwrap().status = TxnStatus::Committed;
+        assert!(matches!(tt.active_mut(id), Err(QsError::TransactionNotActive(_))));
+        assert!(matches!(tt.active_mut(TxnId(999)), Err(QsError::NoSuchTransaction(_))));
+    }
+
+    #[test]
+    fn min_active_first_lsn_skips_unlogged_and_finished() {
+        let mut tt = TxnTable::new();
+        let a = tt.begin();
+        let b = tt.begin();
+        let _quiet = tt.begin(); // never logs
+        tt.active_mut(a).unwrap().note_logged(Lsn(300));
+        tt.active_mut(b).unwrap().note_logged(Lsn(200));
+        assert_eq!(tt.min_active_first_lsn(), Some(Lsn(200)));
+        tt.get_mut(b).unwrap().status = TxnStatus::Committed;
+        assert_eq!(tt.min_active_first_lsn(), Some(Lsn(300)));
+    }
+
+    #[test]
+    fn resuming_after_continues_ids() {
+        let mut tt = TxnTable::resuming_after(TxnId(41));
+        assert_eq!(tt.begin(), TxnId(42));
+        let mut tt2 = TxnTable::resuming_after(TxnId::INVALID);
+        assert_eq!(tt2.begin(), TxnId(1));
+    }
+}

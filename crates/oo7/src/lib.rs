@@ -1,0 +1,22 @@
+//! The OO7 object-oriented database benchmark (Carey, DeWitt & Naughton,
+//! SIGMOD 1993), as configured by the QuickStore recovery study (§4.1–4.2):
+//!
+//! * [`params`] — Table 1's *small* and *big* database parameters (note:
+//!   deliberately non-standard OO7 — five modules, big modules with 2,000
+//!   composite parts and an 8-level assembly hierarchy).
+//! * [`schema`] — fixed-layout persistent objects: atomic parts,
+//!   connections, composite parts, documents, assemblies, manuals.
+//! * [`gen`] — the bulk loader: builds each module page-by-page with the
+//!   clustering the paper relies on (a composite part's atomic graph is
+//!   contiguous) and writes it through the server's unlogged load path.
+//! * [`traversal`] — T1 (read-only sanity) and the update traversals
+//!   T2A / T2B / T2C used in every experiment.
+
+pub mod gen;
+pub mod params;
+pub mod schema;
+pub mod traversal;
+
+pub use gen::{generate, ModuleHandle, Oo7Db};
+pub use params::{DbSize, Oo7Params};
+pub use traversal::{t1, t2, T2Mode};

@@ -1,0 +1,137 @@
+//! OO7 database parameters (paper Table 1).
+
+/// Which of the study's two databases to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbSize {
+    /// Module ≈ 6.6 MB; whole database (5 modules) ≈ 33 MB — fits in both
+    /// client (12 MB/module) and server (36 MB) memory.
+    Small,
+    /// Module ≈ 24.3 MB; database ≈ 121.5 MB — bigger than any client's
+    /// memory, and bigger than the server's when several clients run.
+    Big,
+}
+
+/// Table 1: the knobs of the OO7 generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Oo7Params {
+    pub num_atomic_per_comp: usize,
+    pub num_conn_per_atomic: usize,
+    pub document_size: usize,
+    pub manual_size: usize,
+    pub num_comp_per_module: usize,
+    pub num_assm_per_assm: usize,
+    pub num_assm_levels: usize,
+    pub num_comp_per_assm: usize,
+    pub num_modules: usize,
+}
+
+impl Oo7Params {
+    pub fn small() -> Oo7Params {
+        Oo7Params {
+            num_atomic_per_comp: 20,
+            num_conn_per_atomic: 3,
+            document_size: 2000,
+            manual_size: 100 * 1024,
+            num_comp_per_module: 500,
+            num_assm_per_assm: 3,
+            num_assm_levels: 7,
+            num_comp_per_assm: 3,
+            num_modules: 5,
+        }
+    }
+
+    pub fn big() -> Oo7Params {
+        Oo7Params { num_comp_per_module: 2000, num_assm_levels: 8, ..Self::small() }
+    }
+
+    pub fn of(size: DbSize) -> Oo7Params {
+        match size {
+            DbSize::Small => Self::small(),
+            DbSize::Big => Self::big(),
+        }
+    }
+
+    /// A scaled-down parameter set for fast tests (not part of the paper).
+    pub fn tiny() -> Oo7Params {
+        Oo7Params {
+            num_atomic_per_comp: 5,
+            num_conn_per_atomic: 3,
+            document_size: 200,
+            manual_size: 2048,
+            num_comp_per_module: 10,
+            num_assm_per_assm: 3,
+            num_assm_levels: 3,
+            num_comp_per_assm: 3,
+            num_modules: 2,
+        }
+    }
+
+    /// Base assemblies per module: the bottom level of the hierarchy.
+    pub fn base_assemblies(&self) -> usize {
+        self.num_assm_per_assm.pow(self.num_assm_levels as u32 - 1)
+    }
+
+    /// Complex assemblies per module (all levels above the base).
+    pub fn complex_assemblies(&self) -> usize {
+        let mut total = 0;
+        for level in 0..self.num_assm_levels - 1 {
+            total += self.num_assm_per_assm.pow(level as u32);
+        }
+        total
+    }
+
+    /// Total assemblies per module.
+    pub fn assemblies(&self) -> usize {
+        self.base_assemblies() + self.complex_assemblies()
+    }
+
+    /// Composite-part *visits* one T2 traversal performs (base assemblies ×
+    /// references per base; duplicates included, as in OO7).
+    pub fn comp_visits_per_traversal(&self) -> usize {
+        self.base_assemblies() * self.num_comp_per_assm
+    }
+
+    /// Atomic-part visits per traversal (each composite-part visit does a
+    /// full DFS of its atomic graph).
+    pub fn atomic_visits_per_traversal(&self) -> usize {
+        self.comp_visits_per_traversal() * self.num_atomic_per_comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let s = Oo7Params::small();
+        assert_eq!(s.num_comp_per_module, 500);
+        assert_eq!(s.num_assm_levels, 7);
+        assert_eq!(s.num_modules, 5);
+        assert_eq!(s.document_size, 2000);
+        let b = Oo7Params::big();
+        assert_eq!(b.num_comp_per_module, 2000);
+        assert_eq!(b.num_assm_levels, 8);
+        assert_eq!(b.num_atomic_per_comp, s.num_atomic_per_comp);
+    }
+
+    #[test]
+    fn assembly_counts() {
+        let s = Oo7Params::small();
+        assert_eq!(s.base_assemblies(), 729); // 3^6
+        assert_eq!(s.complex_assemblies(), 364); // 3^0 + … + 3^5
+        assert_eq!(s.assemblies(), 1093);
+        let b = Oo7Params::big();
+        assert_eq!(b.base_assemblies(), 2187); // 3^7
+        assert_eq!(b.assemblies(), 2187 + 1093);
+    }
+
+    #[test]
+    fn traversal_visit_counts() {
+        let s = Oo7Params::small();
+        assert_eq!(s.comp_visits_per_traversal(), 2187);
+        assert_eq!(s.atomic_visits_per_traversal(), 43_740);
+        let b = Oo7Params::big();
+        assert_eq!(b.comp_visits_per_traversal(), 6561);
+    }
+}

@@ -1,0 +1,388 @@
+//! Demand accounting: what the functional engine did, counted per run.
+//!
+//! A [`Meter`] is shared (via `Arc`) between the ESM client, the server, and
+//! the QuickStore runtime. Counters are atomics so the thread-based tests
+//! can share one meter too; in the single-threaded harness the overhead is
+//! negligible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Relaxed ordering everywhere: counters are statistics, not synchronization.
+const ORD: Ordering = Ordering::Relaxed;
+
+/// Shared counter block. All counts are cumulative since construction (or
+/// the last [`Meter::reset`]).
+#[derive(Debug, Default)]
+pub struct Meter {
+    // -- raw CPU escape hatches (rarely used; most CPU is priced from the
+    //    event counters below by `price`) ---------------------------------
+    /// Extra instructions executed on the client workstation CPU.
+    pub client_instr: AtomicU64,
+    /// Extra instructions executed on the server CPU.
+    pub server_instr: AtomicU64,
+    /// Messages sent over the (shared) network, either direction.
+    pub net_msgs: AtomicU64,
+    /// Payload bytes moved over the network.
+    pub net_bytes: AtomicU64,
+    /// Random page reads from the data disk.
+    pub data_reads: AtomicU64,
+    /// Random page writes to the data disk.
+    pub data_writes: AtomicU64,
+    /// Pages appended to the log disk (sequential).
+    pub log_pages_written: AtomicU64,
+    /// Pages read back from the log disk (WPL re-reads / reclaim, restart).
+    pub log_pages_read: AtomicU64,
+    /// Synchronous log forces (each pays one device round trip beyond the
+    /// sequential streaming cost).
+    pub log_forces: AtomicU64,
+
+    // -- bookkeeping for Figures 9 / 14 and the analysis text -------------
+    /// Dirty *data* pages shipped client → server.
+    pub dirty_pages_shipped: AtomicU64,
+    /// Pages' worth of log records shipped client → server.
+    pub log_record_pages_shipped: AtomicU64,
+    /// Individual log records generated at the client.
+    pub log_records_generated: AtomicU64,
+    /// Bytes of before/after images placed in log records (excl. headers).
+    pub log_image_bytes: AtomicU64,
+    /// Write-protection faults taken (PD / WPL / REDO first-touch).
+    pub write_faults: AtomicU64,
+    /// Read (mapping) faults taken — page not yet mapped into a frame.
+    pub read_faults: AtomicU64,
+    /// Bytes copied into the recovery buffer (page or block copies).
+    pub bytes_copied: AtomicU64,
+    /// Bytes compared by the diff algorithm.
+    pub bytes_diffed: AtomicU64,
+    /// Application-level object updates performed.
+    pub updates: AtomicU64,
+    /// Calls into the software update function (SD/SL path).
+    pub update_fn_calls: AtomicU64,
+    /// Pages requested by clients from the server.
+    pub page_requests: AtomicU64,
+    /// Page requests that missed in the server buffer pool (→ data disk).
+    pub server_pool_misses: AtomicU64,
+    /// Pages evicted from the *client* buffer pool (client paging).
+    pub client_evictions: AtomicU64,
+    /// Recovery-buffer overflows (forced early log-record generation).
+    pub recovery_buffer_overflows: AtomicU64,
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Objects visited by the application traversal (priced as client CPU).
+    pub visits: AtomicU64,
+    /// Lock acquisitions processed at the server.
+    pub locks_acquired: AtomicU64,
+    /// Redo log records applied at the server (REDO scheme).
+    pub redo_applies: AtomicU64,
+}
+
+impl Meter {
+    pub fn new() -> Arc<Meter> {
+        Arc::new(Meter::default())
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        // Snapshot lists every field; subtracting via store keeps this in
+        // sync with the struct definition without unsafe tricks.
+        for c in self.all() {
+            c.store(0, ORD);
+        }
+    }
+
+    fn all(&self) -> [&AtomicU64; 27] {
+        [
+            &self.client_instr,
+            &self.server_instr,
+            &self.net_msgs,
+            &self.net_bytes,
+            &self.data_reads,
+            &self.data_writes,
+            &self.log_pages_written,
+            &self.log_pages_read,
+            &self.log_forces,
+            &self.dirty_pages_shipped,
+            &self.log_record_pages_shipped,
+            &self.log_records_generated,
+            &self.log_image_bytes,
+            &self.write_faults,
+            &self.read_faults,
+            &self.bytes_copied,
+            &self.bytes_diffed,
+            &self.updates,
+            &self.update_fn_calls,
+            &self.page_requests,
+            &self.server_pool_misses,
+            &self.client_evictions,
+            &self.recovery_buffer_overflows,
+            &self.commits,
+            &self.visits,
+            &self.locks_acquired,
+            &self.redo_applies,
+        ]
+    }
+
+    // Convenience mutators used throughout the engine. ---------------------
+
+    #[inline]
+    pub fn client_cpu(&self, instr: u64) {
+        self.client_instr.fetch_add(instr, ORD);
+    }
+
+    #[inline]
+    pub fn server_cpu(&self, instr: u64) {
+        self.server_instr.fetch_add(instr, ORD);
+    }
+
+    /// One network message carrying `bytes` of payload.
+    #[inline]
+    pub fn net(&self, bytes: u64) {
+        self.net_msgs.fetch_add(1, ORD);
+        self.net_bytes.fetch_add(bytes, ORD);
+    }
+
+    #[inline]
+    pub fn add(&self, field: impl Fn(&Meter) -> &AtomicU64, n: u64) {
+        field(self).fetch_add(n, ORD);
+    }
+
+    /// Copy every counter out (relaxed; callers quiesce the engine first).
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            client_instr: self.client_instr.load(ORD),
+            server_instr: self.server_instr.load(ORD),
+            net_msgs: self.net_msgs.load(ORD),
+            net_bytes: self.net_bytes.load(ORD),
+            data_reads: self.data_reads.load(ORD),
+            data_writes: self.data_writes.load(ORD),
+            log_pages_written: self.log_pages_written.load(ORD),
+            log_pages_read: self.log_pages_read.load(ORD),
+            log_forces: self.log_forces.load(ORD),
+            dirty_pages_shipped: self.dirty_pages_shipped.load(ORD),
+            log_record_pages_shipped: self.log_record_pages_shipped.load(ORD),
+            log_records_generated: self.log_records_generated.load(ORD),
+            log_image_bytes: self.log_image_bytes.load(ORD),
+            write_faults: self.write_faults.load(ORD),
+            read_faults: self.read_faults.load(ORD),
+            bytes_copied: self.bytes_copied.load(ORD),
+            bytes_diffed: self.bytes_diffed.load(ORD),
+            updates: self.updates.load(ORD),
+            update_fn_calls: self.update_fn_calls.load(ORD),
+            page_requests: self.page_requests.load(ORD),
+            server_pool_misses: self.server_pool_misses.load(ORD),
+            client_evictions: self.client_evictions.load(ORD),
+            recovery_buffer_overflows: self.recovery_buffer_overflows.load(ORD),
+            commits: self.commits.load(ORD),
+            visits: self.visits.load(ORD),
+            locks_acquired: self.locks_acquired.load(ORD),
+            redo_applies: self.redo_applies.load(ORD),
+        }
+    }
+}
+
+/// A plain-old-data copy of every counter, suitable for arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    pub client_instr: u64,
+    pub server_instr: u64,
+    pub net_msgs: u64,
+    pub net_bytes: u64,
+    pub data_reads: u64,
+    pub data_writes: u64,
+    pub log_pages_written: u64,
+    pub log_pages_read: u64,
+    pub log_forces: u64,
+    pub dirty_pages_shipped: u64,
+    pub log_record_pages_shipped: u64,
+    pub log_records_generated: u64,
+    pub log_image_bytes: u64,
+    pub write_faults: u64,
+    pub read_faults: u64,
+    pub bytes_copied: u64,
+    pub bytes_diffed: u64,
+    pub updates: u64,
+    pub update_fn_calls: u64,
+    pub page_requests: u64,
+    pub server_pool_misses: u64,
+    pub client_evictions: u64,
+    pub recovery_buffer_overflows: u64,
+    pub commits: u64,
+    pub visits: u64,
+    pub locks_acquired: u64,
+    pub redo_applies: u64,
+}
+
+impl MeterSnapshot {
+    /// Field-wise difference (`self - earlier`), for windowed measurements.
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            client_instr: self.client_instr - earlier.client_instr,
+            server_instr: self.server_instr - earlier.server_instr,
+            net_msgs: self.net_msgs - earlier.net_msgs,
+            net_bytes: self.net_bytes - earlier.net_bytes,
+            data_reads: self.data_reads - earlier.data_reads,
+            data_writes: self.data_writes - earlier.data_writes,
+            log_pages_written: self.log_pages_written - earlier.log_pages_written,
+            log_pages_read: self.log_pages_read - earlier.log_pages_read,
+            log_forces: self.log_forces - earlier.log_forces,
+            dirty_pages_shipped: self.dirty_pages_shipped - earlier.dirty_pages_shipped,
+            log_record_pages_shipped: self.log_record_pages_shipped
+                - earlier.log_record_pages_shipped,
+            log_records_generated: self.log_records_generated - earlier.log_records_generated,
+            log_image_bytes: self.log_image_bytes - earlier.log_image_bytes,
+            write_faults: self.write_faults - earlier.write_faults,
+            read_faults: self.read_faults - earlier.read_faults,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
+            bytes_diffed: self.bytes_diffed - earlier.bytes_diffed,
+            updates: self.updates - earlier.updates,
+            update_fn_calls: self.update_fn_calls - earlier.update_fn_calls,
+            page_requests: self.page_requests - earlier.page_requests,
+            server_pool_misses: self.server_pool_misses - earlier.server_pool_misses,
+            client_evictions: self.client_evictions - earlier.client_evictions,
+            recovery_buffer_overflows: self.recovery_buffer_overflows
+                - earlier.recovery_buffer_overflows,
+            commits: self.commits - earlier.commits,
+            visits: self.visits - earlier.visits,
+            locks_acquired: self.locks_acquired - earlier.locks_acquired,
+            redo_applies: self.redo_applies - earlier.redo_applies,
+        }
+    }
+
+    /// Total client-CPU instructions implied by the events in this window.
+    /// This is where every per-operation budget of the hardware model is
+    /// applied — the engine only counts events.
+    pub fn client_cpu_instr(&self, hw: &crate::cost::HardwareModel) -> u64 {
+        self.client_instr
+            + (self.read_faults + self.write_faults) * hw.fault_overhead_instr
+            + hw.copy_instr(self.bytes_copied)
+            + hw.diff_instr(self.bytes_diffed)
+            + self.log_records_generated * hw.log_record_instr
+            + self.update_fn_calls * hw.update_fn_instr
+            + self.updates * hw.raw_update_instr
+            + self.visits * hw.visit_instr
+            + (self.page_requests
+                + self.dirty_pages_shipped
+                + self.log_record_pages_shipped
+                + self.commits)
+                * hw.ship_page_instr
+            + self.client_evictions * hw.pool_instr
+    }
+
+    /// Total server-CPU instructions implied by the events in this window.
+    pub fn server_cpu_instr(&self, hw: &crate::cost::HardwareModel) -> u64 {
+        self.server_instr
+            + (self.page_requests + self.dirty_pages_shipped + self.log_record_pages_shipped)
+                * hw.server_page_instr
+            + self.log_records_generated * hw.server_log_append_instr
+            + self.redo_applies * hw.redo_apply_instr
+            + self.locks_acquired * hw.lock_instr
+            + self.server_pool_misses * hw.pool_instr
+            + self.commits * hw.lock_instr
+    }
+
+    /// Per-transaction average of each service-center demand, priced by the
+    /// hardware model. `txns` must be the number of transactions the window
+    /// covers.
+    pub fn per_txn_demand(&self, hw: &crate::cost::HardwareModel, txns: u64) -> Demand {
+        assert!(txns > 0, "demand window must contain transactions");
+        let t = txns as f64;
+        Demand {
+            client_cpu_s: hw.client_cpu_secs(self.client_cpu_instr(hw)) / t,
+            server_cpu_s: hw.server_cpu_secs(self.server_cpu_instr(hw)) / t,
+            network_s: hw.network_secs(self.net_msgs, self.net_bytes) / t,
+            data_disk_s: hw.data_disk_secs(self.data_reads + self.data_writes) / t,
+            log_disk_s: hw.log_disk_secs(
+                self.log_pages_written,
+                self.log_pages_read,
+                self.log_forces,
+            ) / t,
+        }
+    }
+}
+
+/// Per-transaction service demand at each center, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Demand {
+    /// Client workstation CPU (dedicated per client → MVA delay center).
+    pub client_cpu_s: f64,
+    /// Server CPU (shared queueing center).
+    pub server_cpu_s: f64,
+    /// Shared Ethernet (queueing center).
+    pub network_s: f64,
+    /// Server data disk (queueing center).
+    pub data_disk_s: f64,
+    /// Server log disk (queueing center).
+    pub log_disk_s: f64,
+}
+
+impl Demand {
+    /// Total single-client service time (no queueing): the 1-client response
+    /// time predicted by the model.
+    pub fn total(&self) -> f64 {
+        self.client_cpu_s + self.server_cpu_s + self.network_s + self.data_disk_s + self.log_disk_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::HardwareModel;
+
+    #[test]
+    fn meter_counts_and_resets() {
+        let m = Meter::new();
+        m.client_cpu(1000);
+        m.net(8192);
+        m.net(100);
+        m.data_reads.fetch_add(3, ORD);
+        let s = m.snapshot();
+        assert_eq!(s.client_instr, 1000);
+        assert_eq!(s.net_msgs, 2);
+        assert_eq!(s.net_bytes, 8292);
+        assert_eq!(s.data_reads, 3);
+        m.reset();
+        assert_eq!(m.snapshot(), MeterSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let m = Meter::new();
+        m.client_cpu(100);
+        let a = m.snapshot();
+        m.client_cpu(50);
+        m.server_cpu(7);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.client_instr, 50);
+        assert_eq!(d.server_instr, 7);
+    }
+
+    #[test]
+    fn per_txn_demand_divides() {
+        let m = Meter::new();
+        let hw = HardwareModel::paper_1995();
+        m.client_cpu(20_000_000); // 1 second at 20 MIPS
+        let d = m.snapshot().per_txn_demand(&hw, 2);
+        assert!((d.client_cpu_s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_total_sums() {
+        let d = Demand {
+            client_cpu_s: 1.0,
+            server_cpu_s: 2.0,
+            network_s: 3.0,
+            data_disk_s: 4.0,
+            log_disk_s: 5.0,
+        };
+        assert!((d.total() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand window")]
+    fn zero_txn_window_panics() {
+        let m = Meter::new();
+        let hw = HardwareModel::paper_1995();
+        let _ = m.snapshot().per_txn_demand(&hw, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Performance model for the QuickStore recovery study.
+//!
+//! The functional engine (`qs-esm`, `quickstore`) is *time-free*: it executes
+//! every algorithm for real and merely counts what it does on a shared
+//! [`Meter`]. This crate turns those counts into 1995-hardware time via a
+//! calibrated [`cost::HardwareModel`] and predicts multi-client response
+//! time / throughput with an exact Mean-Value-Analysis solver
+//! ([`mva::solve`]) over the closed queueing network the paper's testbed
+//! forms (N client workstations → shared Ethernet → server CPU → data disk
+//! and log disk).
+//!
+//! Separating *what happened* (counts) from *how long it took* (model)
+//! reproduces the paper's comparative shapes without pretending our host
+//! machine is a 1994 Sun IPX.
+
+pub mod cost;
+pub mod demand;
+pub mod mva;
+
+pub use cost::HardwareModel;
+pub use demand::{Demand, Meter, MeterSnapshot};
+pub use mva::{solve, Center, MvaResult};

@@ -1,0 +1,229 @@
+//! Exact Mean-Value Analysis for the paper's closed queueing network.
+//!
+//! The testbed is a textbook closed network: N statistically identical
+//! clients cycle through their own CPU (a *delay* center — each client owns
+//! its workstation) and four shared *queueing* centers: the Ethernet, the
+//! server CPU, the server data disk, and the server log disk.
+//!
+//! Exact single-class MVA recurrence (Reiser & Lavenberg 1980):
+//!
+//! ```text
+//! R_k(n) = D_k * (1 + Q_k(n-1))       queueing center
+//! R_z    = Z                          delay (client CPU)
+//! X(n)   = n / (Z + Σ_k R_k(n))
+//! Q_k(n) = X(n) * R_k(n)
+//! ```
+//!
+//! This reproduces precisely the effects the paper measures: WPL's log-disk
+//! demand saturates the log disk so throughput flattens at 2–3 clients,
+//! REDO's server CPU/disk demand makes it scale worst on the big database,
+//! and the diffing schemes scale because their demand sits on the (per-
+//! client, non-shared) client CPUs.
+
+/// The queueing centers of the model, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Center {
+    Network,
+    ServerCpu,
+    DataDisk,
+    LogDisk,
+}
+
+impl Center {
+    pub const ALL: [Center; 4] = [
+        Center::Network,
+        Center::ServerCpu,
+        Center::DataDisk,
+        Center::LogDisk,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Center::Network => "network",
+            Center::ServerCpu => "server-cpu",
+            Center::DataDisk => "data-disk",
+            Center::LogDisk => "log-disk",
+        }
+    }
+}
+
+/// Solution of the network at one population size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaResult {
+    /// Number of clients (customers).
+    pub clients: usize,
+    /// Per-transaction response time, seconds (including client CPU time).
+    pub response_time_s: f64,
+    /// System throughput, transactions / second (all clients combined).
+    pub throughput_tps: f64,
+    /// Residence time at each queueing center, seconds.
+    pub residence_s: [f64; 4],
+    /// Utilization of each queueing center (0..1).
+    pub utilization: [f64; 4],
+    /// Mean queue length at each queueing center.
+    pub queue_len: [f64; 4],
+}
+
+impl MvaResult {
+    /// Throughput in the paper's units (transactions / minute).
+    pub fn throughput_tpm(&self) -> f64 {
+        self.throughput_tps * 60.0
+    }
+
+    /// Which center is the bottleneck (highest utilization)?
+    pub fn bottleneck(&self) -> Center {
+        let mut best = 0;
+        for k in 1..4 {
+            if self.utilization[k] > self.utilization[best] {
+                best = k;
+            }
+        }
+        Center::ALL[best]
+    }
+}
+
+/// Per-transaction demand at the four queueing centers plus the client-CPU
+/// delay, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetworkDemand {
+    /// Delay-center demand: client CPU (dedicated per customer).
+    pub client_cpu_s: f64,
+    /// Demands at [network, server CPU, data disk, log disk].
+    pub centers_s: [f64; 4],
+}
+
+impl From<crate::demand::Demand> for NetworkDemand {
+    fn from(d: crate::demand::Demand) -> Self {
+        NetworkDemand {
+            client_cpu_s: d.client_cpu_s,
+            centers_s: [d.network_s, d.server_cpu_s, d.data_disk_s, d.log_disk_s],
+        }
+    }
+}
+
+/// Exact MVA for populations `1..=max_clients`. Returns one result per
+/// population size, in order.
+pub fn solve(demand: NetworkDemand, max_clients: usize) -> Vec<MvaResult> {
+    assert!(max_clients >= 1);
+    for d in demand.centers_s {
+        assert!(d >= 0.0, "negative demand");
+    }
+    assert!(demand.client_cpu_s >= 0.0);
+
+    let mut q = [0.0f64; 4]; // Q_k(n-1)
+    let mut out = Vec::with_capacity(max_clients);
+    for n in 1..=max_clients {
+        let mut r = [0.0f64; 4];
+        for k in 0..4 {
+            r[k] = demand.centers_s[k] * (1.0 + q[k]);
+        }
+        let total_r: f64 = r.iter().sum::<f64>() + demand.client_cpu_s;
+        let x = if total_r > 0.0 { n as f64 / total_r } else { 0.0 };
+        for k in 0..4 {
+            q[k] = x * r[k];
+        }
+        let mut util = [0.0f64; 4];
+        for (u, d) in util.iter_mut().zip(demand.centers_s.iter()) {
+            *u = (x * d).min(1.0);
+        }
+        out.push(MvaResult {
+            clients: n,
+            response_time_s: total_r,
+            throughput_tps: x,
+            residence_s: r,
+            utilization: util,
+            queue_len: q,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(client: f64, centers: [f64; 4]) -> NetworkDemand {
+        NetworkDemand { client_cpu_s: client, centers_s: centers }
+    }
+
+    #[test]
+    fn single_client_response_is_total_demand() {
+        let r = solve(d(1.0, [0.1, 0.2, 0.3, 0.4]), 1);
+        assert!((r[0].response_time_s - 2.0).abs() < 1e-12);
+        assert!((r[0].throughput_tps - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_bounded_by_bottleneck() {
+        // Log disk demand 0.5 s/txn → asymptotic X ≤ 2 tps no matter how
+        // many clients. This is exactly the WPL saturation the paper shows.
+        let nd = d(0.1, [0.01, 0.02, 0.03, 0.5]);
+        let rs = solve(nd, 50);
+        let x_last = rs.last().unwrap().throughput_tps;
+        assert!(x_last <= 2.0 + 1e-9);
+        assert!(x_last > 1.9, "x={x_last}"); // approaches the bound
+        assert_eq!(rs.last().unwrap().bottleneck(), Center::LogDisk);
+    }
+
+    #[test]
+    fn throughput_monotone_nondecreasing_in_n() {
+        let nd = d(0.5, [0.05, 0.1, 0.2, 0.15]);
+        let rs = solve(nd, 10);
+        for w in rs.windows(2) {
+            assert!(w[1].throughput_tps >= w[0].throughput_tps - 1e-12);
+        }
+    }
+
+    #[test]
+    fn response_time_monotone_nondecreasing_in_n() {
+        let nd = d(0.5, [0.05, 0.1, 0.2, 0.15]);
+        let rs = solve(nd, 10);
+        for w in rs.windows(2) {
+            assert!(w[1].response_time_s >= w[0].response_time_s - 1e-12);
+        }
+    }
+
+    #[test]
+    fn little_law_holds() {
+        // N = X * (R) for a closed network with response including think.
+        let nd = d(0.3, [0.04, 0.08, 0.12, 0.02]);
+        for r in solve(nd, 8) {
+            let n_est = r.throughput_tps * r.response_time_s;
+            assert!((n_est - r.clients as f64).abs() < 1e-9, "{n_est} vs {}", r.clients);
+        }
+    }
+
+    #[test]
+    fn delay_center_does_not_queue() {
+        // Doubling clients with all demand at the delay center keeps
+        // response time flat and doubles throughput.
+        let nd = d(1.0, [0.0, 0.0, 0.0, 0.0]);
+        let rs = solve(nd, 4);
+        for r in &rs {
+            assert!((r.response_time_s - 1.0).abs() < 1e-12);
+        }
+        assert!((rs[3].throughput_tps - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one() {
+        let nd = d(0.0, [0.9, 0.8, 0.7, 0.6]);
+        for r in solve(nd, 32) {
+            for u in r.utilization {
+                assert!((0.0..=1.0).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_demand_yields_zero_throughput() {
+        let rs = solve(d(0.0, [0.0; 4]), 3);
+        assert_eq!(rs[2].throughput_tps, 0.0);
+    }
+
+    #[test]
+    fn tpm_conversion() {
+        let rs = solve(d(1.0, [0.0; 4]), 1);
+        assert!((rs[0].throughput_tpm() - 60.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,17 @@
+//! Storage substrate: 8 KB slotted pages, stable (crash-surviving) media,
+//! and page volumes.
+//!
+//! Crash semantics in this reproduction are drawn at the media boundary:
+//! anything written to a [`stable::MemDisk`] (or [`stable::FileDisk`]) is
+//! durable; everything above it — buffer pools, lock tables, the WPL table —
+//! is volatile and vanishes when a simulated crash drops the server struct.
+//! This is exactly the paper's model of raw disk partitions under a
+//! STEAL/NO-FORCE buffer manager.
+
+pub mod page;
+pub mod stable;
+pub mod volume;
+
+pub use page::{Page, MAX_OBJECT_SIZE, PAGE_HEADER_SIZE};
+pub use stable::{FileDisk, MemDisk, StableMedia};
+pub use volume::Volume;

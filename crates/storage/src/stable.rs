@@ -1,0 +1,189 @@
+//! Stable media: the durable layer that survives a simulated crash.
+//!
+//! The paper's server used raw disk partitions (a Sun1.3G for the database,
+//! a Sun0424 for the transaction log). Here a [`StableMedia`] is a flat
+//! byte array with explicit read/write; a crash in the test harness drops
+//! every in-memory structure *except* the media, then hands the same media
+//! to a freshly constructed server — exactly what a reboot does.
+//!
+//! [`MemDisk`] is the default (deterministic, fast). [`FileDisk`] backs the
+//! same interface with a real file for the examples that want durable state
+//! across process runs.
+
+use parking_lot::{Mutex, RwLock};
+use qs_types::{QsError, QsResult};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A crash-surviving, randomly addressable byte device.
+pub trait StableMedia: Send + Sync {
+    /// Total capacity in bytes.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read `buf.len()` bytes starting at `off`.
+    fn read_at(&self, off: usize, buf: &mut [u8]) -> QsResult<()>;
+
+    /// Write `buf` starting at `off`. Durable once this returns (the engine
+    /// above decides *when* to call this — that is the WAL discipline).
+    fn write_at(&self, off: usize, buf: &[u8]) -> QsResult<()>;
+
+    /// Flush any buffering the medium itself does (no-op for `MemDisk`).
+    fn sync(&self) -> QsResult<()>;
+}
+
+fn check_bounds(len: usize, off: usize, n: usize) -> QsResult<()> {
+    if off.checked_add(n).is_none_or(|end| end > len) {
+        return Err(QsError::Protocol {
+            detail: format!("media access [{off}, {off}+{n}) out of bounds (len {len})"),
+        });
+    }
+    Ok(())
+}
+
+/// In-memory stable medium.
+pub struct MemDisk {
+    data: RwLock<Vec<u8>>,
+}
+
+impl MemDisk {
+    /// A zero-filled device of `len` bytes.
+    pub fn new(len: usize) -> MemDisk {
+        MemDisk { data: RwLock::new(vec![0u8; len]) }
+    }
+}
+
+impl StableMedia for MemDisk {
+    fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    fn read_at(&self, off: usize, buf: &mut [u8]) -> QsResult<()> {
+        let d = self.data.read();
+        check_bounds(d.len(), off, buf.len())?;
+        buf.copy_from_slice(&d[off..off + buf.len()]);
+        Ok(())
+    }
+
+    fn write_at(&self, off: usize, buf: &[u8]) -> QsResult<()> {
+        let mut d = self.data.write();
+        check_bounds(d.len(), off, buf.len())?;
+        d[off..off + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&self) -> QsResult<()> {
+        Ok(())
+    }
+}
+
+/// File-backed stable medium (for examples that persist across processes).
+pub struct FileDisk {
+    file: Mutex<File>,
+    len: usize,
+}
+
+impl FileDisk {
+    /// Create or open `path`, sized to exactly `len` bytes.
+    pub fn open(path: &Path, len: usize) -> QsResult<FileDisk> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err)?;
+        file.set_len(len as u64).map_err(io_err)?;
+        Ok(FileDisk { file: Mutex::new(file), len })
+    }
+}
+
+fn io_err(e: std::io::Error) -> QsError {
+    QsError::Protocol { detail: format!("io error: {e}") }
+}
+
+impl StableMedia for FileDisk {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn read_at(&self, off: usize, buf: &mut [u8]) -> QsResult<()> {
+        check_bounds(self.len, off, buf.len())?;
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(off as u64)).map_err(io_err)?;
+        f.read_exact(buf).map_err(io_err)
+    }
+
+    fn write_at(&self, off: usize, buf: &[u8]) -> QsResult<()> {
+        check_bounds(self.len, off, buf.len())?;
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(off as u64)).map_err(io_err)?;
+        f.write_all(buf).map_err(io_err)
+    }
+
+    fn sync(&self) -> QsResult<()> {
+        self.file.lock().sync_data().map_err(io_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memdisk_read_write() {
+        let d = MemDisk::new(64);
+        d.write_at(10, b"abcdef").unwrap();
+        let mut buf = [0u8; 6];
+        d.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn memdisk_bounds_checked() {
+        let d = MemDisk::new(16);
+        assert!(d.write_at(12, &[0u8; 8]).is_err());
+        let mut buf = [0u8; 8];
+        assert!(d.read_at(usize::MAX, &mut buf).is_err());
+        // Exactly at the end is fine.
+        d.write_at(8, &[1u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn memdisk_initially_zeroed() {
+        let d = MemDisk::new(32);
+        let mut buf = [9u8; 32];
+        d.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32]);
+    }
+
+    #[test]
+    fn filedisk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("qs-filedisk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.bin");
+        {
+            let d = FileDisk::open(&path, 128).unwrap();
+            d.write_at(100, b"persist").unwrap();
+            d.sync().unwrap();
+        }
+        {
+            let d = FileDisk::open(&path, 128).unwrap();
+            let mut buf = [0u8; 7];
+            d.read_at(100, &mut buf).unwrap();
+            assert_eq!(&buf, b"persist");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let d: Box<dyn StableMedia> = Box::new(MemDisk::new(8));
+        assert_eq!(d.len(), 8);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Fuzzed slotted-page operations against a simple model.
+
+use proptest::prelude::*;
+use qs_storage::{Page, MAX_OBJECT_SIZE};
+use qs_types::PageId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>),
+    Free(u16),
+    Write(u16, u8),
+    Compact,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => proptest::collection::vec(any::<u8>(), 1..300).prop_map(Op::Insert),
+            2 => any::<u16>().prop_map(|s| Op::Free(s % 64)),
+            2 => (any::<u16>(), any::<u8>()).prop_map(|(s, v)| Op::Write(s % 64, v)),
+            1 => Just(Op::Compact),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn page_matches_model(ops in ops()) {
+        const PID: PageId = PageId(1);
+        let mut page = Page::new();
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(data) => {
+                    // Errors (full / oversized) leave the model unchanged.
+                    if let Ok(slot) = page.insert(PID, &data) {
+                        prop_assert!(data.len() <= MAX_OBJECT_SIZE);
+                        prop_assert!(!model.contains_key(&slot), "slot reuse of live slot");
+                        model.insert(slot, data);
+                    }
+                }
+                Op::Free(slot) => {
+                    let ours = page.free(PID, slot).is_ok();
+                    let model_had = model.remove(&slot).is_some();
+                    prop_assert_eq!(ours, model_had);
+                }
+                Op::Write(slot, val) => {
+                    if let Some(data) = model.get_mut(&slot) {
+                        let new: Vec<u8> = data.iter().map(|_| val).collect();
+                        page.write(PID, slot, &new).unwrap();
+                        *data = new;
+                    } else {
+                        prop_assert!(page.write(PID, slot, &[0]).is_err());
+                    }
+                }
+                Op::Compact => page.compact(),
+            }
+            // Full consistency check after every op.
+            for (&slot, data) in &model {
+                prop_assert_eq!(page.object(PID, slot).unwrap(), &data[..]);
+            }
+            let live: usize = model.values().map(|d| d.len()).sum();
+            prop_assert_eq!(page.live_bytes(), live);
+        }
+    }
+}

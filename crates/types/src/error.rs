@@ -1,0 +1,116 @@
+//! Error type shared by every crate in the workspace.
+
+use crate::ids::{Oid, PageId, TxnId};
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type QsResult<T> = Result<T, QsError>;
+
+/// All the ways a storage / recovery operation can fail.
+///
+/// The variants are deliberately descriptive rather than generic: most of
+/// them correspond to a specific protocol violation or invariant in the
+/// paper (e.g. `LogBeforePageViolation` is ESM's "log records for a page are
+/// always sent back to the server before the page itself").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QsError {
+    /// Access to a page id past the end of the volume.
+    PageOutOfBounds { page: PageId, volume_pages: usize },
+    /// A slot lookup found no live object.
+    NoSuchObject(Oid),
+    /// Slotted page has no room for the requested object.
+    PageFull { page: PageId, need: usize, free: usize },
+    /// Object larger than the maximum a slotted 8 KB page can hold.
+    ObjectTooLarge { size: usize, max: usize },
+    /// Buffer pool cannot evict anything (all pages pinned).
+    BufferPoolExhausted { capacity: usize },
+    /// Lock request would deadlock or conflicts in no-wait mode.
+    LockConflict { page: PageId, holder: TxnId, requester: TxnId },
+    /// Operation issued for a transaction the server does not consider active.
+    NoSuchTransaction(TxnId),
+    /// Transaction already finished (commit/abort called twice, etc.).
+    TransactionNotActive(TxnId),
+    /// Circular log ran out of reclaimable space.
+    LogFull { capacity: usize, need: usize },
+    /// A log record failed to decode (corrupt bytes, bad tag, short read).
+    LogCorrupt { detail: String },
+    /// Write attempted through a read-only or unmapped virtual frame with no
+    /// fault handler installed to service it.
+    ProtectionFault { detail: String },
+    /// Virtual address does not fall inside any mapped frame.
+    UnmappedAddress { detail: String },
+    /// Access spans a frame boundary (the MMU, like real hardware protection,
+    /// is per-page).
+    CrossesFrameBoundary,
+    /// The client asked the server for something the server cannot honor in
+    /// its current state (protocol bug).
+    Protocol { detail: String },
+    /// ESM rule: a dirty page may not be shipped before its log records.
+    LogBeforePageViolation(PageId),
+    /// Recovery/restart found an inconsistency it cannot repair.
+    RecoveryFailed { detail: String },
+    /// The simulated server is crashed; volatile operations are unavailable.
+    ServerCrashed,
+    /// Catch-all for configuration mistakes in the harness.
+    Config { detail: String },
+}
+
+impl fmt::Display for QsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsError::PageOutOfBounds { page, volume_pages } => {
+                write!(f, "page {page} out of bounds (volume has {volume_pages} pages)")
+            }
+            QsError::NoSuchObject(oid) => write!(f, "no such object {oid:?}"),
+            QsError::PageFull { page, need, free } => {
+                write!(f, "page {page} full: need {need} bytes, {free} free")
+            }
+            QsError::ObjectTooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds page capacity {max}")
+            }
+            QsError::BufferPoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+            QsError::LockConflict { page, holder, requester } => {
+                write!(f, "lock conflict on {page}: held by {holder}, wanted by {requester}")
+            }
+            QsError::NoSuchTransaction(t) => write!(f, "no such transaction {t}"),
+            QsError::TransactionNotActive(t) => write!(f, "transaction {t} is not active"),
+            QsError::LogFull { capacity, need } => {
+                write!(f, "log full: capacity {capacity} bytes, need {need} more")
+            }
+            QsError::LogCorrupt { detail } => write!(f, "log corrupt: {detail}"),
+            QsError::ProtectionFault { detail } => write!(f, "protection fault: {detail}"),
+            QsError::UnmappedAddress { detail } => write!(f, "unmapped address: {detail}"),
+            QsError::CrossesFrameBoundary => write!(f, "access crosses a frame boundary"),
+            QsError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            QsError::LogBeforePageViolation(p) => {
+                write!(f, "page {p} shipped before its log records")
+            }
+            QsError::RecoveryFailed { detail } => write!(f, "recovery failed: {detail}"),
+            QsError::ServerCrashed => write!(f, "server is crashed"),
+            QsError::Config { detail } => write!(f, "configuration error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PageId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QsError::PageFull { page: PageId(3), need: 100, free: 10 };
+        let s = e.to_string();
+        assert!(s.contains("P3") && s.contains("100") && s.contains("10"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(QsError::ServerCrashed);
+        assert_eq!(e.to_string(), "server is crashed");
+    }
+}

@@ -1,0 +1,234 @@
+//! Strongly-typed identifiers.
+//!
+//! Each wrapper is a plain newtype so identifiers cannot be mixed up at call
+//! sites (a `PageId` is not a `FrameId`, even though both are integers).
+
+use std::fmt;
+
+/// Identifies a page's *permanent location* on the data volume.
+///
+/// The paper calls this the PID; the WPL table is keyed by it. Page 0 is a
+/// valid page (the volume header in our layout is handled by the volume
+/// itself, not by reserving PIDs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "P{}", self.0)
+        } else {
+            write!(f, "P<invalid>")
+        }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A persistent object identifier: a page plus a slot within that page.
+///
+/// QuickStore objects live on slotted pages; an unswizzled on-disk pointer
+/// is logically an `Oid` (plus mapping information resolved at fault time).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl Oid {
+    pub const NULL: Oid = Oid {
+        page: PageId::INVALID,
+        slot: u16::MAX,
+    };
+
+    #[inline]
+    pub fn new(page: PageId, slot: u16) -> Self {
+        Oid { page, slot }
+    }
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Oid(NULL)")
+        } else {
+            write!(f, "Oid({}.{})", self.page, self.slot)
+        }
+    }
+}
+
+/// Transaction identifier (TID in the paper). Monotonically assigned by the
+/// server's transaction manager; never reused within a server lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    pub const INVALID: TxnId = TxnId(u64::MAX);
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Log sequence number: a byte offset into the logical (unwrapped) log
+/// address space. The circular log maps it onto the log disk modulo its
+/// capacity; comparisons on `Lsn` are therefore total even across wraps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    pub const NULL: Lsn = Lsn(0);
+    pub const INVALID: Lsn = Lsn(u64::MAX);
+
+    #[inline]
+    pub fn advance(self, by: usize) -> Lsn {
+        Lsn(self.0 + by as u64)
+    }
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LSN:{}", self.0)
+    }
+}
+
+/// Identifies one client workstation in the page-shipping system.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ClientId(pub u16);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Index of an 8 KB virtual-memory frame in a client's mapped region.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simulated virtual address: `frame * PAGE_SIZE + offset`.
+///
+/// The software MMU (`qs-vmem`) decodes it back into (frame, offset); the
+/// QuickStore descriptor table is keyed by the frame base address exactly as
+/// the paper's height-balanced tree is keyed by mapped address ranges.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    pub const NULL: VAddr = VAddr(0);
+
+    #[inline]
+    pub fn new(frame: FrameId, offset: usize) -> Self {
+        debug_assert!(offset < crate::PAGE_SIZE);
+        VAddr(frame.0 as u64 * crate::PAGE_SIZE as u64 + offset as u64)
+    }
+
+    #[inline]
+    pub fn frame(self) -> FrameId {
+        FrameId((self.0 / crate::PAGE_SIZE as u64) as u32)
+    }
+
+    #[inline]
+    pub fn offset(self) -> usize {
+        (self.0 % crate::PAGE_SIZE as u64) as usize
+    }
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+
+    /// Address `bytes` past this one (may cross into the next frame; the MMU
+    /// rejects accesses that span frames, mirroring per-page protection).
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // pointer arithmetic, not numeric Add
+    pub fn add(self, bytes: usize) -> VAddr {
+        VAddr(self.0 + bytes as u64)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn vaddr_round_trip() {
+        let a = VAddr::new(FrameId(3), 100);
+        assert_eq!(a.frame(), FrameId(3));
+        assert_eq!(a.offset(), 100);
+        assert_eq!(a.0, 3 * PAGE_SIZE as u64 + 100);
+    }
+
+    #[test]
+    fn vaddr_add_crosses_frames() {
+        let a = VAddr::new(FrameId(0), PAGE_SIZE - 1);
+        let b = a.add(1);
+        assert_eq!(b.frame(), FrameId(1));
+        assert_eq!(b.offset(), 0);
+    }
+
+    #[test]
+    fn oid_null_is_null() {
+        assert!(Oid::NULL.is_null());
+        assert!(!Oid::new(PageId(0), 0).is_null());
+    }
+
+    #[test]
+    fn lsn_ordering_and_advance() {
+        let a = Lsn(10);
+        let b = a.advance(90);
+        assert_eq!(b, Lsn(100));
+        assert!(a < b);
+        assert!(Lsn::NULL < a);
+    }
+
+    #[test]
+    fn page_id_display() {
+        assert_eq!(format!("{}", PageId(7)), "P7");
+        assert_eq!(format!("{:?}", PageId::INVALID), "P<invalid>");
+    }
+}

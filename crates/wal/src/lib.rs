@@ -1,0 +1,21 @@
+//! Write-ahead log substrate.
+//!
+//! Two halves:
+//!
+//! * [`record`] — the log-record vocabulary (redo/undo updates, whole-page
+//!   images, commit/abort, CLRs, checkpoints) and a hand-rolled binary
+//!   codec. Every record's encoded size is exactly
+//!   `LOG_HEADER_SIZE + variable payload`, so log-volume arithmetic in the
+//!   experiments matches the paper's "50-byte header + before/after images"
+//!   accounting byte-for-byte (§3.2.2's 116-vs-74-byte example holds).
+//!
+//! * [`log`] — a circular, append-only log manager over a stable medium
+//!   (the paper's dedicated Sun0424 log disk), with an in-memory tail
+//!   buffer, explicit force (WAL discipline), forward and backward scans,
+//!   and space reclamation via `truncate_to`.
+
+pub mod log;
+pub mod record;
+
+pub use log::LogManager;
+pub use record::{CheckpointBody, LogRecord, WplCheckpointEntry};

@@ -1,0 +1,487 @@
+//! Log-record types and their binary codec.
+//!
+//! Encoded layout of every record:
+//!
+//! ```text
+//! 0      4       8    9      17        25            len-4      len
+//! +------+-------+----+------+---------+---- body ---+----------+
+//! | len  | cksum | tag| txn  | prevLsn |  ... pad ...| len(trlr)|
+//! +------+-------+----+------+---------+-------------+----------+
+//! ```
+//!
+//! * `len` appears both first and last (the trailer enables the backward
+//!   scan that WPL restart performs, §3.4.3).
+//! * `cksum` is FNV-1a over `bytes[8..len-4]`; decode rejects corruption.
+//! * The record is padded so `len == LOG_HEADER_SIZE + variable payload`,
+//!   making our log-space accounting identical to the paper's
+//!   "≈50-byte header + images" model.
+
+use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, LOG_HEADER_SIZE, PAGE_SIZE};
+
+/// Fixed bytes before the body: len(4) + cksum(4) + tag(1) + txn(8) + prev(8).
+const PREFIX: usize = 25;
+/// Trailer bytes: the repeated length.
+const TRAILER: usize = 4;
+
+/// FNV-1a, used as a lightweight corruption check on log records.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// One entry of the WPL table as persisted in a checkpoint (§3.4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WplCheckpointEntry {
+    pub page: PageId,
+    /// LSN of the whole-page record holding the page's latest logged image.
+    pub lsn: Lsn,
+    /// Transaction that dirtied the page.
+    pub txn: TxnId,
+    /// Whether that transaction had committed by checkpoint time.
+    pub committed: bool,
+}
+
+/// Body of a checkpoint record. Carries what each recovery flavor needs:
+/// ARIES restart uses the active-transaction and dirty-page tables; WPL
+/// restart uses the serialized WPL table; both use `allocated_pages` to
+/// reconcile the volume header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointBody {
+    /// Active transactions and their most recent log record.
+    pub active_txns: Vec<(TxnId, Lsn)>,
+    /// Server dirty-page table: page → recovery LSN (first dirtying record).
+    pub dirty_pages: Vec<(PageId, Lsn)>,
+    /// WPL table snapshot (empty under ARIES-style schemes).
+    pub wpl_entries: Vec<WplCheckpointEntry>,
+    /// Volume allocation count at checkpoint time.
+    pub allocated_pages: u64,
+}
+
+/// The log-record vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Byte-range update with redo (`after`) and undo (`before`) images —
+    /// the unit the diffing schemes generate (§3.2.2). `offset` is relative
+    /// to the start of the object in `page.slot`.
+    Update {
+        txn: TxnId,
+        prev: Lsn,
+        page: PageId,
+        slot: u16,
+        offset: u16,
+        before: Vec<u8>,
+        after: Vec<u8>,
+    },
+    /// Whole-page after-image. Used by WPL for every dirty page (§3.4) and
+    /// by ESM for newly created pages (§3.6 notes ESM already supported
+    /// this for new pages).
+    WholePage { txn: TxnId, prev: Lsn, page: PageId, image: Vec<u8> },
+    /// Page allocation (so restart can reconcile the volume header).
+    PageAlloc { txn: TxnId, prev: Lsn, page: PageId },
+    /// Transaction commit.
+    Commit { txn: TxnId, prev: Lsn },
+    /// Transaction abort (end of rollback).
+    Abort { txn: TxnId, prev: Lsn },
+    /// ARIES compensation record: `after` is the undo image that was
+    /// applied; `undo_next` continues rollback before the compensated
+    /// record.
+    Clr {
+        txn: TxnId,
+        prev: Lsn,
+        page: PageId,
+        slot: u16,
+        offset: u16,
+        after: Vec<u8>,
+        undo_next: Lsn,
+    },
+    /// Checkpoint.
+    Checkpoint { body: CheckpointBody },
+}
+
+impl LogRecord {
+    pub fn txn(&self) -> TxnId {
+        match self {
+            LogRecord::Update { txn, .. }
+            | LogRecord::WholePage { txn, .. }
+            | LogRecord::PageAlloc { txn, .. }
+            | LogRecord::Commit { txn, .. }
+            | LogRecord::Abort { txn, .. }
+            | LogRecord::Clr { txn, .. } => *txn,
+            LogRecord::Checkpoint { .. } => TxnId::INVALID,
+        }
+    }
+
+    /// Per-transaction backward chain pointer.
+    pub fn prev(&self) -> Lsn {
+        match self {
+            LogRecord::Update { prev, .. }
+            | LogRecord::WholePage { prev, .. }
+            | LogRecord::PageAlloc { prev, .. }
+            | LogRecord::Commit { prev, .. }
+            | LogRecord::Abort { prev, .. }
+            | LogRecord::Clr { prev, .. } => *prev,
+            LogRecord::Checkpoint { .. } => Lsn::NULL,
+        }
+    }
+
+    /// The page this record touches, if any.
+    pub fn page(&self) -> Option<PageId> {
+        match self {
+            LogRecord::Update { page, .. }
+            | LogRecord::WholePage { page, .. }
+            | LogRecord::PageAlloc { page, .. }
+            | LogRecord::Clr { page, .. } => Some(*page),
+            _ => None,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            LogRecord::Update { .. } => 1,
+            LogRecord::WholePage { .. } => 2,
+            LogRecord::PageAlloc { .. } => 3,
+            LogRecord::Commit { .. } => 4,
+            LogRecord::Abort { .. } => 5,
+            LogRecord::Clr { .. } => 6,
+            LogRecord::Checkpoint { .. } => 7,
+        }
+    }
+
+    fn body_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            LogRecord::Update { page, slot, offset, before, after, .. } => {
+                b.extend_from_slice(&page.0.to_le_bytes());
+                b.extend_from_slice(&slot.to_le_bytes());
+                b.extend_from_slice(&offset.to_le_bytes());
+                b.extend_from_slice(&(before.len() as u16).to_le_bytes());
+                b.extend_from_slice(&(after.len() as u16).to_le_bytes());
+                b.extend_from_slice(before);
+                b.extend_from_slice(after);
+            }
+            LogRecord::WholePage { page, image, .. } => {
+                b.extend_from_slice(&page.0.to_le_bytes());
+                b.extend_from_slice(image);
+            }
+            LogRecord::PageAlloc { page, .. } => {
+                b.extend_from_slice(&page.0.to_le_bytes());
+            }
+            LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
+            LogRecord::Clr { page, slot, offset, after, undo_next, .. } => {
+                b.extend_from_slice(&page.0.to_le_bytes());
+                b.extend_from_slice(&slot.to_le_bytes());
+                b.extend_from_slice(&offset.to_le_bytes());
+                b.extend_from_slice(&(after.len() as u16).to_le_bytes());
+                b.extend_from_slice(after);
+                b.extend_from_slice(&undo_next.0.to_le_bytes());
+            }
+            LogRecord::Checkpoint { body } => {
+                b.extend_from_slice(&(body.active_txns.len() as u32).to_le_bytes());
+                for (t, l) in &body.active_txns {
+                    b.extend_from_slice(&t.0.to_le_bytes());
+                    b.extend_from_slice(&l.0.to_le_bytes());
+                }
+                b.extend_from_slice(&(body.dirty_pages.len() as u32).to_le_bytes());
+                for (p, l) in &body.dirty_pages {
+                    b.extend_from_slice(&p.0.to_le_bytes());
+                    b.extend_from_slice(&l.0.to_le_bytes());
+                }
+                b.extend_from_slice(&(body.wpl_entries.len() as u32).to_le_bytes());
+                for e in &body.wpl_entries {
+                    b.extend_from_slice(&e.page.0.to_le_bytes());
+                    b.extend_from_slice(&e.lsn.0.to_le_bytes());
+                    b.extend_from_slice(&e.txn.0.to_le_bytes());
+                    b.push(e.committed as u8);
+                }
+                b.extend_from_slice(&body.allocated_pages.to_le_bytes());
+            }
+        }
+        b
+    }
+
+    /// The record's "variable payload" for the paper's accounting model:
+    /// before/after images for updates, the full page for whole-page
+    /// records, the table entries for checkpoints.
+    fn variable_payload(&self) -> usize {
+        match self {
+            LogRecord::Update { before, after, .. } => before.len() + after.len(),
+            LogRecord::WholePage { .. } => PAGE_SIZE,
+            LogRecord::Clr { after, .. } => after.len() + 8,
+            LogRecord::Checkpoint { .. } => self.body_bytes().len(),
+            _ => 0,
+        }
+    }
+
+    /// Encoded size: exactly `LOG_HEADER_SIZE + variable payload` (§3.2.2's
+    /// model), never smaller than the wire fields require.
+    pub fn encoded_len(&self) -> usize {
+        let wire = PREFIX + self.body_bytes().len() + TRAILER;
+        wire.max(LOG_HEADER_SIZE + self.variable_payload())
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.body_bytes();
+        let total = (PREFIX + body.len() + TRAILER).max(LOG_HEADER_SIZE + self.variable_payload());
+        let mut out = vec![0u8; total];
+        out[0..4].copy_from_slice(&(total as u32).to_le_bytes());
+        out[8] = self.tag();
+        out[9..17].copy_from_slice(&self.txn().0.to_le_bytes());
+        out[17..25].copy_from_slice(&self.prev().0.to_le_bytes());
+        out[PREFIX..PREFIX + body.len()].copy_from_slice(&body);
+        out[total - 4..].copy_from_slice(&(total as u32).to_le_bytes());
+        let ck = fnv1a(&out[8..total - 4]);
+        out[4..8].copy_from_slice(&ck.to_le_bytes());
+        out
+    }
+
+    /// Decode one record from `bytes` (which must contain the full record).
+    pub fn decode(bytes: &[u8]) -> QsResult<LogRecord> {
+        let corrupt = |d: &str| QsError::LogCorrupt { detail: d.to_string() };
+        if bytes.len() < PREFIX + TRAILER {
+            return Err(corrupt("record shorter than fixed header"));
+        }
+        let total = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        if total != bytes.len() {
+            return Err(corrupt(&format!("length prefix {total} != {} bytes given", bytes.len())));
+        }
+        let trailer = u32::from_le_bytes(bytes[total - 4..].try_into().unwrap()) as usize;
+        if trailer != total {
+            return Err(corrupt("trailer length mismatch"));
+        }
+        let ck = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if ck != fnv1a(&bytes[8..total - 4]) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let tag = bytes[8];
+        let txn = TxnId(u64::from_le_bytes(bytes[9..17].try_into().unwrap()));
+        let prev = Lsn(u64::from_le_bytes(bytes[17..25].try_into().unwrap()));
+        let mut r = Reader { b: bytes, at: PREFIX };
+        let rec = match tag {
+            1 => {
+                let page = PageId(r.u32()?);
+                let slot = r.u16()?;
+                let offset = r.u16()?;
+                let blen = r.u16()? as usize;
+                let alen = r.u16()? as usize;
+                let before = r.bytes(blen)?.to_vec();
+                let after = r.bytes(alen)?.to_vec();
+                LogRecord::Update { txn, prev, page, slot, offset, before, after }
+            }
+            2 => {
+                let page = PageId(r.u32()?);
+                let image = r.bytes(PAGE_SIZE)?.to_vec();
+                LogRecord::WholePage { txn, prev, page, image }
+            }
+            3 => LogRecord::PageAlloc { txn, prev, page: PageId(r.u32()?) },
+            4 => LogRecord::Commit { txn, prev },
+            5 => LogRecord::Abort { txn, prev },
+            6 => {
+                let page = PageId(r.u32()?);
+                let slot = r.u16()?;
+                let offset = r.u16()?;
+                let alen = r.u16()? as usize;
+                let after = r.bytes(alen)?.to_vec();
+                let undo_next = Lsn(r.u64()?);
+                LogRecord::Clr { txn, prev, page, slot, offset, after, undo_next }
+            }
+            7 => {
+                let mut body = CheckpointBody::default();
+                let na = r.u32()? as usize;
+                for _ in 0..na {
+                    body.active_txns.push((TxnId(r.u64()?), Lsn(r.u64()?)));
+                }
+                let nd = r.u32()? as usize;
+                for _ in 0..nd {
+                    body.dirty_pages.push((PageId(r.u32()?), Lsn(r.u64()?)));
+                }
+                let nw = r.u32()? as usize;
+                for _ in 0..nw {
+                    body.wpl_entries.push(WplCheckpointEntry {
+                        page: PageId(r.u32()?),
+                        lsn: Lsn(r.u64()?),
+                        txn: TxnId(r.u64()?),
+                        committed: r.u8()? != 0,
+                    });
+                }
+                body.allocated_pages = r.u64()?;
+                LogRecord::Checkpoint { body }
+            }
+            t => return Err(corrupt(&format!("unknown record tag {t}"))),
+        };
+        Ok(rec)
+    }
+}
+
+/// Minimal cursor over a byte slice.
+struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> QsResult<&'a [u8]> {
+        if self.at + n > self.b.len() {
+            return Err(QsError::LogCorrupt { detail: "body truncated".into() });
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> QsResult<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u16(&mut self) -> QsResult<u16> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> QsResult<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> QsResult<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(r: &LogRecord) {
+        let enc = r.encode();
+        assert_eq!(enc.len(), r.encoded_len());
+        let dec = LogRecord::decode(&enc).unwrap();
+        assert_eq!(&dec, r);
+    }
+
+    #[test]
+    fn update_round_trip_and_paper_size_model() {
+        let r = LogRecord::Update {
+            txn: TxnId(7),
+            prev: Lsn(100),
+            page: PageId(3),
+            slot: 2,
+            offset: 16,
+            before: vec![1, 2, 3, 4],
+            after: vec![5, 6, 7, 8],
+        };
+        round_trip(&r);
+        // Paper §3.2.2: one word updated → 50 + 4 + 4 = 58 bytes.
+        assert_eq!(r.encoded_len(), LOG_HEADER_SIZE + 8);
+    }
+
+    #[test]
+    fn paper_116_vs_74_byte_example() {
+        // First and third words of an object updated. Two separate records:
+        let sep: usize = 2 * (LOG_HEADER_SIZE + 4 + 4);
+        // One combined record spanning words 1..3 (12-byte images):
+        let comb: usize = LOG_HEADER_SIZE + 12 + 12;
+        assert_eq!(sep, 116);
+        assert_eq!(comb, 74);
+    }
+
+    #[test]
+    fn whole_page_round_trip() {
+        let r = LogRecord::WholePage {
+            txn: TxnId(1),
+            prev: Lsn::NULL,
+            page: PageId(9),
+            image: (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect(),
+        };
+        round_trip(&r);
+        assert_eq!(r.encoded_len(), LOG_HEADER_SIZE + PAGE_SIZE);
+    }
+
+    #[test]
+    fn control_records_round_trip() {
+        round_trip(&LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) });
+        round_trip(&LogRecord::Abort { txn: TxnId(5), prev: Lsn(44) });
+        round_trip(&LogRecord::PageAlloc { txn: TxnId(5), prev: Lsn(44), page: PageId(77) });
+        round_trip(&LogRecord::Clr {
+            txn: TxnId(5),
+            prev: Lsn(44),
+            page: PageId(8),
+            slot: 0,
+            offset: 4,
+            after: vec![9; 16],
+            undo_next: Lsn(12),
+        });
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let r = LogRecord::Checkpoint {
+            body: CheckpointBody {
+                active_txns: vec![(TxnId(1), Lsn(10)), (TxnId(2), Lsn(20))],
+                dirty_pages: vec![(PageId(5), Lsn(8))],
+                wpl_entries: vec![
+                    WplCheckpointEntry {
+                        page: PageId(3),
+                        lsn: Lsn(99),
+                        txn: TxnId(1),
+                        committed: true,
+                    },
+                    WplCheckpointEntry {
+                        page: PageId(4),
+                        lsn: Lsn(120),
+                        txn: TxnId(2),
+                        committed: false,
+                    },
+                ],
+                allocated_pages: 1234,
+            },
+        };
+        round_trip(&r);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let r = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) };
+        let mut enc = r.encode();
+        enc[10] ^= 0xFF; // flip a bit in the txn id
+        assert!(matches!(LogRecord::decode(&enc), Err(QsError::LogCorrupt { .. })));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let r = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) };
+        let enc = r.encode();
+        assert!(LogRecord::decode(&enc[..enc.len() - 1]).is_err());
+        assert!(LogRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let r = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) };
+        let mut enc = r.encode();
+        enc[8] = 200;
+        // Fix the checksum so only the tag is wrong.
+        let total = enc.len();
+        let ck = fnv1a(&enc[8..total - 4]);
+        enc[4..8].copy_from_slice(&ck.to_le_bytes());
+        let err = LogRecord::decode(&enc).unwrap_err();
+        assert!(err.to_string().contains("unknown record tag"));
+    }
+
+    #[test]
+    fn accessors() {
+        let r = LogRecord::Update {
+            txn: TxnId(9),
+            prev: Lsn(5),
+            page: PageId(2),
+            slot: 0,
+            offset: 0,
+            before: vec![0],
+            after: vec![1],
+        };
+        assert_eq!(r.txn(), TxnId(9));
+        assert_eq!(r.prev(), Lsn(5));
+        assert_eq!(r.page(), Some(PageId(2)));
+        let c = LogRecord::Checkpoint { body: CheckpointBody::default() };
+        assert_eq!(c.txn(), TxnId::INVALID);
+        assert_eq!(c.page(), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Codec round-trip and size-model properties for every log-record type.
+
+use proptest::prelude::*;
+use qs_types::{Lsn, PageId, TxnId, LOG_HEADER_SIZE};
+use qs_wal::{CheckpointBody, LogRecord, WplCheckpointEntry};
+
+fn update_record() -> impl Strategy<Value = LogRecord> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u16>(),
+        0u16..4096,
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(t, p, pg, slot, off, img)| LogRecord::Update {
+            txn: TxnId(t),
+            prev: Lsn(p),
+            page: PageId(pg),
+            slot,
+            offset: off,
+            before: img.clone(),
+            after: img.iter().map(|b| b.wrapping_add(1)).collect(),
+        })
+}
+
+fn any_record() -> impl Strategy<Value = LogRecord> {
+    prop_oneof![
+        update_record(),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, p)| LogRecord::Commit {
+            txn: TxnId(t),
+            prev: Lsn(p)
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, p)| LogRecord::Abort {
+            txn: TxnId(t),
+            prev: Lsn(p)
+        }),
+        (any::<u64>(), any::<u32>()).prop_map(|(t, pg)| LogRecord::PageAlloc {
+            txn: TxnId(t),
+            prev: Lsn::NULL,
+            page: PageId(pg)
+        }),
+        (any::<u64>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64), any::<u64>())
+            .prop_map(|(t, pg, after, un)| LogRecord::Clr {
+                txn: TxnId(t),
+                prev: Lsn::NULL,
+                page: PageId(pg),
+                slot: 0,
+                offset: 0,
+                after,
+                undo_next: Lsn(un),
+            }),
+        proptest::collection::vec(
+            (any::<u32>(), any::<u64>(), any::<u64>(), any::<bool>()),
+            0..20
+        )
+        .prop_map(|entries| LogRecord::Checkpoint {
+            body: CheckpointBody {
+                active_txns: vec![(TxnId(3), Lsn(9))],
+                dirty_pages: vec![(PageId(1), Lsn(5))],
+                wpl_entries: entries
+                    .into_iter()
+                    .map(|(p, l, t, c)| WplCheckpointEntry {
+                        page: PageId(p),
+                        lsn: Lsn(l),
+                        txn: TxnId(t),
+                        committed: c,
+                    })
+                    .collect(),
+                allocated_pages: 42,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(rec in any_record()) {
+        let enc = rec.encode();
+        prop_assert_eq!(enc.len(), rec.encoded_len());
+        let dec = LogRecord::decode(&enc).unwrap();
+        prop_assert_eq!(dec, rec);
+    }
+
+    #[test]
+    fn update_size_matches_paper_model(rec in update_record()) {
+        if let LogRecord::Update { ref before, ref after, .. } = rec {
+            prop_assert_eq!(
+                rec.encoded_len(),
+                LOG_HEADER_SIZE + before.len() + after.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_bitflip_detected(rec in any_record(), pos_seed in any::<u64>()) {
+        let mut enc = rec.encode();
+        // Flip one bit somewhere in the checksummed region [8, len-4).
+        let span = enc.len() - 12;
+        prop_assume!(span > 0);
+        let pos = 8 + (pos_seed as usize % span);
+        enc[pos] ^= 1;
+        prop_assert!(LogRecord::decode(&enc).is_err());
+    }
+}

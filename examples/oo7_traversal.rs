@@ -1,0 +1,71 @@
+//! Generate a small OO7 module and run the paper's update traversals under
+//! one chosen recovery scheme, printing the protocol traffic each one
+//! produces — a miniature of the experiments in §5.
+//!
+//! Run: `cargo run --release --example oo7_traversal [PD-ESM|SD-ESM|SL-ESM|PD-REDO|WPL]`
+
+use qs_repro::core::{Store, SystemConfig};
+use qs_repro::esm::{ClientConn, Server, ServerConfig};
+use qs_repro::oo7::{gen, params::Oo7Params, traversal, T2Mode};
+use qs_repro::sim::Meter;
+use qs_repro::types::ClientId;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "PD-ESM".to_string());
+    let cfg = match which.as_str() {
+        "PD-ESM" => SystemConfig::pd_esm(),
+        "SD-ESM" => SystemConfig::sd_esm(),
+        "SL-ESM" => SystemConfig::sl_esm(),
+        "PD-REDO" => SystemConfig::pd_redo(),
+        "WPL" => SystemConfig::wpl(),
+        other => {
+            eprintln!("unknown system {other}; use PD-ESM|SD-ESM|SL-ESM|PD-REDO|WPL");
+            std::process::exit(2);
+        }
+    }
+    .with_memory(12.0, 4.0);
+    println!("system: {}", cfg.name());
+
+    let meter = Meter::new();
+    let server = Arc::new(Server::format(
+        ServerConfig::new(cfg.flavor)
+            .with_pool_mb(36.0)
+            .with_volume_pages(2048)
+            .with_log_mb(64.0),
+        Arc::clone(&meter),
+    )?);
+    let mut params = Oo7Params::small();
+    params.num_modules = 1;
+    println!("generating one small OO7 module…");
+    let db = gen::generate(&server, &params, 1995)?;
+    println!("module: {:.1} MB across {} pages", db.module_mb(), db.modules[0].pages);
+
+    let client =
+        ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter.clone());
+    let mut store = Store::new(client, cfg)?;
+
+    for mode in [T2Mode::A, T2Mode::B, T2Mode::C] {
+        // Warm-up transaction, then a measured one.
+        store.begin()?;
+        traversal::t2(&mut store, &db.modules[0], mode)?;
+        store.commit()?;
+        let before = meter.snapshot();
+        store.begin()?;
+        let updates = traversal::t2(&mut store, &db.modules[0], mode)?;
+        store.commit()?;
+        let w = meter.snapshot().since(&before);
+        println!(
+            "\n{}: {updates} updates\n  write faults {:<6} update-fn calls {:<8} bytes copied {:<9} bytes diffed {}\n  log records {:<7} log pages shipped {:<4} dirty pages shipped {}",
+            mode.name(),
+            w.write_faults,
+            w.update_fn_calls,
+            w.bytes_copied,
+            w.bytes_diffed,
+            w.log_records_generated,
+            w.log_record_pages_shipped,
+            w.dirty_pages_shipped,
+        );
+    }
+    Ok(())
+}

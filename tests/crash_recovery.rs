@@ -1,0 +1,211 @@
+//! Cross-crate crash-recovery integration tests: scripted crashes at every
+//! interesting point of the protocol, for every software version.
+
+use qs_repro::core::{Store, SystemConfig};
+use qs_repro::esm::{ClientConn, Server, ServerConfig, StableParts};
+use qs_repro::sim::Meter;
+use qs_repro::storage::Page;
+use qs_repro::types::{ClientId, Oid, QsResult};
+use std::sync::Arc;
+
+fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
+    ServerConfig::new(cfg.flavor)
+        .with_pool_mb(1.0)
+        .with_volume_pages(256)
+        .with_log_mb(8.0)
+}
+
+fn all_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::pd_esm().with_memory(1.0, 0.25),
+        SystemConfig::sd_esm().with_memory(1.0, 0.25),
+        SystemConfig::sl_esm().with_memory(1.0, 0.25),
+        SystemConfig::pd_redo().with_memory(1.0, 0.25),
+        SystemConfig::wpl().with_memory(1.0, 0.25),
+    ]
+}
+
+fn build(cfg: &SystemConfig) -> QsResult<(Store, Arc<Server>, Vec<Oid>)> {
+    let meter = Meter::new();
+    let server = Arc::new(Server::format(server_cfg(cfg), Arc::clone(&meter))?);
+    let pids = server.bulk_allocate(10)?;
+    let mut oids = Vec::new();
+    for &pid in &pids {
+        let mut p = Page::new();
+        for _ in 0..4 {
+            oids.push(Oid::new(pid, p.insert(pid, &[0u8; 100])?));
+        }
+        server.bulk_write(pid, &p)?;
+    }
+    server.bulk_sync()?;
+    let client =
+        ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    Ok((Store::new(client, cfg.clone())?, server, oids))
+}
+
+fn crash(store: Store, server: Arc<Server>) -> StableParts {
+    drop(store);
+    Arc::try_unwrap(server).ok().expect("sole owner").crash()
+}
+
+fn value_at(server: &Server, oid: Oid) -> Vec<u8> {
+    server
+        .read_page_for_test(oid.page)
+        .unwrap()
+        .object(oid.page, oid.slot)
+        .unwrap()
+        .to_vec()
+}
+
+#[test]
+fn crash_between_commits_keeps_exactly_committed_state() {
+    for cfg in all_configs() {
+        let name = cfg.name();
+        let (mut store, server, oids) = build(&cfg).unwrap();
+        // Ten committed transactions, each updating two objects.
+        for round in 1..=10u8 {
+            store.begin().unwrap();
+            store.modify(oids[(round as usize) % oids.len()], 0, &[round; 20]).unwrap();
+            store.modify(oids[0], 50, &[round; 20]).unwrap();
+            store.commit().unwrap();
+        }
+        // One in-flight transaction at crash time.
+        store.begin().unwrap();
+        store.modify(oids[3], 0, &[0xEE; 20]).unwrap();
+
+        let parts = crash(store, server);
+        let restarted = Server::restart(parts, server_cfg(&cfg), Meter::new()).unwrap();
+        assert_eq!(value_at(&restarted, oids[0])[50..70], [10u8; 20], "{name}");
+        assert_eq!(value_at(&restarted, oids[10])[0..20], [10u8; 20], "{name}");
+        // oids[3] was committed in round 3 (value 3) and dirtied by the
+        // loser; the loser's bytes must be gone.
+        assert_eq!(value_at(&restarted, oids[3])[0..20], [3u8; 20], "{name}");
+    }
+}
+
+#[test]
+fn double_crash_is_idempotent() {
+    // Crash, restart, crash again immediately (before any new work), and
+    // restart again: recovery must be stable under repetition.
+    for cfg in all_configs() {
+        let name = cfg.name();
+        let (mut store, server, oids) = build(&cfg).unwrap();
+        store.begin().unwrap();
+        store.modify(oids[7], 0, &[42u8; 32]).unwrap();
+        store.commit().unwrap();
+        let parts = crash(store, server);
+        let r1 = Server::restart(parts, server_cfg(&cfg), Meter::new()).unwrap();
+        let parts = r1.crash();
+        let r2 = Server::restart(parts, server_cfg(&cfg), Meter::new()).unwrap();
+        assert_eq!(value_at(&r2, oids[7])[0..32], [42u8; 32], "{name}");
+        assert_eq!(r2.active_txns(), 0, "{name}");
+    }
+}
+
+#[test]
+fn wpl_crash_with_unreclaimed_log_then_workload_continues() {
+    // Commit many transactions under WPL so the log holds multiple
+    // generations of the same pages, crash without quiescing, restart, and
+    // keep working — the reconstructed WPL table must serve reads and the
+    // reclaim machinery must still drain it.
+    let cfg = SystemConfig::wpl().with_memory(1.0, 0.25);
+    let (mut store, server, oids) = build(&cfg).unwrap();
+    for round in 1..=20u8 {
+        store.begin().unwrap();
+        store.modify(oids[0], 0, &[round; 16]).unwrap();
+        store.modify(oids[4], 0, &[round; 16]).unwrap();
+        store.commit().unwrap();
+    }
+    let parts = crash(store, server);
+    let restarted =
+        Arc::new(Server::restart(parts, server_cfg(&cfg), Meter::new()).unwrap());
+    assert!(restarted.wpl_table_len() > 0, "entries reconstructed");
+    assert_eq!(value_at(&restarted, oids[0])[0..16], [20u8; 16]);
+
+    // Continue transacting on the restarted server.
+    let client = ClientConn::new(
+        ClientId(1),
+        Arc::clone(&restarted),
+        cfg.client_pool_pages(),
+        Meter::new(),
+    );
+    let mut store = Store::new(client, cfg.clone()).unwrap();
+    store.begin().unwrap();
+    store.modify(oids[0], 0, &[99u8; 16]).unwrap();
+    store.commit().unwrap();
+    restarted.quiesce().unwrap();
+    assert_eq!(restarted.wpl_table_len(), 0);
+    assert_eq!(value_at(&restarted, oids[0])[0..16], [99u8; 16]);
+}
+
+#[test]
+fn client_paging_mid_transaction_then_crash() {
+    // Tiny client pool forces mid-transaction eviction (log records and
+    // pages ship early); a crash right after commit must still recover all
+    // of it, under every scheme.
+    let page_mb = 8192.0 / (1024.0 * 1024.0);
+    for mut cfg in all_configs() {
+        // Every scheme ends up with an 8-page client pool (< the 10-page
+        // working set): diffing schemes get 12 pages minus a 4-page
+        // recovery buffer, WPL gets 8 pages outright.
+        if cfg.flavor == qs_repro::esm::RecoveryFlavor::Wpl {
+            cfg.client_memory_mb = 8.0 * page_mb;
+            cfg.recovery_buffer_mb = 0.0;
+        } else {
+            cfg.client_memory_mb = 12.0 * page_mb;
+            cfg.recovery_buffer_mb = 4.0 * page_mb;
+        }
+        let name = cfg.name();
+        let (mut store, server, oids) = build(&cfg).unwrap();
+        store.begin().unwrap();
+        // Touch all 10 pages (pool holds ~8): paging guaranteed.
+        for (i, &oid) in oids.iter().enumerate() {
+            store.modify(oid, 0, &[(i + 1) as u8; 24]).unwrap();
+        }
+        store.commit().unwrap();
+        assert!(store.meter().snapshot().client_evictions > 0, "{name}: no paging happened");
+        let parts = crash(store, server);
+        let restarted = Server::restart(parts, server_cfg(&cfg), Meter::new()).unwrap();
+        for (i, &oid) in oids.iter().enumerate() {
+            assert_eq!(value_at(&restarted, oid)[0..24], [(i + 1) as u8; 24], "{name} oid {i}");
+        }
+    }
+}
+
+#[test]
+fn log_wraparound_under_sustained_load() {
+    // A log far smaller than the total write volume: watermark maintenance
+    // (checkpoints / WPL reclaim) must keep the circular log usable forever.
+    for cfg in [
+        SystemConfig::pd_esm().with_memory(1.0, 0.25),
+        SystemConfig::wpl().with_memory(1.0, 0.25),
+    ] {
+        let name = cfg.name();
+        let mut scfg = server_cfg(&cfg);
+        scfg.log_bytes = 96 * 8192; // 96 log pages
+        let meter = Meter::new();
+        let server = Arc::new(Server::format(scfg.clone(), Arc::clone(&meter)).unwrap());
+        let pids = server.bulk_allocate(4).unwrap();
+        let mut oids = Vec::new();
+        for &pid in &pids {
+            let mut p = Page::new();
+            oids.push(Oid::new(pid, p.insert(pid, &[0u8; 100]).unwrap()));
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        let client =
+            ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+        let mut store = Store::new(client, cfg.clone()).unwrap();
+        for round in 0..200u32 {
+            store.begin().unwrap();
+            for &oid in &oids {
+                store.modify(oid, 0, &[(round % 251) as u8; 64]).unwrap();
+            }
+            store.commit().unwrap();
+        }
+        // Total logged volume far exceeds 96 pages → wraparound happened.
+        let parts = crash(store, server);
+        let restarted = Server::restart(parts, scfg, Meter::new()).unwrap();
+        assert_eq!(value_at(&restarted, oids[0])[0..64], [199u8; 64], "{name}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The strongest cross-crate invariant: a deterministic OO7 workload must
+//! leave byte-identical object state no matter which recovery scheme ran
+//! it — before AND after a crash/restart cycle.
+
+use qs_repro::core::{Store, SystemConfig};
+use qs_repro::esm::{ClientConn, Server, ServerConfig};
+use qs_repro::oo7::{gen, params::Oo7Params, traversal, T2Mode};
+use qs_repro::sim::Meter;
+use qs_repro::types::{ClientId, PageId};
+use std::sync::Arc;
+
+fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
+    ServerConfig::new(cfg.flavor)
+        .with_pool_mb(2.0)
+        .with_volume_pages(2048)
+        .with_log_mb(32.0)
+}
+
+/// Run T2A, T2B, T2C (one committed transaction each) on a tiny OO7
+/// module, crash, restart, quiesce, and dump all object bytes.
+fn run_and_dump(cfg: SystemConfig) -> (String, Vec<Vec<u8>>) {
+    let name = cfg.name();
+    let meter = Meter::new();
+    let server = Arc::new(Server::format(server_cfg(&cfg), Arc::clone(&meter)).unwrap());
+    let mut params = Oo7Params::tiny();
+    params.num_modules = 1;
+    let db = gen::generate(&server, &params, 2024).unwrap();
+    let pages = db.total_pages;
+    let client =
+        ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    let mut store = Store::new(client, cfg).unwrap();
+    for mode in [T2Mode::A, T2Mode::B, T2Mode::C] {
+        store.begin().unwrap();
+        traversal::t2(&mut store, &db.modules[0], mode).unwrap();
+        store.commit().unwrap();
+    }
+    drop(store);
+    let server = Arc::try_unwrap(server).ok().expect("sole owner");
+    let parts = server.crash();
+    let restarted = Server::restart(parts, server_cfg_from_name(&name), Meter::new()).unwrap();
+    restarted.quiesce().unwrap();
+    let mut dump = Vec::new();
+    for pid in 0..pages as u32 {
+        let page = restarted.read_page_for_test(PageId(pid)).unwrap();
+        // Object bytes only (pageLSN headers legitimately differ by scheme).
+        let mut objs = Vec::new();
+        for (_slot, off, len) in page.live_objects() {
+            objs.extend_from_slice(&page.bytes()[off..off + len]);
+        }
+        dump.push(objs);
+    }
+    (name, dump)
+}
+
+fn server_cfg_from_name(name: &str) -> ServerConfig {
+    let cfg = config_by_name(name);
+    server_cfg(&cfg)
+}
+
+fn config_by_name(name: &str) -> SystemConfig {
+    match name {
+        "PD-ESM" => SystemConfig::pd_esm().with_memory(2.0, 0.5),
+        "SD-ESM" => SystemConfig::sd_esm().with_memory(2.0, 0.5),
+        "SL-ESM" => SystemConfig::sl_esm().with_memory(2.0, 0.5),
+        "PD-REDO" => SystemConfig::pd_redo().with_memory(2.0, 0.5),
+        "WPL" => SystemConfig::wpl().with_memory(2.0, 0.0),
+        other => panic!("unknown {other}"),
+    }
+}
+
+#[test]
+fn all_schemes_produce_identical_databases_after_crash() {
+    let names = ["PD-ESM", "SD-ESM", "SL-ESM", "PD-REDO", "WPL"];
+    let mut dumps = Vec::new();
+    for n in names {
+        dumps.push(run_and_dump(config_by_name(n)));
+    }
+    let (ref_name, ref_dump) = &dumps[0];
+    for (name, dump) in &dumps[1..] {
+        assert_eq!(ref_dump.len(), dump.len(), "{ref_name} vs {name}: page counts");
+        for (i, (a, b)) in ref_dump.iter().zip(dump).enumerate() {
+            assert_eq!(a, b, "page {i} differs: {ref_name} vs {name}");
+        }
+    }
+}
+
+#[test]
+fn traversal_counts_scale_with_constrained_memory() {
+    // A store whose client pool is smaller than the module: traversals
+    // still complete with identical update counts, just more slowly
+    // (paging) — the big-database experiments' mechanism in miniature.
+    let roomy = SystemConfig::pd_esm().with_memory(2.0, 0.5);
+    // The tiny module spans only a handful of pages; a 3-page pool is
+    // guaranteed to page on it.
+    let page_mb = 8192.0 / (1024.0 * 1024.0);
+    let mut tight = SystemConfig::pd_esm();
+    tight.client_memory_mb = 5.0 * page_mb;
+    tight.recovery_buffer_mb = 2.0 * page_mb;
+
+    let mut results = Vec::new();
+    for cfg in [roomy, tight] {
+        let meter = Meter::new();
+        let server = Arc::new(Server::format(server_cfg(&cfg), Arc::clone(&meter)).unwrap());
+        let mut params = Oo7Params::tiny();
+        params.num_modules = 1;
+        let db = gen::generate(&server, &params, 7).unwrap();
+        let client = ClientConn::new(
+            ClientId(0),
+            Arc::clone(&server),
+            cfg.client_pool_pages(),
+            Arc::clone(&meter),
+        );
+        let mut store = Store::new(client, cfg).unwrap();
+        store.begin().unwrap();
+        let updates = traversal::t2(&mut store, &db.modules[0], T2Mode::B).unwrap();
+        store.commit().unwrap();
+        results.push((updates, meter.snapshot().client_evictions));
+    }
+    assert_eq!(results[0].0, results[1].0, "same logical work");
+    assert_eq!(results[0].1, 0, "roomy pool must not page");
+    assert!(results[1].1 > 0, "tight pool must page");
+}
