@@ -1,7 +1,16 @@
 //! Regenerates the paper's fig04_05 output. See DESIGN.md §4.
+//!
+//! Pass `--json` for the machine-readable form (hand-rolled writer — the
+//! workspace has no serde).
 
 fn main() {
-    match qs_bench::figures::fig04_05() {
+    let json = std::env::args().any(|a| a == "--json");
+    let result = if json {
+        qs_bench::figures::fig04_05_json()
+    } else {
+        qs_bench::figures::fig04_05()
+    };
+    match result {
         Ok(s) => print!("{s}"),
         Err(e) => {
             eprintln!("error: {e}");

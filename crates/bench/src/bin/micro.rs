@@ -1,0 +1,212 @@
+//! Micro-benchmarks for the core mechanisms the paper's analysis hinges
+//! on: the region-combining diff, the AVL descriptor index, buffer-pool
+//! replacement, log append/force, lock acquisition, and the per-update
+//! cost of hardware vs software detection.
+//!
+//! A plain timing harness (`cargo run --release --bin micro`), replacing
+//! the former Criterion bench so the perf trajectory can be tracked with
+//! zero external crates: each benchmark runs a warmup, then N measured
+//! batches, and reports the median, minimum, and maximum per-iteration
+//! wall-clock time.
+
+use qs_esm::{BufferPool, ClientConn, LockManager, LockMode, Server, ServerConfig};
+use qs_sim::Meter;
+use qs_storage::{MemDisk, Page, StableMedia};
+use qs_types::{ClientId, Lsn, Oid, PageId, TxnId, PAGE_SIZE};
+use qs_wal::{LogManager, LogRecord};
+use quickstore::avl::AvlMap;
+use quickstore::diff;
+use quickstore::{Store, SystemConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Measured batches per benchmark (median-of-N).
+const BATCHES: usize = 15;
+
+/// Run `f` `iters_per_batch` times per batch, `BATCHES` batches, after one
+/// warmup batch; print median/min/max nanoseconds per iteration.
+fn bench<F: FnMut()>(name: &str, iters_per_batch: u64, mut f: F) {
+    for _ in 0..iters_per_batch {
+        f(); // warmup
+    }
+    let mut per_iter_ns: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters_per_batch as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+    println!("{name:<48} median {:>12}  min {:>12}  max {:>12}", ns(median), ns(min), ns(max));
+}
+
+fn ns(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} µs", v / 1e3)
+    } else {
+        format!("{v:.1} ns")
+    }
+}
+
+fn bench_diff() {
+    println!("-- diff (8 KB page) --");
+    for density in [1usize, 16, 128] {
+        let before = vec![0u8; PAGE_SIZE];
+        let mut after = before.clone();
+        for i in 0..density {
+            let at = (i * PAGE_SIZE / density.max(1)) % (PAGE_SIZE - 8);
+            after[at..at + 8].fill(7);
+        }
+        bench(&format!("diff/page/{density}_regions"), 2_000, || {
+            black_box(diff::diff_object(black_box(&before), black_box(&after)));
+        });
+    }
+}
+
+fn bench_avl() {
+    println!("-- avl descriptor index --");
+    let mut map: AvlMap<u64, u32> = AvlMap::new();
+    for i in 0..4096u64 {
+        map.insert(i * PAGE_SIZE as u64, i as u32);
+    }
+    let mut addr = 0u64;
+    bench("avl/floor_lookup_4096_frames", 200_000, || {
+        addr = (addr + 123_457) % (4096 * PAGE_SIZE as u64);
+        black_box(map.floor(black_box(&addr)));
+    });
+    let mut k = 1u64 << 40;
+    bench("avl/insert_remove_cycle", 200_000, || {
+        k += PAGE_SIZE as u64;
+        map.insert(k, 1);
+        map.remove(&k);
+    });
+}
+
+fn bench_buffer_pool() {
+    println!("-- buffer pool --");
+    let mut bp = BufferPool::new(1024);
+    for i in 0..1024u32 {
+        bp.insert(PageId(i), Page::new(), false).unwrap();
+    }
+    let mut i = 0u32;
+    bench("buffer_pool/hit_get", 200_000, || {
+        i = (i + 7) % 1024;
+        black_box(bp.get(PageId(i)).is_some());
+    });
+    let mut bp = BufferPool::new(256);
+    let mut j = 0u32;
+    bench("buffer_pool/miss_insert_evict", 100_000, || {
+        j += 1;
+        black_box(bp.insert(PageId(j), Page::new(), false).unwrap());
+    });
+}
+
+fn bench_log() {
+    println!("-- wal --");
+    let media: Arc<dyn StableMedia> = Arc::new(MemDisk::new(LogManager::required_bytes(64 << 20)));
+    let log = LogManager::format(media, 64 << 20).unwrap();
+    let rec = LogRecord::Update {
+        txn: TxnId(1),
+        prev: Lsn::NULL,
+        page: PageId(1),
+        slot: 0,
+        offset: 0,
+        before: vec![0u8; 16],
+        after: vec![1u8; 16],
+    };
+    let mut since_truncate = 0u32;
+    bench("wal/append_update_record", 50_000, || {
+        black_box(log.append(&rec).unwrap());
+        // Keep the circular window bounded: drain every ~50k records
+        // (≈6 MB of the 64 MB body).
+        since_truncate += 1;
+        if since_truncate == 50_000 {
+            since_truncate = 0;
+            log.force(log.tail_lsn()).unwrap();
+            log.truncate_to(log.durable_lsn()).unwrap();
+        }
+    });
+    bench("wal/encode_decode_round_trip", 100_000, || {
+        let e = rec.encode();
+        black_box(LogRecord::decode(&e).unwrap());
+    });
+}
+
+fn bench_locks() {
+    println!("-- lock manager --");
+    let lm = LockManager::new();
+    let mut i = 0u32;
+    bench("lock_manager/uncontended_x_lock_release", 100_000, || {
+        i += 1;
+        lm.lock(TxnId(1), PageId(i % 512), LockMode::X).unwrap();
+        if i.is_multiple_of(512) {
+            lm.release_all(TxnId(1));
+        }
+    });
+}
+
+/// End-to-end update cost per scheme: hardware (fault-driven) vs software
+/// (update-function) detection — the §3.2-vs-§3.3 tradeoff.
+fn bench_update_paths() {
+    println!("-- update path (txn: 64 pages, 2048 updates) --");
+    for cfg in [
+        SystemConfig::pd_esm().with_memory(2.0, 0.5),
+        SystemConfig::sd_esm().with_memory(2.0, 0.5),
+        SystemConfig::wpl().with_memory(2.0, 0.0),
+    ] {
+        let name = cfg.name();
+        let meter = Meter::new();
+        let server = Arc::new(
+            Server::format(
+                ServerConfig::new(cfg.flavor)
+                    .with_pool_mb(4.0)
+                    .with_volume_pages(512)
+                    .with_log_mb(64.0),
+                Arc::clone(&meter),
+            )
+            .unwrap(),
+        );
+        let pids = server.bulk_allocate(64).unwrap();
+        let mut oids = Vec::new();
+        for &pid in &pids {
+            let mut p = Page::new();
+            for _ in 0..32 {
+                oids.push(Oid::new(pid, p.insert(pid, &[0u8; 128]).unwrap()));
+            }
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        let client = ClientConn::new(ClientId(0), server, cfg.client_pool_pages(), meter);
+        let mut store = Store::new(client, cfg).unwrap();
+        bench(&format!("update_path/txn_64pages_2048_updates/{name}"), 3, || {
+            store.begin().unwrap();
+            for (i, &oid) in oids.iter().enumerate() {
+                store.modify(oid, (i % 16) * 8, &[i as u8; 8]).unwrap();
+            }
+            store.commit().unwrap();
+        });
+    }
+}
+
+fn main() {
+    println!(
+        "micro: warmup + median of {BATCHES} batches per benchmark (build: {})",
+        if cfg!(debug_assertions) { "DEBUG — use --release for real numbers" } else { "release" }
+    );
+    bench_diff();
+    bench_avl();
+    bench_buffer_pool();
+    bench_log();
+    bench_locks();
+    bench_update_paths();
+}

@@ -86,6 +86,16 @@ pub fn fig04_05() -> QsResult<String> {
     ))
 }
 
+/// Figures 4 & 5 as a machine-readable JSON document (same experiment;
+/// embeds the hardware model alongside every curve point).
+pub fn fig04_05_json() -> QsResult<String> {
+    let curves = curves_for(&unconstrained_systems(), &opts(DbSize::Small, T2Mode::A))?;
+    Ok(crate::report::render_curves_json(
+        "Figures 4 & 5: T2A (sparse updates), small database, unconstrained cache",
+        &curves,
+    ))
+}
+
 /// Figures 6 & 7: T2B, small database, unconstrained cache.
 pub fn fig06_07() -> QsResult<String> {
     let curves = curves_for(&unconstrained_systems(), &opts(DbSize::Small, T2Mode::B))?;

@@ -1,7 +1,10 @@
-//! Plain-text rendering of figure data: one table for response time, one
-//! for throughput, matching the paper's axes (x = number of clients).
+//! Rendering of figure data: plain-text tables (one for response time, one
+//! for throughput, matching the paper's axes of x = number of clients) and
+//! a machine-readable JSON form built with the workspace's hand-rolled
+//! [`JsonWriter`] — no serde anywhere in the build.
 
 use crate::experiment::ExperimentPoint;
+use qs_sim::JsonWriter;
 
 /// Render the response-time and throughput tables for a set of per-system
 /// curves (each a Vec of points at clients = 1..=N).
@@ -54,6 +57,41 @@ fn header_row(curves: &[Vec<ExperimentPoint>]) -> String {
     s
 }
 
+/// Render a set of per-system curves as one JSON document:
+/// `{"title": ..., "hardware": {...}, "curves": [{"system": ..., "points": [...]}]}`.
+/// Embeds the hardware model so a saved report records exactly which
+/// constants produced its numbers.
+pub fn render_curves_json(title: &str, curves: &[Vec<ExperimentPoint>]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("title", title).key("hardware");
+    w.raw(&qs_sim::HardwareModel::paper_1995().to_json());
+    w.key("curves").begin_array();
+    for curve in curves {
+        w.begin_object()
+            .field_str("system", curve.first().map(|p| p.system.as_str()).unwrap_or(""))
+            .key("points")
+            .begin_array();
+        for p in curve {
+            w.begin_object()
+                .field_u64("clients", p.clients as u64)
+                .field_f64("response_s", p.response_s)
+                .field_f64("tpm", p.tpm)
+                .field_f64("total_pages_shipped_per_txn", p.total_pages_shipped_per_txn)
+                .field_f64("log_pages_shipped_per_txn", p.log_pages_shipped_per_txn)
+                .field_f64("log_records_per_txn", p.log_records_per_txn)
+                .key("utilization")
+                .begin_array();
+            for &u in &p.utilization {
+                w.f64(u);
+            }
+            w.end_array().end_object();
+        }
+        w.end_array().end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
 /// Render the client-writes chart (Figures 9 and 14): pages shipped from a
 /// client to the server per transaction, total and log-record pages, keyed
 /// by the underlying scheme.
@@ -100,6 +138,23 @@ mod tests {
         assert!(s.contains("PD-ESM") && s.contains("WPL"));
         assert!(s.contains("10.0") && s.contains("20.0"));
         assert!(s.contains("ldisk 40%"));
+    }
+
+    #[test]
+    fn json_report_contains_curves_and_hardware() {
+        let curves = vec![
+            vec![pt("PD-ESM", 1, 10.0, 6.0)],
+            vec![pt("WPL", 1, 12.0, 5.0)],
+        ];
+        let j = render_curves_json("Figure 4", &curves);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""title":"Figure 4""#), "{j}");
+        assert!(j.contains(r#""system":"PD-ESM""#) && j.contains(r#""system":"WPL""#));
+        assert!(j.contains(r#""hardware":{"client_ips":20000000.0"#), "{j}");
+        assert!(j.contains(r#""utilization":[0.1,0.2,0.3,0.4]"#), "{j}");
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

@@ -370,7 +370,9 @@ impl Store {
         let frame = self.ensure_mapped(oid.page)?;
         let page = self.client.peek(oid.page).expect("mapped");
         let (obj_off, obj_len) = page.object_offset(oid.page, oid.slot)?;
-        if offset + len > obj_len {
+        // checked_add: `offset + len` near usize::MAX must be rejected, not
+        // wrap around (release) or abort (debug) before the range check.
+        if offset.checked_add(len).is_none_or(|end| end > obj_len) {
             return Err(QsError::Protocol {
                 detail: format!(
                     "access [{offset}, {offset}+{len}) past end of {oid:?} ({obj_len} bytes)"
@@ -393,7 +395,15 @@ impl Store {
             }
         }
         let page = self.client.peek(oid.page).expect("mapped");
-        let (obj_off, _) = page.object_offset(oid.page, oid.slot)?;
+        let (obj_off, obj_len) = page.object_offset(oid.page, oid.slot)?;
+        // Re-validated after the fault loop: never slice out of range.
+        if offset.checked_add(len).is_none_or(|end| end > obj_len) {
+            return Err(QsError::Protocol {
+                detail: format!(
+                    "read [{offset}, {offset}+{len}) past end of {oid:?} ({obj_len} bytes)"
+                ),
+            });
+        }
         Ok(page.bytes()[obj_off + offset..obj_off + offset + len].to_vec())
     }
 

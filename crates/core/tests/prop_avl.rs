@@ -1,8 +1,11 @@
-//! Model-based property test: the AVL map must behave exactly like
+//! Model-based randomized test: the AVL map must behave exactly like
 //! `BTreeMap` under arbitrary insert/remove/get sequences, while staying
 //! height-balanced.
+//!
+//! Formerly a proptest suite; now driven by `qs-prng` under fixed seeds so
+//! the exact same cases replay on every run, with no external crates.
 
-use proptest::prelude::*;
+use qs_prng::Prng;
 use quickstore::avl::AvlMap;
 use std::collections::BTreeMap;
 
@@ -14,46 +17,56 @@ enum Op {
     Floor(u16),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 256, v)),
-            any::<u16>().prop_map(|k| Op::Remove(k % 256)),
-            any::<u16>().prop_map(|k| Op::Get(k % 256)),
-            any::<u16>().prop_map(|k| Op::Floor(k % 256)),
-        ],
-        0..400,
-    )
+fn random_ops(rng: &mut Prng) -> Vec<Op> {
+    let n = rng.gen_range(0..400);
+    (0..n)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => Op::Insert((rng.next_u32() % 256) as u16, rng.next_u32()),
+            1 => Op::Remove((rng.next_u32() % 256) as u16),
+            2 => Op::Get((rng.next_u32() % 256) as u16),
+            _ => Op::Floor((rng.next_u32() % 256) as u16),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn behaves_like_btreemap(ops in ops()) {
-        let mut avl: AvlMap<u16, u32> = AvlMap::new();
-        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
-        for op in ops {
-            match op {
-                Op::Insert(k, v) => {
-                    prop_assert_eq!(avl.insert(k, v), model.insert(k, v));
-                }
-                Op::Remove(k) => {
-                    prop_assert_eq!(avl.remove(&k), model.remove(&k));
-                }
-                Op::Get(k) => {
-                    prop_assert_eq!(avl.get(&k), model.get(&k));
-                }
-                Op::Floor(k) => {
-                    let want = model.range(..=k).next_back();
-                    prop_assert_eq!(avl.floor(&k), want);
-                }
+fn check_case(ops: Vec<Op>, case: usize) {
+    let mut avl: AvlMap<u16, u32> = AvlMap::new();
+    let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                assert_eq!(avl.insert(k, v), model.insert(k, v), "case {case}");
             }
-            prop_assert_eq!(avl.len(), model.len());
+            Op::Remove(k) => {
+                assert_eq!(avl.remove(&k), model.remove(&k), "case {case}");
+            }
+            Op::Get(k) => {
+                assert_eq!(avl.get(&k), model.get(&k), "case {case}");
+            }
+            Op::Floor(k) => {
+                let want = model.range(..=k).next_back();
+                assert_eq!(avl.floor(&k), want, "case {case}");
+            }
         }
-        // Height must be logarithmic: 1.44·log2(n+2) + 1 generous bound.
-        let n = avl.len().max(1) as f64;
-        prop_assert!((avl.height() as f64) <= 1.45 * (n + 2.0).log2() + 1.0);
-        let got: Vec<_> = avl.iter().map(|(k, v)| (*k, *v)).collect();
-        let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(avl.len(), model.len(), "case {case}");
+    }
+    // Height must be logarithmic: 1.44·log2(n+2) + 1 generous bound.
+    let n = avl.len().max(1) as f64;
+    assert!(
+        (avl.height() as f64) <= 1.45 * (n + 2.0).log2() + 1.0,
+        "case {case}: height {} for {} keys",
+        avl.height(),
+        avl.len()
+    );
+    let got: Vec<_> = avl.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want, "case {case}");
+}
+
+#[test]
+fn behaves_like_btreemap() {
+    let mut rng = Prng::seed_from_u64(0x5EED_0A71);
+    for case in 0..256 {
+        check_case(random_ops(&mut rng), case);
     }
 }

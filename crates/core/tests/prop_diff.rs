@@ -1,82 +1,99 @@
-//! Property tests for the region-combining diff algorithm: patch
+//! Randomized tests for the region-combining diff algorithm: patch
 //! round-trip, coverage, and log-byte minimality against brute force.
+//!
+//! Formerly a proptest suite; now driven by `qs-prng` under fixed seeds so
+//! the exact same cases replay on every run, with no external crates.
 
-use proptest::prelude::*;
+use qs_prng::Prng;
 use quickstore::diff::{
     brute_force_min_log_bytes, combine_regions, diff_object, log_bytes, raw_modified_runs,
 };
 use qs_types::LOG_HEADER_SIZE;
 
-fn object_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    // An object up to 512 bytes plus a set of mutations.
-    (1usize..512)
-        .prop_flat_map(|len| {
-            (
-                proptest::collection::vec(any::<u8>(), len),
-                proptest::collection::vec((0..len, any::<u8>()), 0..40),
-            )
-        })
-        .prop_map(|(before, muts)| {
-            let mut after = before.clone();
-            for (i, v) in muts {
-                after[i] = v;
-            }
-            (before, after)
-        })
+/// An object up to 512 bytes plus a set of point mutations.
+fn object_pair(rng: &mut Prng) -> (Vec<u8>, Vec<u8>) {
+    let len = rng.gen_range(1..512);
+    let before = rng.bytes(len);
+    let mut after = before.clone();
+    for _ in 0..rng.gen_range(0..40) {
+        let i = rng.gen_range(0..len);
+        after[i] = (rng.next_u32() & 0xFF) as u8;
+    }
+    (before, after)
 }
 
-proptest! {
-    #[test]
-    fn patch_round_trip((before, after) in object_pair()) {
-        // Applying the after-images of the diff regions to the before-image
-        // must reproduce the after-image (this is what redo does), and
-        // applying before-images to the after-image must reproduce the
-        // before-image (undo).
+#[test]
+fn patch_round_trip() {
+    // Applying the after-images of the diff regions to the before-image
+    // must reproduce the after-image (this is what redo does), and
+    // applying before-images to the after-image must reproduce the
+    // before-image (undo).
+    let mut rng = Prng::seed_from_u64(0x5EED_D1FF_0001);
+    for case in 0..256 {
+        let (before, after) = object_pair(&mut rng);
         let regions = diff_object(&before, &after);
         let mut redo = before.clone();
         for r in &regions {
             redo[r.start..r.end].copy_from_slice(&after[r.start..r.end]);
         }
-        prop_assert_eq!(&redo, &after);
+        assert_eq!(&redo, &after, "case {case}");
         let mut undo = after.clone();
         for r in &regions {
             undo[r.start..r.end].copy_from_slice(&before[r.start..r.end]);
         }
-        prop_assert_eq!(&undo, &before);
+        assert_eq!(&undo, &before, "case {case}");
     }
+}
 
-    #[test]
-    fn all_differences_covered((before, after) in object_pair()) {
+#[test]
+fn all_differences_covered() {
+    let mut rng = Prng::seed_from_u64(0x5EED_D1FF_0002);
+    for case in 0..256 {
+        let (before, after) = object_pair(&mut rng);
         let regions = diff_object(&before, &after);
         for i in 0..before.len() {
             if before[i] != after[i] {
-                prop_assert!(
+                assert!(
                     regions.iter().any(|r| r.start <= i && i < r.end),
-                    "differing byte {} not covered", i
+                    "case {case}: differing byte {i} not covered"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn greedy_is_minimal((before, after) in object_pair()) {
+#[test]
+fn greedy_is_minimal() {
+    let mut rng = Prng::seed_from_u64(0x5EED_D1FF_0003);
+    let mut checked = 0;
+    for case in 0..512 {
+        let (before, after) = object_pair(&mut rng);
         let runs = raw_modified_runs(&before, &after);
-        prop_assume!(runs.len() <= 16); // brute force is exponential
+        if runs.len() > 16 {
+            continue; // brute force is exponential
+        }
+        checked += 1;
         let greedy = combine_regions(&runs, LOG_HEADER_SIZE);
-        prop_assert_eq!(
+        assert_eq!(
             log_bytes(&greedy, LOG_HEADER_SIZE),
-            brute_force_min_log_bytes(&runs, LOG_HEADER_SIZE)
+            brute_force_min_log_bytes(&runs, LOG_HEADER_SIZE),
+            "case {case}"
         );
     }
+    assert!(checked >= 128, "only {checked} cases were brute-force comparable");
+}
 
-    #[test]
-    fn regions_sorted_and_disjoint((before, after) in object_pair()) {
+#[test]
+fn regions_sorted_and_disjoint() {
+    let mut rng = Prng::seed_from_u64(0x5EED_D1FF_0004);
+    for case in 0..256 {
+        let (before, after) = object_pair(&mut rng);
         let regions = diff_object(&before, &after);
         for w in regions.windows(2) {
-            prop_assert!(w[0].end < w[1].start, "regions must be disjoint with a gap");
+            assert!(w[0].end < w[1].start, "case {case}: regions must be disjoint with a gap");
         }
         for r in &regions {
-            prop_assert!(!r.is_empty());
+            assert!(!r.is_empty(), "case {case}");
         }
     }
 }

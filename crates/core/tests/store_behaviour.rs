@@ -267,6 +267,35 @@ fn client_paging_ships_pages_mid_transaction() {
 }
 
 #[test]
+fn out_of_range_access_errors_instead_of_panicking() {
+    // read_at/write with offset+len past the object end — including the
+    // usize-overflow corner — must come back as QsError, never a panic.
+    let (mut store, oids) = setup(SystemConfig::pd_esm().with_memory(1.0, 0.25), 2, 4, 64);
+    store.begin().unwrap();
+
+    assert!(store.read_at(oids[0], 0, 65).is_err(), "len past end");
+    assert!(store.read_at(oids[0], 64, 1).is_err(), "offset at end");
+    assert!(store.read_at(oids[0], 1000, 0).is_err(), "offset past end");
+    assert!(store.read_at(oids[0], usize::MAX, 2).is_err(), "offset+len overflows");
+    assert!(store.read_at(oids[0], 2, usize::MAX).is_err(), "len overflows");
+    assert!(store.write(oids[0], 60, &[0u8; 8]).is_err(), "write past end");
+    assert!(store.write(oids[0], usize::MAX, &[0u8; 8]).is_err(), "write overflow");
+
+    // In-range accesses still work and the store stays usable.
+    assert_eq!(store.read_at(oids[0], 60, 4).unwrap(), vec![0u8; 4]);
+    store.write(oids[0], 0, &[5u8; 4]).unwrap();
+    store.commit().unwrap();
+
+    // Same contract under a software-update scheme.
+    let (mut store, oids) = setup(SystemConfig::sd_esm().with_memory(1.0, 0.25), 2, 4, 64);
+    store.begin().unwrap();
+    assert!(store.update(oids[0], usize::MAX, &[1u8; 4]).is_err());
+    assert!(store.update(oids[0], 61, &[1u8; 4]).is_err());
+    store.update(oids[0], 0, &[1u8; 4]).unwrap();
+    store.commit().unwrap();
+}
+
+#[test]
 fn allocation_within_transaction_is_durable() {
     for cfg in all_configs() {
         let name = cfg.name();

@@ -12,7 +12,7 @@
 //! of locks at clients is not supported") — the client releases everything
 //! at commit/abort via [`LockManager::release_all`].
 
-use parking_lot::{Condvar, Mutex};
+use qs_types::sync::{Condvar, Mutex};
 use qs_types::{PageId, QsError, QsResult, TxnId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -92,46 +92,73 @@ impl LockManager {
 
     /// Acquire `mode` on `page` for `txn`, blocking until granted.
     /// Returns `Err(LockConflict)` if waiting would deadlock.
+    ///
+    /// Grants hand off FIFO: a waiter stays queued across wakeups and is
+    /// granted only once it reaches the head of the queue (or everyone
+    /// queued is a reader). Dequeue-then-recheck — the old protocol —
+    /// live-locks with ≥3 contenders: each woken waiter sees the *others*
+    /// still queued, requeues itself, and sleeps again with the lock free.
     pub fn lock(&self, txn: TxnId, page: PageId, mode: LockMode) -> QsResult<()> {
         let mut t = self.tables.lock();
+        let mut queued = false;
         loop {
             let entry = t.locks.entry(page).or_default();
-            // Re-entrant / upgrade handling.
             if let Some(&held) = entry.holders.get(&txn) {
-                if held == LockMode::X || mode == LockMode::S {
-                    return Ok(()); // already strong enough
-                }
-                // Upgrade S→X: grantable when we are the only holder.
-                if entry.holders.len() == 1 {
-                    entry.holders.insert(txn, LockMode::X);
+                // Re-entrant / upgrade handling. Upgrades bypass the queue;
+                // an S→X upgrade with co-holders falls through and waits.
+                if held == LockMode::X || mode == LockMode::S || entry.holders.len() == 1 {
+                    if held == LockMode::S && mode == LockMode::X {
+                        entry.holders.insert(txn, LockMode::X);
+                    }
+                    if queued {
+                        entry.waiters.retain(|w| w.0 != txn);
+                    }
+                    t.waits_for.remove(&txn);
                     return Ok(());
                 }
-            } else if entry.grantable(txn, mode)
-                && (entry.waiters.is_empty() || mode == LockMode::S && entry.waiters.iter().all(|w| w.1 == LockMode::S))
-            {
-                entry.holders.insert(txn, mode);
-                t.held.entry(txn).or_default().insert(page);
-                return Ok(());
+            } else {
+                let may_pass = match entry.waiters.front() {
+                    None => true,
+                    Some(&(head, _)) => {
+                        head == txn
+                            || mode == LockMode::S
+                                && entry.waiters.iter().all(|w| w.1 == LockMode::S)
+                    }
+                };
+                if entry.grantable(txn, mode) && may_pass {
+                    if queued {
+                        entry.waiters.retain(|w| w.0 != txn);
+                    }
+                    entry.holders.insert(txn, mode);
+                    t.held.entry(txn).or_default().insert(page);
+                    t.waits_for.remove(&txn);
+                    return Ok(());
+                }
             }
 
-            // Must wait. Record waits-for edges and check for deadlock.
+            // Must wait. Queue up once, record waits-for edges, check for a
+            // cycle; edges are rebuilt fresh on every wakeup.
+            if !queued {
+                t.locks.entry(page).or_default().waiters.push_back((txn, mode));
+                queued = true;
+            }
             let holders: Vec<TxnId> =
-                entry.holders.keys().copied().filter(|&h| h != txn).collect();
+                t.locks[&page].holders.keys().copied().filter(|&h| h != txn).collect();
             t.waits_for.entry(txn).or_default().extend(holders);
             if t.would_deadlock(txn) {
                 t.waits_for.remove(&txn);
-                let holder = t.locks[&page].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
+                if let Some(e) = t.locks.get_mut(&page) {
+                    e.waiters.retain(|w| w.0 != txn);
+                }
+                let holder =
+                    t.locks[&page].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
+                drop(t);
+                // Our departure may have promoted a runnable new head.
+                self.wakeup.notify_all();
                 return Err(QsError::LockConflict { page, holder, requester: txn });
-            }
-            let entry = t.locks.entry(page).or_default();
-            if !entry.waiters.iter().any(|w| w.0 == txn) {
-                entry.waiters.push_back((txn, mode));
             }
             self.wakeup.wait(&mut t);
             t.waits_for.remove(&txn);
-            if let Some(e) = t.locks.get_mut(&page) {
-                e.waiters.retain(|w| w.0 != txn);
-            }
         }
     }
 

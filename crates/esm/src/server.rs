@@ -17,9 +17,9 @@ use crate::buffer::BufferPool;
 use crate::lock::{LockManager, LockMode};
 use crate::txn::{TxnStatus, TxnTable};
 use crate::wpl::WplTable;
-use parking_lot::Mutex;
 use qs_sim::Meter;
 use qs_storage::{MemDisk, Page, StableMedia, Volume};
+use qs_types::sync::Mutex;
 use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
 use qs_wal::{CheckpointBody, LogManager, LogRecord};
 use std::collections::HashMap;

@@ -16,9 +16,8 @@ use crate::params::Oo7Params;
 use crate::schema::{assembly, atomic, composite, connection, document};
 use qs_esm::Server;
 use qs_storage::Page;
+use qs_prng::Prng;
 use qs_types::{Oid, PageId, QsResult};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Largest manual chunk (manuals exceed the single-object page limit).
 const MANUAL_CHUNK: usize = 8000;
@@ -127,7 +126,7 @@ struct ModulePlan {
 }
 
 fn plan_randomness(p: &Oo7Params, seed: u64, module: usize) -> ModulePlan {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (module as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng = Prng::seed_from_u64(seed ^ (module as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let base_comp_choice = (0..p.base_assemblies())
         .map(|_| {
             [

@@ -10,10 +10,8 @@
 //! the same model, so cross-scheme and cross-load comparisons are genuine
 //! predictions of the measured demands, not per-figure curve fits.
 
-use serde::{Deserialize, Serialize};
-
 /// Converts operation counts into seconds on the paper's testbed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareModel {
     /// Client workstation CPU speed (instructions / second). SPARC ELC ≈ 20 MIPS.
     pub client_ips: f64,

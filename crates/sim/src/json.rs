@@ -1,0 +1,244 @@
+//! A hand-rolled JSON writer.
+//!
+//! Replaces the `serde` derives the workspace used to carry for two spots
+//! (the hardware model and the bench reports): a builder that emits
+//! RFC 8259-conformant text with proper string escaping and shortest-round-
+//! trip float formatting via Rust's own `{}` for `f64`. Writing is all the
+//! repo needs — configs are constructed in code, reports are consumed by
+//! humans and plotting scripts.
+
+/// Incremental writer for one JSON document. Values are appended in order;
+/// the builder tracks whether a comma separator is due.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Whether the next value at each open nesting level needs a comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Finish and return the document text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.need_comma.is_empty(), "unclosed object/array");
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(due) = self.need_comma.last_mut() {
+            if *due {
+                self.out.push(',');
+            }
+            *due = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write `"key":` — the next call supplies its value.
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.pre_value();
+        write_escaped(&mut self.out, key);
+        self.out.push(':');
+        // The value after a key is not comma-separated from it.
+        if let Some(due) = self.need_comma.last_mut() {
+            *due = false;
+        }
+        self
+    }
+
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        write_escaped(&mut self.out, v);
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// JSON has no NaN/Infinity; emit `null` for them, as serde_json does.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            let s = format!("{v}");
+            self.out.push_str(&s);
+            // `{}` prints integral floats without a fraction ("3"); keep the
+            // value unmistakably a float for strict consumers.
+            if !s.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Splice a pre-rendered JSON value in as the next value. The caller
+    /// guarantees `fragment` is itself valid JSON (e.g. produced by another
+    /// `JsonWriter`).
+    pub fn raw(&mut self, fragment: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(fragment);
+        self
+    }
+
+    // Convenience: key + scalar in one call.
+    pub fn field_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key).string(v)
+    }
+    pub fn field_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key).u64(v)
+    }
+    pub fn field_f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.key(key).f64(v)
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes, escapes, control chars).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl crate::HardwareModel {
+    /// The full model as a JSON object — lets a report record exactly which
+    /// constants produced its numbers.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_f64("client_ips", self.client_ips)
+            .field_f64("server_ips", self.server_ips)
+            .field_f64("net_per_msg_s", self.net_per_msg_s)
+            .field_f64("net_bytes_per_s", self.net_bytes_per_s)
+            .field_f64("data_disk_access_s", self.data_disk_access_s)
+            .field_f64("data_disk_page_xfer_s", self.data_disk_page_xfer_s)
+            .field_f64("log_disk_page_seq_s", self.log_disk_page_seq_s)
+            .field_f64("log_force_latency_s", self.log_force_latency_s)
+            .field_u64("fault_overhead_instr", self.fault_overhead_instr)
+            .field_u64("copy_instr_per_byte_x100", self.copy_instr_per_byte_x100)
+            .field_u64("diff_instr_per_byte_x100", self.diff_instr_per_byte_x100)
+            .field_u64("log_record_instr", self.log_record_instr)
+            .field_u64("ship_page_instr", self.ship_page_instr)
+            .field_u64("server_page_instr", self.server_page_instr)
+            .field_u64("redo_apply_instr", self.redo_apply_instr)
+            .field_u64("server_log_append_instr", self.server_log_append_instr)
+            .field_u64("update_fn_instr", self.update_fn_instr)
+            .field_u64("visit_instr", self.visit_instr)
+            .field_u64("raw_update_instr", self.raw_update_instr)
+            .field_u64("lock_instr", self.lock_instr)
+            .field_u64("pool_instr", self.pool_instr)
+            .end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HardwareModel;
+
+    #[test]
+    fn scalars_and_nesting() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("name", "WPL")
+            .field_u64("clients", 5)
+            .field_f64("tpm", 12.5)
+            .key("utilization")
+            .begin_array()
+            .f64(0.1)
+            .f64(0.9)
+            .end_array()
+            .key("ok")
+            .bool(true)
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"WPL","clients":5,"tpm":12.5,"utilization":[0.1,0.9],"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn strings_escaped() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction() {
+        let mut w = JsonWriter::new();
+        w.begin_array().f64(3.0).f64(2.0e7).f64(f64::NAN).end_array();
+        assert_eq!(w.finish(), "[3.0,20000000.0,null]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object().key("a").begin_array().end_array().end_object();
+        assert_eq!(w.finish(), r#"{"a":[]}"#);
+    }
+
+    #[test]
+    fn hardware_model_round_trips_key_facts() {
+        let j = HardwareModel::paper_1995().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""server_ips":28500000.0"#), "{j}");
+        assert!(j.contains(r#""fault_overhead_instr":9000"#), "{j}");
+        // Every field name appears exactly once.
+        assert_eq!(j.matches("client_ips").count(), 1);
+    }
+}

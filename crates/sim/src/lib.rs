@@ -15,8 +15,10 @@
 
 pub mod cost;
 pub mod demand;
+pub mod json;
 pub mod mva;
 
 pub use cost::HardwareModel;
+pub use json::JsonWriter;
 pub use demand::{Demand, Meter, MeterSnapshot};
 pub use mva::{solve, Center, MvaResult};

@@ -10,7 +10,7 @@
 //! same interface with a real file for the examples that want durable state
 //! across process runs.
 
-use parking_lot::{Mutex, RwLock};
+use qs_types::sync::{Mutex, RwLock};
 use qs_types::{QsError, QsResult};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};

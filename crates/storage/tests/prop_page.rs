@@ -1,6 +1,9 @@
 //! Fuzzed slotted-page operations against a simple model.
+//!
+//! Formerly a proptest suite; now driven by `qs-prng` under fixed seeds so
+//! the exact same cases replay on every run, with no external crates.
 
-use proptest::prelude::*;
+use qs_prng::Prng;
 use qs_storage::{Page, MAX_OBJECT_SIZE};
 use qs_types::PageId;
 use std::collections::HashMap;
@@ -13,38 +16,47 @@ enum Op {
     Compact,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => proptest::collection::vec(any::<u8>(), 1..300).prop_map(Op::Insert),
-            2 => any::<u16>().prop_map(|s| Op::Free(s % 64)),
-            2 => (any::<u16>(), any::<u8>()).prop_map(|(s, v)| Op::Write(s % 64, v)),
-            1 => Just(Op::Compact),
-        ],
-        0..120,
-    )
+/// Weighted op mix matching the original strategy: 4 insert : 2 free :
+/// 2 write : 1 compact.
+fn random_ops(rng: &mut Prng) -> Vec<Op> {
+    let n = rng.gen_range(0..120);
+    (0..n)
+        .map(|_| match rng.gen_range(0..9) {
+            0..=3 => {
+                let n = rng.gen_range(1..300);
+                Op::Insert(rng.bytes(n))
+            }
+            4 | 5 => Op::Free((rng.next_u32() % 64) as u16),
+            6 | 7 => Op::Write((rng.next_u32() % 64) as u16, (rng.next_u32() & 0xFF) as u8),
+            _ => Op::Compact,
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn page_matches_model(ops in ops()) {
-        const PID: PageId = PageId(1);
+#[test]
+fn page_matches_model() {
+    const PID: PageId = PageId(1);
+    let mut rng = Prng::seed_from_u64(0x5EED_9A6E);
+    for case in 0..192 {
         let mut page = Page::new();
         let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
-        for op in ops {
+        for op in random_ops(&mut rng) {
             match op {
                 Op::Insert(data) => {
                     // Errors (full / oversized) leave the model unchanged.
                     if let Ok(slot) = page.insert(PID, &data) {
-                        prop_assert!(data.len() <= MAX_OBJECT_SIZE);
-                        prop_assert!(!model.contains_key(&slot), "slot reuse of live slot");
+                        assert!(data.len() <= MAX_OBJECT_SIZE, "case {case}");
+                        assert!(
+                            !model.contains_key(&slot),
+                            "case {case}: slot reuse of live slot"
+                        );
                         model.insert(slot, data);
                     }
                 }
                 Op::Free(slot) => {
                     let ours = page.free(PID, slot).is_ok();
                     let model_had = model.remove(&slot).is_some();
-                    prop_assert_eq!(ours, model_had);
+                    assert_eq!(ours, model_had, "case {case}");
                 }
                 Op::Write(slot, val) => {
                     if let Some(data) = model.get_mut(&slot) {
@@ -52,17 +64,17 @@ proptest! {
                         page.write(PID, slot, &new).unwrap();
                         *data = new;
                     } else {
-                        prop_assert!(page.write(PID, slot, &[0]).is_err());
+                        assert!(page.write(PID, slot, &[0]).is_err(), "case {case}");
                     }
                 }
                 Op::Compact => page.compact(),
             }
             // Full consistency check after every op.
             for (&slot, data) in &model {
-                prop_assert_eq!(page.object(PID, slot).unwrap(), &data[..]);
+                assert_eq!(page.object(PID, slot).unwrap(), &data[..], "case {case}");
             }
             let live: usize = model.values().map(|d| d.len()).sum();
-            prop_assert_eq!(page.live_bytes(), live);
+            assert_eq!(page.live_bytes(), live, "case {case}");
         }
     }
 }

@@ -6,6 +6,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod sync;
 
 pub use error::{QsError, QsResult};
 pub use ids::{ClientId, FrameId, Lsn, Oid, PageId, TxnId, VAddr};

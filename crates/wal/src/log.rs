@@ -13,8 +13,8 @@
 //! the recoverable log ends.
 
 use crate::record::LogRecord;
-use parking_lot::Mutex;
 use qs_storage::StableMedia;
+use qs_types::sync::Mutex;
 use qs_types::{Lsn, QsError, QsResult, PAGE_SIZE};
 use std::sync::Arc;
 

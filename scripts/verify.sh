@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Tier-1 verification for the hermetic workspace: build + tests fully
+# offline, then audit that no manifest declares a non-path dependency.
+# Exits non-zero on any failure. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "== dependency audit: path-only =="
+# Any bare `name = "x.y"` or `{ version = ... }` entry in a [dependencies]
+# block is an external (registry) dependency and fails the audit. Internal
+# deps always carry `path = ...` (directly or via `workspace = true`
+# resolving to a path entry in the root manifest).
+audit_failed=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ {
+            if ($0 !~ /path[ \t]*=/ && $0 !~ /workspace[ \t]*=[ \t]*true/) print
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "FAIL: non-path dependency in $manifest:"
+        echo "$bad" | sed 's/^/    /'
+        audit_failed=1
+    fi
+done
+# Belt and braces: the named crates the refactor removed must not return.
+if grep -RE '^(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde)[ \t]*=' \
+        Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: removed external crate reappeared in a manifest"
+    audit_failed=1
+fi
+[ "$audit_failed" -eq 0 ] || exit 1
+echo "dependency audit: OK (all dependencies are internal path deps)"
+
+echo "== verify: all green =="

@@ -16,11 +16,14 @@
 //!   diffing, and the five recovery schemes (`quickstore`).
 //! * [`oo7`] — the OO7 benchmark database and traversals (`qs-oo7`).
 //! * [`sim`] — the 1995 hardware model and MVA solver (`qs-sim`).
+//! * [`prng`] — the seedable PRNG behind every randomized component
+//!   (`qs-prng`); the workspace uses no external crates.
 //!
 //! See `README.md` for a tour and `examples/` for runnable programs.
 
 pub use qs_esm as esm;
 pub use qs_oo7 as oo7;
+pub use qs_prng as prng;
 pub use qs_sim as sim;
 pub use qs_storage as storage;
 pub use qs_types as types;
