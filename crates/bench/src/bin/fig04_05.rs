@@ -5,11 +5,8 @@
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let result = if json {
-        qs_bench::figures::fig04_05_json()
-    } else {
-        qs_bench::figures::fig04_05()
-    };
+    let result =
+        if json { qs_bench::figures::fig04_05_json() } else { qs_bench::figures::fig04_05() };
     match result {
         Ok(s) => print!("{s}"),
         Err(e) => {

@@ -1,0 +1,12 @@
+//! Per-scheme commit-path histograms, crash flight recording, and restart
+//! breakdown. Writes `results/restart_trace.json`.
+
+fn main() {
+    match qs_bench::tracerun::run() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("trace failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

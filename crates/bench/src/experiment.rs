@@ -144,8 +144,8 @@ fn point_from(
         tpm: at.throughput_tpm(),
         demand,
         utilization: at.utilization,
-        total_pages_shipped_per_txn: (window.dirty_pages_shipped
-            + window.log_record_pages_shipped) as f64
+        total_pages_shipped_per_txn: (window.dirty_pages_shipped + window.log_record_pages_shipped)
+            as f64
             / t,
         log_pages_shipped_per_txn: window.log_record_pages_shipped as f64 / t,
         log_records_per_txn: window.log_records_generated as f64 / t,
@@ -194,9 +194,7 @@ pub fn run_curve(
                 })
                 .collect())
         }
-        DbSize::Big => {
-            (1..=max_clients).map(|n| run_point(cfg, opts, n)).collect()
-        }
+        DbSize::Big => (1..=max_clients).map(|n| run_point(cfg, opts, n)).collect(),
     }
 }
 

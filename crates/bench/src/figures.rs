@@ -70,10 +70,7 @@ fn big_systems() -> Vec<SystemConfig> {
     ]
 }
 
-fn curves_for(
-    systems: &[SystemConfig],
-    o: &RunOpts,
-) -> QsResult<Vec<Vec<ExperimentPoint>>> {
+fn curves_for(systems: &[SystemConfig], o: &RunOpts) -> QsResult<Vec<Vec<ExperimentPoint>>> {
     systems.iter().map(|cfg| run_curve(cfg, o, max_clients())).collect()
 }
 
@@ -189,10 +186,7 @@ pub fn fig17_18() -> QsResult<String> {
 pub fn table1_2() -> QsResult<String> {
     let mut out = String::new();
     out.push_str("== Table 1: OO7 database parameters ==\n");
-    out.push_str(&format!(
-        "{:<22}{:>10}{:>10}\n",
-        "Parameter", "Small", "Big"
-    ));
+    out.push_str(&format!("{:<22}{:>10}{:>10}\n", "Parameter", "Small", "Big"));
     let s = Oo7Params::small();
     let b = Oo7Params::big();
     let rows: Vec<(&str, usize, usize)> = vec![
@@ -246,9 +240,7 @@ pub fn table3() -> QsResult<String> {
     for (cfg, desc) in rows {
         out.push_str(&format!("{:<12}{desc}\n", cfg.name()));
     }
-    out.push_str(
-        "Suffix = recovery-buffer MB when relevant, e.g. PD-ESM-4, PD-ESM-1/2.\n",
-    );
+    out.push_str("Suffix = recovery-buffer MB when relevant, e.g. PD-ESM-4, PD-ESM-1/2.\n");
     let suffixed = SystemConfig::pd_redo().with_memory(12.0, 4.0).with_buffer_suffix();
     out.push_str(&format!("Example: {}\n", suffixed.name()));
     Ok(out)

@@ -19,6 +19,7 @@
 pub mod experiment;
 pub mod figures;
 pub mod report;
+pub mod tracerun;
 
 pub use experiment::{run_curve, run_point, ExperimentPoint, RunOpts};
 pub use report::{render_curve_tables, render_writes_table};

@@ -98,10 +98,7 @@ pub fn render_curves_json(title: &str, curves: &[Vec<ExperimentPoint>]) -> Strin
 pub fn render_writes_table(title: &str, rows: &[(String, f64, f64)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
-    out.push_str(&format!(
-        "{:<24}{:>14}{:>14}\n",
-        "system", "total writes", "log writes"
-    ));
+    out.push_str(&format!("{:<24}{:>14}{:>14}\n", "system", "total writes", "log writes"));
     for (name, total, log) in rows {
         out.push_str(&format!("{name:<24}{total:>14.1}{log:>14.1}\n"));
     }
@@ -142,10 +139,7 @@ mod tests {
 
     #[test]
     fn json_report_contains_curves_and_hardware() {
-        let curves = vec![
-            vec![pt("PD-ESM", 1, 10.0, 6.0)],
-            vec![pt("WPL", 1, 12.0, 5.0)],
-        ];
+        let curves = vec![vec![pt("PD-ESM", 1, 10.0, 6.0)], vec![pt("WPL", 1, 12.0, 5.0)]];
         let j = render_curves_json("Figure 4", &curves);
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains(r#""title":"Figure 4""#), "{j}");

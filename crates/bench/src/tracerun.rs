@@ -1,0 +1,177 @@
+//! The `trace` binary's engine: run one OO7 update workload per scheme
+//! with the flight-recorder tracer installed, crash the server, restart
+//! it, and report commit-path latency histograms plus the per-phase
+//! restart breakdown. Writes `results/restart_trace.json`.
+//!
+//! This is observability, not measurement: the tracer only *reads* the
+//! meter, so enabling it changes no figure output (see
+//! `tests/trace_overhead.rs`).
+
+use qs_esm::{ClientConn, Server, ServerConfig};
+use qs_oo7::{gen, params::Oo7Params, traversal, T2Mode};
+use qs_sim::{HardwareModel, JsonWriter, Meter};
+use qs_trace::{HistSummary, RestartReport, Tracer};
+use qs_types::{ClientId, QsResult};
+use quickstore::{Store, SystemConfig};
+use std::sync::Arc;
+
+/// Ring capacity for the flight recorder in this run.
+const RING_CAPACITY: usize = 256;
+
+/// What one scheme's traced run produced.
+struct SchemeTrace {
+    name: String,
+    hists: Vec<(&'static str, HistSummary)>,
+    events: u64,
+    report: RestartReport,
+}
+
+fn small_server_config(cfg: &SystemConfig) -> ServerConfig {
+    // The determinism-test sizing: small enough to run in milliseconds,
+    // big enough that commits, forces, and evictions all happen.
+    ServerConfig::new(cfg.flavor).with_pool_mb(2.0).with_volume_pages(2048).with_log_mb(16.0)
+}
+
+fn trace_one(cfg: &SystemConfig) -> QsResult<SchemeTrace> {
+    let meter = Meter::new();
+    let tracer = Tracer::flight(Arc::clone(&meter), HardwareModel::paper_1995(), RING_CAPACITY);
+    let server = Arc::new(Server::format_traced(
+        small_server_config(cfg),
+        Arc::clone(&meter),
+        Arc::clone(&tracer),
+    )?);
+    let mut params = Oo7Params::tiny();
+    params.num_modules = 1;
+    let db = gen::generate(&server, &params, 1995)?;
+    let conn = ClientConn::new(
+        ClientId(0),
+        Arc::clone(&server),
+        cfg.client_pool_pages(),
+        Arc::clone(&meter),
+    );
+    let mut store = Store::new(conn, cfg.clone())?;
+
+    // One warm-up plus a few measured update traversals: enough commits
+    // for the latency histograms to have a shape.
+    for mode in [T2Mode::A, T2Mode::A, T2Mode::B, T2Mode::C] {
+        store.begin()?;
+        traversal::t2(&mut store, &db.modules[0], mode)?;
+        store.commit()?;
+    }
+
+    let hists = tracer.summaries();
+    let events = tracer.events_recorded();
+
+    // Crash mid-life (all volatile state lost, flight recorder snapshotted
+    // into the stable parts) and restart with a fresh tracer.
+    drop(store);
+    let server = Arc::try_unwrap(server).ok().expect("store dropped; sole owner");
+    let parts = server.crash();
+    let meter2 = Meter::new();
+    let tracer2 = Tracer::flight(Arc::clone(&meter2), HardwareModel::paper_1995(), RING_CAPACITY);
+    let server2 = Server::restart_traced(parts, small_server_config(cfg), meter2, tracer2)?;
+    let report = server2.restart_report().expect("restart_traced always reports");
+    Ok(SchemeTrace { name: cfg.name(), hists, events, report })
+}
+
+/// `ns` histograms (recorded via `Tracer::record_secs`) render as µs.
+fn is_time_hist(name: &str) -> bool {
+    name.starts_with("commit")
+}
+
+fn render_hist_line(name: &str, s: &HistSummary) -> String {
+    if is_time_hist(name) {
+        let us = |v: u64| v as f64 / 1000.0;
+        format!(
+            "  {:<28} n={:<5} mean={:>10.1}us p50={:>10.1}us p90={:>10.1}us p99={:>10.1}us max={:>10.1}us\n",
+            name,
+            s.count,
+            s.mean / 1000.0,
+            us(s.p50),
+            us(s.p90),
+            us(s.p99),
+            us(s.max)
+        )
+    } else {
+        format!(
+            "  {:<28} n={:<5} mean={:>10.1}   p50={:>10}   p90={:>10}   p99={:>10}   max={:>10}\n",
+            name, s.count, s.mean, s.p50, s.p90, s.p99, s.max
+        )
+    }
+}
+
+fn render_text(traces: &[SchemeTrace]) -> String {
+    let mut out = String::new();
+    out.push_str("qs-trace: commit-path histograms and restart breakdown per scheme\n");
+    out.push_str("(simulated time; durations in microseconds of 1995-testbed time)\n");
+    for t in traces {
+        out.push_str(&format!("\n=== {} ({} events traced) ===\n", t.name, t.events));
+        for (name, s) in &t.hists {
+            out.push_str(&render_hist_line(name, s));
+        }
+        out.push_str(&t.report.render_text());
+    }
+    out
+}
+
+fn render_json(traces: &[SchemeTrace]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schemes");
+    w.begin_array();
+    for t in traces {
+        w.begin_object();
+        w.field_str("name", &t.name);
+        w.field_u64("events_traced", t.events);
+        w.key("histograms");
+        w.begin_object();
+        for (name, s) in &t.hists {
+            w.key(name);
+            s.write_json(&mut w);
+        }
+        w.end_object();
+        w.key("restart");
+        t.report.write_json(&mut w);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Run every scheme, write `results/restart_trace.json`, and return the
+/// human-readable report.
+pub fn run() -> QsResult<String> {
+    let configs = [
+        SystemConfig::pd_esm().with_memory(2.0, 0.5),
+        SystemConfig::sd_esm().with_memory(2.0, 0.5),
+        SystemConfig::sl_esm().with_memory(2.0, 0.5),
+        SystemConfig::pd_redo().with_memory(2.0, 0.5),
+        SystemConfig::wpl().with_memory(2.0, 0.0),
+    ];
+    let traces: Vec<SchemeTrace> = configs.iter().map(trace_one).collect::<QsResult<_>>()?;
+    std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/restart_trace.json", render_json(&traces)))
+        .map_err(|e| qs_types::QsError::Protocol {
+            detail: format!("writing results/restart_trace.json: {e}"),
+        })?;
+    let mut text = render_text(&traces);
+    text.push_str("\nwrote results/restart_trace.json\n");
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_scheme_traces_and_reports() {
+        let t = trace_one(&SystemConfig::pd_esm().with_memory(2.0, 0.5)).unwrap();
+        assert!(t.events > 0, "flight recorder saw traffic");
+        assert!(t.hists.iter().any(|(n, _)| *n == "commit_latency"));
+        assert!(t.report.total_records() > 0);
+        let json = render_json(&[t]);
+        assert!(json.contains("\"histograms\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

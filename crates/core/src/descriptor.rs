@@ -99,9 +99,10 @@ impl DescriptorTable {
 
     /// The fault handler's search: which descriptor covers this address?
     pub fn lookup_vaddr(&self, va: VAddr) -> QsResult<&PageDescriptor> {
-        let (&base, &page) = self.by_vaddr.floor(&va.0).ok_or(QsError::UnmappedAddress {
-            detail: format!("{va} below every mapped frame"),
-        })?;
+        let (&base, &page) = self
+            .by_vaddr
+            .floor(&va.0)
+            .ok_or(QsError::UnmappedAddress { detail: format!("{va} below every mapped frame") })?;
         if va.0 - base >= PAGE_SIZE as u64 {
             return Err(QsError::UnmappedAddress {
                 detail: format!("{va} past the frame mapped at 0x{base:x}"),
@@ -138,10 +139,7 @@ mod tests {
         assert_eq!(t.lookup_vaddr(va).unwrap().page, PageId(20));
         // Frame base and last byte also resolve.
         assert_eq!(t.lookup_vaddr(VAddr::new(FrameId(2), 0)).unwrap().page, PageId(30));
-        assert_eq!(
-            t.lookup_vaddr(VAddr::new(FrameId(0), PAGE_SIZE - 1)).unwrap().page,
-            PageId(10)
-        );
+        assert_eq!(t.lookup_vaddr(VAddr::new(FrameId(0), PAGE_SIZE - 1)).unwrap().page, PageId(10));
     }
 
     #[test]

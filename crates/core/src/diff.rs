@@ -99,8 +99,7 @@ pub fn brute_force_min_log_bytes(runs: &[Region], h: usize) -> usize {
                 // Close the open group before runs[i] …
                 let close = h + 2 * r.len() + rec(runs, h, i + 1, Some(runs[i]));
                 // … or extend it through the gap.
-                let extend =
-                    rec(runs, h, i + 1, Some(Region { start: r.start, end: runs[i].end }));
+                let extend = rec(runs, h, i + 1, Some(Region { start: r.start, end: runs[i].end }));
                 close.min(extend)
             }
         }

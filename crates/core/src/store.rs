@@ -31,6 +31,7 @@ use crate::recovery_buffer::{Copied, RecoveryBuffer};
 use qs_esm::ClientConn;
 use qs_sim::Meter;
 use qs_storage::Page;
+use qs_trace::{TraceCat, Tracer};
 use qs_types::{FrameId, Oid, PageId, QsError, QsResult, TxnId, VAddr, PAGE_SIZE};
 use qs_vmem::{AccessFault, Mmu, Prot};
 use qs_wal::LogRecord;
@@ -66,15 +67,23 @@ impl Store {
             });
         }
         let rbuf = RecoveryBuffer::new(cfg.recovery_buffer_bytes());
+        // Fault dispatch traces through the same tracer as the rest of the
+        // stack (the client shares the server's).
+        let mut mmu = Mmu::new();
+        mmu.set_tracer(Arc::clone(client.tracer()));
         Ok(Store {
             cfg,
             client,
-            mmu: Mmu::new(),
+            mmu,
             table: DescriptorTable::new(),
             rbuf,
             created: HashSet::new(),
             alloc_cursor: None,
         })
+    }
+
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        self.client.tracer()
     }
 
     pub fn config(&self) -> &SystemConfig {
@@ -110,8 +119,11 @@ impl Store {
     /// drops back to read-only — locks are gone, so the next update must
     /// re-enable recovery.
     pub fn commit(&mut self) -> QsResult<()> {
+        let tracer = Arc::clone(self.client.tracer());
+        let t0 = tracer.now_secs();
         let mut dirty = self.client.dirty_pages();
         dirty.sort(); // deterministic shipping order
+        let diff_t0 = tracer.now_secs();
         for &pid in &dirty {
             let page = self
                 .client
@@ -120,11 +132,15 @@ impl Store {
                 .clone();
             self.flush_records_for(pid, &page)?;
         }
+        tracer.record_secs("commit_diff", tracer.now_secs() - diff_t0);
         for &pid in &dirty {
             self.client.ship_cached_dirty_page(pid)?;
         }
         self.client.finish_commit()?;
         self.end_txn_reset()?;
+        tracer.record("pages_shipped_per_txn", dirty.len() as u64);
+        tracer.record_secs("commit_latency", tracer.now_secs() - t0);
+        tracer.event(TraceCat::Commit, "committed", dirty.len() as u64, 0);
         Ok(())
     }
 
@@ -294,8 +310,7 @@ impl Store {
         // Before-image, per scheme.
         match self.cfg.log_gen {
             LogGeneration::PageDiff => {
-                let already =
-                    self.rbuf.contains(pid) || self.created.contains(&pid);
+                let already = self.rbuf.contains(pid) || self.created.contains(&pid);
                 if !already {
                     self.make_rbuf_room(PAGE_SIZE)?;
                     let page = self
@@ -339,6 +354,7 @@ impl Store {
         }
         self.meter().recovery_buffer_overflows.fetch_add(1, Ordering::Relaxed);
         for pid in victims {
+            self.tracer().event(TraceCat::RbufEvict, "overflow", pid.0 as u64, need as u64);
             let page = self
                 .client
                 .peek(pid)
@@ -443,10 +459,9 @@ impl Store {
     /// update. Write access on the frame is *not* enabled — stray raw
     /// writes keep faulting, by design.
     pub fn update(&mut self, oid: Oid, offset: usize, data: &[u8]) -> QsResult<()> {
-        let block =
-            self.cfg.log_gen.block_size().ok_or(QsError::Protocol {
-                detail: format!("Store::update under {} (hardware scheme)", self.cfg.name()),
-            })?;
+        let block = self.cfg.log_gen.block_size().ok_or(QsError::Protocol {
+            detail: format!("Store::update under {} (hardware scheme)", self.cfg.name()),
+        })?;
         let (va, obj_off) = self.object_va(oid, offset, data.len())?;
         self.meter().update_fn_calls.fetch_add(1, Ordering::Relaxed);
         let pid = {
@@ -506,11 +521,8 @@ impl Store {
     /// this transaction (flushed as whole-page images at commit).
     pub fn allocate(&mut self, data: &[u8]) -> QsResult<Oid> {
         if let Some(pid) = self.alloc_cursor {
-            let fits = self
-                .client
-                .peek(pid)
-                .map(|p| p.free_space() >= data.len() + 8)
-                .unwrap_or(false);
+            let fits =
+                self.client.peek(pid).map(|p| p.free_space() >= data.len() + 8).unwrap_or(false);
             if fits {
                 let page = self.client.page_mut(pid).expect("cursor page resident");
                 let slot = page.insert(pid, data)?;
@@ -582,9 +594,7 @@ impl Store {
         };
         let records = match (&copied, self.cfg.log_gen) {
             (Copied::Full(old), _) => {
-                self.meter()
-                    .bytes_diffed
-                    .fetch_add(current.live_bytes() as u64, Ordering::Relaxed);
+                self.meter().bytes_diffed.fetch_add(current.live_bytes() as u64, Ordering::Relaxed);
                 Self::diff_records(txn, pid, old.bytes(), current)
             }
             (Copied::Blocks { block_size, blocks }, LogGeneration::SubPageDiff { .. }) => {
@@ -643,11 +653,15 @@ impl Store {
                 recs
             }
             (Copied::Blocks { .. }, other) => {
-                return Err(QsError::Protocol {
-                    detail: format!("block copies under {other:?}"),
-                });
+                return Err(QsError::Protocol { detail: format!("block copies under {other:?}") });
             }
         };
+        let tracer = self.client.tracer();
+        if tracer.is_enabled() {
+            let bytes: u64 = records.iter().map(|r| r.encoded_len() as u64).sum();
+            tracer.record("diff_record_bytes_per_page", bytes);
+            tracer.event(TraceCat::Diff, "page", pid.0 as u64, records.len() as u64);
+        }
         if records.is_empty() {
             self.client.note_page_logged(pid)
         } else {

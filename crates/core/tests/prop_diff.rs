@@ -5,10 +5,10 @@
 //! the exact same cases replay on every run, with no external crates.
 
 use qs_prng::Prng;
+use qs_types::LOG_HEADER_SIZE;
 use quickstore::diff::{
     brute_force_min_log_bytes, combine_regions, diff_object, log_bytes, raw_modified_runs,
 };
-use qs_types::LOG_HEADER_SIZE;
 
 /// An object up to 512 bytes plus a set of point mutations.
 fn object_pair(rng: &mut Prng) -> (Vec<u8>, Vec<u8>) {

@@ -10,10 +10,7 @@ use quickstore::{Store, SystemConfig};
 use std::sync::Arc;
 
 fn server_cfg(flavor: RecoveryFlavor) -> ServerConfig {
-    ServerConfig::new(flavor)
-        .with_pool_mb(1.0)
-        .with_volume_pages(512)
-        .with_log_mb(16.0)
+    ServerConfig::new(flavor).with_pool_mb(1.0).with_volume_pages(512).with_log_mb(16.0)
 }
 
 /// Build a store over a freshly bulk-loaded database of `pages` pages, each
@@ -25,8 +22,7 @@ fn setup(
     obj_size: usize,
 ) -> (Store, Vec<Oid>) {
     let meter = Meter::new();
-    let server =
-        Arc::new(Server::format(server_cfg(cfg.flavor), Arc::clone(&meter)).unwrap());
+    let server = Arc::new(Server::format(server_cfg(cfg.flavor), Arc::clone(&meter)).unwrap());
     let pids = server.bulk_allocate(pages).unwrap();
     let mut oids = Vec::new();
     for &pid in &pids {
@@ -87,9 +83,7 @@ fn committed_updates_visible_next_txn_and_after_crash() {
 
         // And after a full server crash + restart.
         let (client_part, oids2) = (store, oids);
-        let server = Arc::try_unwrap(Arc::clone(client_part.client().server()))
-            .err()
-            .unwrap();
+        let server = Arc::try_unwrap(Arc::clone(client_part.client().server())).err().unwrap();
         drop(client_part); // release the other Arc
         let server = Arc::try_unwrap(server).ok().expect("sole owner now");
         let parts = server.crash();
@@ -149,7 +143,12 @@ fn scheme_traffic_signatures() {
     let sl = run(SystemConfig::sl_esm().with_memory(1.0, 0.25));
     assert_eq!(sl.bytes_diffed, 0, "SL never diffs");
     // SL logs whole 64-byte blocks: more image bytes than SD's 4-byte diffs.
-    assert!(sl.log_image_bytes > sd.log_image_bytes, "{} vs {}", sl.log_image_bytes, sd.log_image_bytes);
+    assert!(
+        sl.log_image_bytes > sd.log_image_bytes,
+        "{} vs {}",
+        sl.log_image_bytes,
+        sd.log_image_bytes
+    );
 
     let redo = run(SystemConfig::pd_redo().with_memory(1.0, 0.25));
     assert_eq!(redo.dirty_pages_shipped, 0, "REDO ships no pages");

@@ -11,7 +11,8 @@
 use crate::server::Server;
 use crate::txn::TxnTable;
 use qs_storage::Page;
-use qs_types::{Lsn, PageId, QsResult, TxnId};
+use qs_trace::PhaseStat;
+use qs_types::{Lsn, PageId, QsResult, TxnId, PAGE_SIZE};
 use qs_wal::LogRecord;
 use std::collections::{HashMap, HashSet};
 
@@ -29,11 +30,18 @@ struct Analysis {
 }
 
 /// Run restart recovery. Called by [`Server::restart`] with a freshly
-/// opened volume and log.
-pub fn restart(server: &Server) -> QsResult<()> {
+/// opened volume and log. Returns raw (unpriced) per-phase work counts
+/// (analysis / redo / undo) for the restart report.
+pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
+    let mut ph_analysis = PhaseStat { name: "analysis", ..PhaseStat::default() };
+    let mut ph_redo = PhaseStat { name: "redo", ..PhaseStat::default() };
+    let mut ph_undo = PhaseStat { name: "undo", ..PhaseStat::default() };
+
     let analysis = server.with_inner(|inner| -> QsResult<Analysis> {
         let ck = inner.log.checkpoint_lsn();
         let scan_from = if ck.is_null() { inner.log.start_lsn() } else { ck };
+        ph_analysis.pages_read =
+            inner.log.tail_lsn().0.saturating_sub(scan_from.0).div_ceil(PAGE_SIZE as u64);
 
         let mut a = Analysis { max_txn: TxnId::INVALID, ..Analysis::default() };
         let mut committed: HashSet<TxnId> = HashSet::new();
@@ -58,6 +66,7 @@ pub fn restart(server: &Server) -> QsResult<()> {
         // Forward analysis pass.
         for item in inner.log.scan_forward(scan_from) {
             let (lsn, rec) = item?;
+            ph_analysis.records += 1;
             let txn = rec.txn();
             if txn != TxnId::INVALID {
                 if a.max_txn == TxnId::INVALID || txn.0 > a.max_txn.0 {
@@ -93,6 +102,8 @@ pub fn restart(server: &Server) -> QsResult<()> {
         let Some(&redo_from) = analysis.dpt.values().min() else {
             return Ok(());
         };
+        ph_redo.pages_read =
+            inner.log.tail_lsn().0.saturating_sub(redo_from.0).div_ceil(PAGE_SIZE as u64);
         let mut resident: HashMap<PageId, Page> = HashMap::new();
         for item in inner.log.scan_forward(redo_from) {
             let (lsn, rec) = item?;
@@ -104,12 +115,14 @@ pub fn restart(server: &Server) -> QsResult<()> {
             let page = match resident.entry(pid) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
+                    ph_redo.data_reads += 1;
                     e.insert(inner.volume.read_page(pid)?)
                 }
             };
             if page.lsn() >= lsn {
                 continue; // effect already on disk image
             }
+            ph_redo.records += 1;
             match &rec {
                 LogRecord::Update { slot, offset, after, .. } => {
                     let obj = page.object_mut(pid, *slot)?;
@@ -138,6 +151,7 @@ pub fn restart(server: &Server) -> QsResult<()> {
                 // in the durable log already).
                 if ev.dirty {
                     inner.volume.write_page(ev.page_id, &ev.page)?;
+                    ph_redo.data_writes += 1;
                 }
             }
             inner.dpt.insert(pid, redo_from);
@@ -161,7 +175,11 @@ pub fn restart(server: &Server) -> QsResult<()> {
     })?;
     for (txn, last) in losers {
         server.with_inner(|inner| -> QsResult<()> {
-            server.undo_chain(inner, txn, last)?;
+            let undone = server.undo_chain(inner, txn, last)?;
+            // Each undo re-reads the record (random log read) and applies a
+            // before-image; the report treats one record as one log read.
+            ph_undo.records += undone;
+            ph_undo.pages_read += undone;
             let prev = inner.txns.get(txn)?.last_lsn;
             inner.log.append(&LogRecord::Abort { txn, prev })?;
             inner.txns.remove(txn);
@@ -179,5 +197,5 @@ pub fn restart(server: &Server) -> QsResult<()> {
         }
     });
     server.checkpoint()?;
-    Ok(())
+    Ok(vec![ph_analysis, ph_redo, ph_undo])
 }

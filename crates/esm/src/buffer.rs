@@ -10,8 +10,8 @@
 //! WPL it must be shipped whole, and at the server a stolen page must obey
 //! WAL — all policy that lives above the pool.
 
-use qs_types::{PageId, QsError, QsResult};
 use qs_storage::Page;
+use qs_types::{PageId, QsError, QsResult};
 use std::collections::HashMap;
 
 /// Doubly-linked LRU list over a slab of nodes; O(1) touch/insert/remove.
@@ -212,11 +212,8 @@ impl BufferPool {
             f.lru_idx = self.lru.touch(f.lru_idx);
             return Ok(None);
         }
-        let evicted = if self.frames.len() >= self.capacity {
-            Some(self.evict_lru()?)
-        } else {
-            None
-        };
+        let evicted =
+            if self.frames.len() >= self.capacity { Some(self.evict_lru()?) } else { None };
         let lru_idx = self.lru.push_front(pid);
         self.frames.insert(pid, Frame { page, dirty, pins: 0, lru_idx });
         Ok(evicted)

@@ -18,6 +18,7 @@ use crate::net;
 use crate::server::{RecoveryFlavor, Server};
 use qs_sim::Meter;
 use qs_storage::Page;
+use qs_trace::{TraceCat, Tracer};
 use qs_types::{ClientId, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
 use qs_wal::LogRecord;
 use std::collections::HashSet;
@@ -36,11 +37,14 @@ pub struct ClientConn {
     log_buf_bytes: usize,
     /// Pages this transaction has generated (or declared) log records for.
     pages_logged: HashSet<PageId>,
+    /// Shared with the server: a traced server's clients trace too.
+    tracer: Arc<Tracer>,
 }
 
 impl ClientConn {
     /// `pool_pages`: the client buffer pool size (e.g. 8 MB → 1024 pages).
     pub fn new(id: ClientId, server: Arc<Server>, pool_pages: usize, meter: Arc<Meter>) -> Self {
+        let tracer = Arc::clone(server.tracer());
         ClientConn {
             id,
             server,
@@ -50,11 +54,16 @@ impl ClientConn {
             log_buf: Vec::new(),
             log_buf_bytes: 0,
             pages_logged: HashSet::new(),
+            tracer,
         }
     }
 
     pub fn server(&self) -> &Arc<Server> {
         &self.server
+    }
+
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     pub fn flavor(&self) -> RecoveryFlavor {
@@ -209,9 +218,7 @@ impl ClientConn {
     pub fn add_log_records(&mut self, pid: PageId, records: Vec<LogRecord>) -> QsResult<()> {
         let txn = self.txn()?;
         if self.flavor() == RecoveryFlavor::Wpl {
-            return Err(QsError::Protocol {
-                detail: "WPL generates no client log records".into(),
-            });
+            return Err(QsError::Protocol { detail: "WPL generates no client log records".into() });
         }
         self.pages_logged.insert(pid);
         self.server.note_page_logged(txn, pid)?;
@@ -257,6 +264,7 @@ impl ClientConn {
             net::page_upload(&self.meter);
         }
         self.meter.log_record_pages_shipped.fetch_add(1, Ordering::Relaxed);
+        self.tracer.event(TraceCat::Ship, "log_page", txn.0, bytes as u64);
         self.server.receive_log_records(txn, batch)?;
         Ok(())
     }
@@ -297,11 +305,13 @@ impl ClientConn {
                 self.flush_log()?;
                 net::page_upload(&self.meter);
                 self.meter.dirty_pages_shipped.fetch_add(1, Ordering::Relaxed);
+                self.tracer.event(TraceCat::Ship, "dirty_page", txn.0, pid.0 as u64);
                 self.server.receive_dirty_page(txn, pid, page)
             }
             RecoveryFlavor::Wpl => {
                 net::page_upload(&self.meter);
                 self.meter.dirty_pages_shipped.fetch_add(1, Ordering::Relaxed);
+                self.tracer.event(TraceCat::Ship, "dirty_page", txn.0, pid.0 as u64);
                 self.server.receive_dirty_page(txn, pid, page)
             }
         }

@@ -39,9 +39,7 @@ struct LockEntry {
 
 impl LockEntry {
     fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
-        self.holders
-            .iter()
-            .all(|(&h, &hm)| h == txn || hm.compatible(mode) && mode.compatible(hm))
+        self.holders.iter().all(|(&h, &hm)| h == txn || hm.compatible(mode) && mode.compatible(hm))
     }
 }
 
@@ -57,7 +55,8 @@ struct LockTables {
 impl LockTables {
     fn would_deadlock(&self, from: TxnId) -> bool {
         // DFS over waits-for edges looking for a cycle back to `from`.
-        let mut stack: Vec<TxnId> = self.waits_for.get(&from).into_iter().flatten().copied().collect();
+        let mut stack: Vec<TxnId> =
+            self.waits_for.get(&from).into_iter().flatten().copied().collect();
         let mut seen = HashSet::new();
         while let Some(t) = stack.pop() {
             if t == from {
@@ -99,6 +98,14 @@ impl LockManager {
     /// live-locks with ≥3 contenders: each woken waiter sees the *others*
     /// still queued, requeues itself, and sleeps again with the lock free.
     pub fn lock(&self, txn: TxnId, page: PageId, mode: LockMode) -> QsResult<()> {
+        self.lock_observing(txn, page, mode).map(|_waited| ())
+    }
+
+    /// [`LockManager::lock`], additionally reporting whether the request
+    /// had to queue behind a conflicting holder (`Ok(true)` = it waited).
+    /// The tracing layer uses this to count lock waits without a second
+    /// trip into the lock tables.
+    pub fn lock_observing(&self, txn: TxnId, page: PageId, mode: LockMode) -> QsResult<bool> {
         let mut t = self.tables.lock();
         let mut queued = false;
         loop {
@@ -114,7 +121,7 @@ impl LockManager {
                         entry.waiters.retain(|w| w.0 != txn);
                     }
                     t.waits_for.remove(&txn);
-                    return Ok(());
+                    return Ok(queued);
                 }
             } else {
                 let may_pass = match entry.waiters.front() {
@@ -132,7 +139,7 @@ impl LockManager {
                     entry.holders.insert(txn, mode);
                     t.held.entry(txn).or_default().insert(page);
                     t.waits_for.remove(&txn);
-                    return Ok(());
+                    return Ok(queued);
                 }
             }
 
@@ -237,10 +244,7 @@ mod tests {
     fn exclusive_conflicts_detected_by_try_lock() {
         let lm = LockManager::new();
         lm.lock(TxnId(1), P, LockMode::X).unwrap();
-        assert!(matches!(
-            lm.try_lock(TxnId(2), P, LockMode::S),
-            Err(QsError::LockConflict { .. })
-        ));
+        assert!(matches!(lm.try_lock(TxnId(2), P, LockMode::S), Err(QsError::LockConflict { .. })));
         lm.release_all(TxnId(1));
         lm.try_lock(TxnId(2), P, LockMode::S).unwrap();
     }
@@ -298,10 +302,7 @@ mod tests {
         let r1 = lm.lock(TxnId(1), pb, LockMode::X);
         lm.release_all(TxnId(1));
         let r2 = h.join().unwrap();
-        assert!(
-            r1.is_err() || r2.is_err(),
-            "deadlock must be detected on at least one side"
-        );
+        assert!(r1.is_err() || r2.is_err(), "deadlock must be detected on at least one side");
     }
 
     #[test]

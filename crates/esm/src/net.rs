@@ -62,7 +62,9 @@ mod tests {
         assert_eq!(s.net_msgs, 6);
         assert_eq!(
             s.net_bytes,
-            2 * CONTROL_MSG_BYTES + (PAGE_MSG_BYTES + CONTROL_MSG_BYTES) + (532 + CONTROL_MSG_BYTES)
+            2 * CONTROL_MSG_BYTES
+                + (PAGE_MSG_BYTES + CONTROL_MSG_BYTES)
+                + (532 + CONTROL_MSG_BYTES)
         );
     }
 }

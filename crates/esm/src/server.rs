@@ -17,8 +17,9 @@ use crate::buffer::BufferPool;
 use crate::lock::{LockManager, LockMode};
 use crate::txn::{TxnStatus, TxnTable};
 use crate::wpl::WplTable;
-use qs_sim::Meter;
+use qs_sim::{HardwareModel, Meter};
 use qs_storage::{MemDisk, Page, StableMedia, Volume};
+use qs_trace::{FlightRecording, PhaseStat, RestartReport, TraceCat, Tracer};
 use qs_types::sync::Mutex;
 use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
 use qs_wal::{CheckpointBody, LogManager, LogRecord};
@@ -95,10 +96,19 @@ impl ServerConfig {
     }
 }
 
+/// How many trailing flight-recorder events [`Server::crash`] snapshots
+/// into the stable parts.
+const FLIGHT_EVENTS: usize = 64;
+
 /// The crash-surviving pieces: what a reboot finds on the machine.
 pub struct StableParts {
     pub data_media: Arc<dyn StableMedia>,
     pub log_media: Arc<dyn StableMedia>,
+    /// The crashed server's flight recording (its tracer ring's last
+    /// events), when it was tracing. Strictly observability — restart
+    /// recovery never reads it; it is carried across the crash so the
+    /// restarting server can report what the system was doing when it died.
+    pub flight: Option<FlightRecording>,
 }
 
 pub(crate) struct Inner {
@@ -123,22 +133,52 @@ pub struct Server {
     checkpoints: AtomicU64,
     /// WPL images reclaimed (flushed or superseded).
     reclaimed: AtomicU64,
+    /// Observability hook (disabled by default: one branch per event).
+    tracer: Arc<Tracer>,
+    /// Per-phase breakdown of the restart that built this server, if it
+    /// was built by [`Server::restart`].
+    restart_report: Mutex<Option<RestartReport>>,
 }
 
 impl Server {
     /// Create a fresh server on fresh in-memory media.
     pub fn format(cfg: ServerConfig, meter: Arc<Meter>) -> QsResult<Server> {
+        Self::format_traced(cfg, meter, Tracer::disabled())
+    }
+
+    /// [`Server::format`] with tracing installed from birth.
+    pub fn format_traced(
+        cfg: ServerConfig,
+        meter: Arc<Meter>,
+        tracer: Arc<Tracer>,
+    ) -> QsResult<Server> {
         let data_media: Arc<dyn StableMedia> =
             Arc::new(MemDisk::new(Volume::required_bytes(cfg.volume_pages)));
         let log_media: Arc<dyn StableMedia> =
             Arc::new(MemDisk::new(LogManager::required_bytes(cfg.log_bytes)));
-        Self::format_on(StableParts { data_media, log_media }, cfg, meter)
+        Self::format_on_traced(
+            StableParts { data_media, log_media, flight: None },
+            cfg,
+            meter,
+            tracer,
+        )
     }
 
     /// Create a fresh server on the given media (formats them).
     pub fn format_on(parts: StableParts, cfg: ServerConfig, meter: Arc<Meter>) -> QsResult<Server> {
+        Self::format_on_traced(parts, cfg, meter, Tracer::disabled())
+    }
+
+    /// [`Server::format_on`] with tracing installed from birth.
+    pub fn format_on_traced(
+        parts: StableParts,
+        cfg: ServerConfig,
+        meter: Arc<Meter>,
+        tracer: Arc<Tracer>,
+    ) -> QsResult<Server> {
         let volume = Volume::format(Arc::clone(&parts.data_media), cfg.volume_pages)?;
-        let log = LogManager::format(Arc::clone(&parts.log_media), cfg.log_bytes)?;
+        let mut log = LogManager::format(Arc::clone(&parts.log_media), cfg.log_bytes)?;
+        log.set_tracer(Arc::clone(&tracer));
         Ok(Server {
             inner: Mutex::new(Inner {
                 volume,
@@ -154,13 +194,22 @@ impl Server {
             log_media: parts.log_media,
             checkpoints: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            tracer,
+            restart_report: Mutex::new(None),
             cfg,
         })
     }
 
     /// Simulate a crash: all volatile state is lost; only media survive.
+    /// A tracing server also snapshots its flight recorder's most recent
+    /// events into the parts — the "black box" a reboot recovers.
     pub fn crash(self) -> StableParts {
-        StableParts { data_media: self.data_media, log_media: self.log_media }
+        let flight = if self.tracer.is_enabled() {
+            Some(FlightRecording { events: self.tracer.flight_snapshot(FLIGHT_EVENTS) })
+        } else {
+            None
+        };
+        StableParts { data_media: self.data_media, log_media: self.log_media, flight }
     }
 
     /// Clone handles to the stable media (e.g. to image the disks in tests).
@@ -168,13 +217,33 @@ impl Server {
         StableParts {
             data_media: Arc::clone(&self.data_media),
             log_media: Arc::clone(&self.log_media),
+            flight: None,
         }
     }
 
     /// Rebuild a server from crashed media, running restart recovery.
     pub fn restart(parts: StableParts, cfg: ServerConfig, meter: Arc<Meter>) -> QsResult<Server> {
+        Self::restart_traced(parts, cfg, meter, Tracer::disabled())
+    }
+
+    /// [`Server::restart`] with tracing: besides recovering, the server
+    /// emits per-phase `Restart` events and keeps a [`RestartReport`]
+    /// (available from [`Server::restart_report`]) breaking the restart
+    /// into its phases with simulated per-phase times.
+    ///
+    /// The phase counts are tallied locally and priced directly with the
+    /// hardware model — they never touch the shared meter, so figure
+    /// outputs are identical with tracing on or off.
+    pub fn restart_traced(
+        parts: StableParts,
+        cfg: ServerConfig,
+        meter: Arc<Meter>,
+        tracer: Arc<Tracer>,
+    ) -> QsResult<Server> {
         let volume = Volume::open(Arc::clone(&parts.data_media))?;
-        let log = LogManager::open(Arc::clone(&parts.log_media))?;
+        let mut log = LogManager::open(Arc::clone(&parts.log_media))?;
+        log.set_tracer(Arc::clone(&tracer));
+        let flight = parts.flight.unwrap_or_default();
         let server = Server {
             inner: Mutex::new(Inner {
                 volume,
@@ -190,12 +259,24 @@ impl Server {
             log_media: parts.log_media,
             checkpoints: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            tracer,
+            restart_report: Mutex::new(None),
             cfg,
         };
-        match server.cfg.flavor {
+        let phases = match server.cfg.flavor {
             RecoveryFlavor::Wpl => server.wpl_restart()?,
             _ => crate::aries::restart(&server)?,
+        };
+        // Price the raw phase counts on the same hardware the tracer's
+        // clock uses (the paper's testbed when no clock is installed).
+        let default_hw = HardwareModel::paper_1995();
+        let hw = server.tracer.hardware().unwrap_or(&default_hw).clone();
+        let phases: Vec<PhaseStat> = phases.into_iter().map(|p| p.priced(&hw)).collect();
+        for p in &phases {
+            server.tracer.event(TraceCat::Restart, p.name, p.records, p.pages_read);
         }
+        let report = RestartReport { flavor: server.cfg.flavor.name(), phases, flight };
+        *server.restart_report.lock() = Some(report);
         Ok(server)
     }
 
@@ -209,6 +290,16 @@ impl Server {
 
     pub fn meter(&self) -> &Arc<Meter> {
         &self.meter
+    }
+
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The per-phase breakdown of the restart that built this server
+    /// (`None` for servers built by `format`/`format_on`).
+    pub fn restart_report(&self) -> Option<RestartReport> {
+        self.restart_report.lock().clone()
     }
 
     pub fn checkpoints_taken(&self) -> u64 {
@@ -264,7 +355,10 @@ impl Server {
     /// exclusive lock on the page from ESM"). Blocking; deadlocks abort the
     /// requester with `LockConflict`.
     pub fn lock_page(&self, txn: TxnId, pid: PageId, mode: LockMode) -> QsResult<()> {
-        self.locks.lock(txn, pid, mode)?;
+        let waited = self.locks.lock_observing(txn, pid, mode)?;
+        if waited {
+            self.tracer.event(TraceCat::LockWait, "granted", txn.0, pid.0 as u64);
+        }
         self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -347,7 +441,11 @@ impl Server {
     }
 
     /// STEAL handling: a dirty page leaves the server pool.
-    fn handle_server_eviction(&self, inner: &mut Inner, ev: crate::buffer::Evicted) -> QsResult<()> {
+    fn handle_server_eviction(
+        &self,
+        inner: &mut Inner,
+        ev: crate::buffer::Evicted,
+    ) -> QsResult<()> {
         if !ev.dirty {
             return Ok(());
         }
@@ -374,6 +472,11 @@ impl Server {
         if stats.wrote {
             self.meter.log_pages_written.fetch_add(stats.pages_written, Ordering::Relaxed);
             self.meter.log_forces.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // The log was already durable past the requested LSN: no I/O,
+            // no latency — but the request still happened. Count it so the
+            // force rate and the no-op rate are both observable.
+            self.meter.log_forces_noop.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -477,9 +580,9 @@ impl Server {
         let mut inner = self.inner.lock();
         inner.txns.active_mut(txn)?;
         match self.cfg.flavor {
-            RecoveryFlavor::RedoAtServer => Err(QsError::Protocol {
-                detail: "REDO clients do not ship dirty pages".into(),
-            }),
+            RecoveryFlavor::RedoAtServer => {
+                Err(QsError::Protocol { detail: "REDO clients do not ship dirty pages".into() })
+            }
             RecoveryFlavor::EsmAries => {
                 // Log-before-page rule (§3.1): the server must never cache a
                 // page for which it lacks the update log records.
@@ -502,12 +605,8 @@ impl Server {
                 // until after commit (§3.4.2).
                 let prev = inner.txns.get(txn)?.last_lsn;
                 let mut page = page;
-                let rec = LogRecord::WholePage {
-                    txn,
-                    prev,
-                    page: pid,
-                    image: page.bytes().to_vec(),
-                };
+                let rec =
+                    LogRecord::WholePage { txn, prev, page: pid, image: page.bytes().to_vec() };
                 let lsn = inner.log.append(&rec)?;
                 page.set_lsn(lsn);
                 let t = inner.txns.active_mut(txn)?;
@@ -575,8 +674,10 @@ impl Server {
     }
 
     /// Walk a transaction's backward chain applying before-images, writing
-    /// CLRs. Used by abort and by restart undo.
-    pub(crate) fn undo_chain(&self, inner: &mut Inner, txn: TxnId, from: Lsn) -> QsResult<()> {
+    /// CLRs. Used by abort and by restart undo. Returns the number of
+    /// update records undone (restart-report input).
+    pub(crate) fn undo_chain(&self, inner: &mut Inner, txn: TxnId, from: Lsn) -> QsResult<u64> {
+        let mut undone = 0u64;
         let mut at = from;
         while !at.is_null() {
             let (rec, _) = inner.log.read_record(at)?;
@@ -606,6 +707,7 @@ impl Server {
                     let lsn = inner.log.append(&clr)?;
                     inner.txns.active_mut(txn)?.note_logged(lsn);
                     inner.dpt.entry(pid).or_insert(lsn);
+                    undone += 1;
                     at = prev;
                 }
                 LogRecord::Clr { undo_next, .. } => at = undo_next,
@@ -616,7 +718,7 @@ impl Server {
                 LogRecord::Checkpoint { .. } => break,
             }
         }
-        Ok(())
+        Ok(undone)
     }
 
     // ---------------------------------------------------------------------
@@ -643,6 +745,7 @@ impl Server {
     /// checkpoint; under WPL it snapshots the WPL table (§3.4.3).
     pub fn checkpoint(&self) -> QsResult<()> {
         let mut inner = self.inner.lock();
+        let mut flushed = 0u64;
         if self.cfg.flavor != RecoveryFlavor::Wpl {
             // Flush every dirty page, obeying WAL.
             let dirty = inner.pool.dirty_pages();
@@ -658,6 +761,7 @@ impl Server {
                     inner.volume.write_page(pid, &page)?;
                     self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
                     inner.pool.clear_dirty(pid);
+                    flushed += 1;
                 }
             }
             inner.dpt.clear();
@@ -691,6 +795,9 @@ impl Server {
         }
         inner.log.truncate_to(keep)?;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        let log_used = inner.log.used_bytes() as u64;
+        drop(inner);
+        self.tracer.event(TraceCat::Checkpoint, "taken", flushed, log_used);
         Ok(())
     }
 
@@ -830,7 +937,11 @@ impl Server {
     /// end of the (durable) log to the most recent checkpoint, building the
     /// committed-transactions list (CTL) and inserting WPL entries for
     /// pages whose writers committed; then merge the checkpoint's entries.
-    fn wpl_restart(&self) -> QsResult<()> {
+    ///
+    /// Returns raw (unpriced) per-phase work counts for the restart report.
+    fn wpl_restart(&self) -> QsResult<Vec<PhaseStat>> {
+        let mut scan = PhaseStat { name: "backward_scan", ..PhaseStat::default() };
+        let mut rebuild = PhaseStat { name: "table_rebuild", ..PhaseStat::default() };
         let mut inner = self.inner.lock();
         let end = inner.log.durable_lsn();
         let ck = inner.log.checkpoint_lsn();
@@ -842,10 +953,12 @@ impl Server {
         let mut max_page: Option<u32> = None;
         let mut checkpoint_body: Option<CheckpointBody> = None;
 
+        scan.pages_read = (end.0.saturating_sub(stop.0)).div_ceil(PAGE_SIZE as u64);
         let mut at = end;
         while at > stop {
             let (rec, start) = inner.log.read_record_ending_at(at)?;
             self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+            scan.records += 1;
             match &rec {
                 LogRecord::Commit { txn, .. } => {
                     ctl.insert(*txn);
@@ -873,6 +986,7 @@ impl Server {
         if !ck.is_null() && checkpoint_body.is_none() {
             if let LogRecord::Checkpoint { body } = inner.log.read_record(ck)?.0 {
                 self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                rebuild.pages_read += 1;
                 checkpoint_body = Some(body);
             }
         }
@@ -881,6 +995,7 @@ impl Server {
                 if (e.committed || ctl.contains(&e.txn)) && claimed.insert(e.page) {
                     inner.wpl.insert_restored(e.page, e.lsn, e.txn);
                 }
+                rebuild.records += 1;
                 max_page = Some(max_page.unwrap_or(0).max(e.page.0 + 1));
             }
             inner.volume.ensure_allocated(body.allocated_pages as usize)?;
@@ -890,7 +1005,7 @@ impl Server {
         }
         inner.txns = TxnTable::resuming_after(max_txn);
         drop(inner);
-        Ok(())
+        Ok(vec![scan, rebuild])
     }
 }
 
@@ -958,6 +1073,62 @@ mod tests {
         server.commit(txn).unwrap();
         let cfg = server.config().clone();
         (server.crash(), cfg, pid)
+    }
+
+    #[test]
+    fn force_stats_metered_on_both_paths() {
+        use qs_wal::log::ForceStats;
+        let meter = Meter::new();
+        let server =
+            Server::format(small_cfg(RecoveryFlavor::EsmAries), Arc::clone(&meter)).unwrap();
+        server.meter_force(ForceStats { pages_written: 2, wrote: true });
+        server.meter_force(ForceStats { pages_written: 0, wrote: false });
+        let s = meter.snapshot();
+        assert_eq!(s.log_forces, 1, "only the real force counts as a force");
+        assert_eq!(s.log_pages_written, 2);
+        assert_eq!(s.log_forces_noop, 1, "the no-op force is counted separately");
+    }
+
+    #[test]
+    fn traced_restart_reports_phases_and_flight() {
+        let cfg = small_cfg(RecoveryFlavor::EsmAries);
+        let meter = Meter::new();
+        let tracer = Tracer::flight(Arc::clone(&meter), HardwareModel::paper_1995(), 32);
+        let server = Server::format_traced(cfg.clone(), Arc::clone(&meter), tracer).unwrap();
+        let pids = server.bulk_allocate(2).unwrap();
+        for &pid in &pids {
+            let mut p = Page::new();
+            p.insert(pid, &[0u8; 64]).unwrap();
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        let txn = server.begin();
+        server.lock_page(txn, pids[0], LockMode::X).unwrap();
+        let page = updated_page(&server, txn, pids[0], 7);
+        let rec = LogRecord::Update {
+            txn,
+            prev: Lsn::NULL,
+            page: pids[0],
+            slot: 0,
+            offset: 0,
+            before: vec![0u8; 64],
+            after: vec![7u8; 64],
+        };
+        server.receive_log_records(txn, vec![rec]).unwrap();
+        server.receive_dirty_page(txn, pids[0], page).unwrap();
+        server.commit(txn).unwrap();
+        let parts = server.crash();
+        assert!(parts.flight.as_ref().is_some_and(|f| !f.is_empty()), "crash snapshots the ring");
+        let meter2 = Meter::new();
+        let tracer2 = Tracer::flight(Arc::clone(&meter2), HardwareModel::paper_1995(), 32);
+        let server2 = Server::restart_traced(parts, cfg, meter2, tracer2).unwrap();
+        let report = server2.restart_report().expect("restart produces a report");
+        assert_eq!(report.flavor, "ESM");
+        assert_eq!(report.phases.len(), 3, "analysis / redo / undo");
+        assert!(report.total_records() > 0, "the commit left records to analyze");
+        assert!(report.total_sim_s() > 0.0);
+        assert!(!report.flight.is_empty(), "the crashed server's flight rode along");
+        assert!(server2.restart_report().is_some(), "report is clonable out repeatedly");
     }
 
     #[test]
@@ -1181,12 +1352,8 @@ mod tests {
         let mut page = Page::new();
         page.insert(pid, b"fresh object").unwrap();
         // New pages are whole-page logged by ESM (§3.6).
-        let rec = LogRecord::WholePage {
-            txn,
-            prev: Lsn::NULL,
-            page: pid,
-            image: page.bytes().to_vec(),
-        };
+        let rec =
+            LogRecord::WholePage { txn, prev: Lsn::NULL, page: pid, image: page.bytes().to_vec() };
         server.receive_log_records(txn, vec![rec]).unwrap();
         server.receive_dirty_page(txn, pid, page).unwrap();
         server.commit(txn).unwrap();

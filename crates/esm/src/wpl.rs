@@ -79,9 +79,7 @@ impl WplTable {
     /// committed version onward (older committed copies are superseded;
     /// newer uncommitted copies are still needed for same-txn re-reads).
     fn drop_superseded(versions: &mut Vec<WplVersion>) {
-        if let Some(newest_committed) =
-            versions.iter().rposition(|v| v.committed)
-        {
+        if let Some(newest_committed) = versions.iter().rposition(|v| v.committed) {
             versions.drain(..newest_committed);
         }
     }
@@ -122,8 +120,7 @@ impl WplTable {
         for (&page, versions) in &self.pages {
             let newest_committed = versions.iter().rev().find(|v| v.committed);
             for v in versions.iter().filter(|v| v.committed) {
-                let superseded =
-                    newest_committed.map(|nc| nc.lsn > v.lsn).unwrap_or(false);
+                let superseded = newest_committed.map(|nc| nc.lsn > v.lsn).unwrap_or(false);
                 if best.map(|(_, l, _)| v.lsn < l).unwrap_or(true) {
                     best = Some((page, v.lsn, superseded));
                 }
@@ -221,7 +218,7 @@ mod tests {
         t.log_page(P, Lsn(100), TxnId(1));
         t.on_commit(TxnId(1), &[P]); // C1 committed
         t.log_page(P, Lsn(500), TxnId(2)); // C2 logged, uncommitted
-        // Both needed: crash now must recover C1.
+                                           // Both needed: crash now must recover C1.
         assert_eq!(t.min_needed_lsn(), Some(Lsn(100)));
         t.on_commit(TxnId(2), &[P]);
         // C1 superseded by committed C2.

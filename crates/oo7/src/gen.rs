@@ -15,8 +15,8 @@
 use crate::params::Oo7Params;
 use crate::schema::{assembly, atomic, composite, connection, document};
 use qs_esm::Server;
-use qs_storage::Page;
 use qs_prng::Prng;
+use qs_storage::Page;
 use qs_types::{Oid, PageId, QsResult};
 
 /// Largest manual chunk (manuals exceed the single-object page limit).
@@ -220,10 +220,7 @@ fn generate_module(
             ((0..3).map(|k| assembly_oids[3 * i + 1 + k]).collect(), Vec::new())
         } else {
             let base_idx = i - complex_count;
-            (
-                Vec::new(),
-                plan.base_comp_choice[base_idx].iter().map(|&c| comp_oids[c]).collect(),
-            )
+            (Vec::new(), plan.base_comp_choice[base_idx].iter().map(|&c| comp_oids[c]).collect())
         };
         let bytes = assembly::build(i as u32, is_complex, parent, &subs, &comps);
         let got = packer.place(&bytes)?;
@@ -243,23 +240,13 @@ fn generate_module(
                 }
             }
         }
-        let comp_bytes = composite::build(
-            c as u32,
-            atomic_oids[c][0],
-            doc_oids[c],
-            &atomic_oids[c],
-        );
+        let comp_bytes =
+            composite::build(c as u32, atomic_oids[c][0], doc_oids[c], &atomic_oids[c]);
         let got = packer.place(&comp_bytes)?;
         debug_assert_eq!(got, comp_oids[c]);
         for i in 0..n_atomic {
-            let to: Vec<Oid> =
-                (0..n_conn).map(|k| conn_oids[c][i * n_conn + k]).collect();
-            let bytes = atomic::build(
-                (c * n_atomic + i) as u32,
-                comp_oids[c],
-                &to,
-                &incoming[i],
-            );
+            let to: Vec<Oid> = (0..n_conn).map(|k| conn_oids[c][i * n_conn + k]).collect();
+            let bytes = atomic::build((c * n_atomic + i) as u32, comp_oids[c], &to, &incoming[i]);
             let got = packer.place(&bytes)?;
             debug_assert_eq!(got, atomic_oids[c][i]);
         }

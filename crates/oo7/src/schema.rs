@@ -259,16 +259,14 @@ mod tests {
             + p.document_size
             + p.num_atomic_per_comp * atomic::SIZE
             + p.num_atomic_per_comp * p.num_conn_per_atomic * connection::SIZE;
-        let small_module = p.num_comp_per_module * per_comp
-            + p.assemblies() * assembly::SIZE
-            + p.manual_size;
+        let small_module =
+            p.num_comp_per_module * per_comp + p.assemblies() * assembly::SIZE + p.manual_size;
         let small_mb = small_module as f64 / (1024.0 * 1024.0);
         assert!((small_mb - 6.6).abs() < 0.4, "small module {small_mb:.2} MB");
 
         let b = crate::params::Oo7Params::big();
-        let big_module = b.num_comp_per_module * per_comp
-            + b.assemblies() * assembly::SIZE
-            + b.manual_size;
+        let big_module =
+            b.num_comp_per_module * per_comp + b.assemblies() * assembly::SIZE + b.manual_size;
         let big_mb = big_module as f64 / (1024.0 * 1024.0);
         assert!((big_mb - 24.3).abs() < 1.5, "big module {big_mb:.2} MB");
     }

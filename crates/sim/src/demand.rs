@@ -11,69 +11,113 @@ use std::sync::Arc;
 /// Relaxed ordering everywhere: counters are statistics, not synchronization.
 const ORD: Ordering = Ordering::Relaxed;
 
-/// Shared counter block. All counts are cumulative since construction (or
-/// the last [`Meter::reset`]).
-#[derive(Debug, Default)]
-pub struct Meter {
+/// Declares every meter counter exactly once. The macro expands the single
+/// field list into [`Meter`] (atomics), [`MeterSnapshot`] (plain `u64`s),
+/// `Meter::all()`, `Meter::snapshot()`, and `MeterSnapshot::since()`, so a
+/// new counter can never be silently missing from `reset()`, `snapshot()`,
+/// or windowed subtraction.
+macro_rules! meter_counters {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// Shared counter block. All counts are cumulative since construction
+        /// (or the last [`Meter::reset`]).
+        #[derive(Debug, Default)]
+        pub struct Meter {
+            $($(#[$doc])* pub $field: AtomicU64,)+
+        }
+
+        /// A plain-old-data copy of every counter, suitable for arithmetic.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct MeterSnapshot {
+            $(pub $field: u64,)+
+        }
+
+        impl Meter {
+            /// Number of counters (one per declared field).
+            pub const FIELD_COUNT: usize = [$(stringify!($field)),+].len();
+
+            fn all(&self) -> [&AtomicU64; Self::FIELD_COUNT] {
+                [$(&self.$field),+]
+            }
+
+            /// Copy every counter out (relaxed; callers quiesce the engine
+            /// first).
+            pub fn snapshot(&self) -> MeterSnapshot {
+                MeterSnapshot { $($field: self.$field.load(ORD)),+ }
+            }
+        }
+
+        impl MeterSnapshot {
+            /// Field-wise difference (`self - earlier`), for windowed
+            /// measurements.
+            pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+                MeterSnapshot { $($field: self.$field - earlier.$field),+ }
+            }
+        }
+    };
+}
+
+meter_counters! {
     // -- raw CPU escape hatches (rarely used; most CPU is priced from the
     //    event counters below by `price`) ---------------------------------
     /// Extra instructions executed on the client workstation CPU.
-    pub client_instr: AtomicU64,
+    client_instr,
     /// Extra instructions executed on the server CPU.
-    pub server_instr: AtomicU64,
+    server_instr,
     /// Messages sent over the (shared) network, either direction.
-    pub net_msgs: AtomicU64,
+    net_msgs,
     /// Payload bytes moved over the network.
-    pub net_bytes: AtomicU64,
+    net_bytes,
     /// Random page reads from the data disk.
-    pub data_reads: AtomicU64,
+    data_reads,
     /// Random page writes to the data disk.
-    pub data_writes: AtomicU64,
+    data_writes,
     /// Pages appended to the log disk (sequential).
-    pub log_pages_written: AtomicU64,
+    log_pages_written,
     /// Pages read back from the log disk (WPL re-reads / reclaim, restart).
-    pub log_pages_read: AtomicU64,
-    /// Synchronous log forces (each pays one device round trip beyond the
-    /// sequential streaming cost).
-    pub log_forces: AtomicU64,
+    log_pages_read,
+    /// Synchronous log forces that wrote pages (each pays one device round
+    /// trip beyond the sequential streaming cost).
+    log_forces,
+    /// Forces that found the log already durable (no I/O, no latency paid).
+    log_forces_noop,
 
     // -- bookkeeping for Figures 9 / 14 and the analysis text -------------
     /// Dirty *data* pages shipped client → server.
-    pub dirty_pages_shipped: AtomicU64,
+    dirty_pages_shipped,
     /// Pages' worth of log records shipped client → server.
-    pub log_record_pages_shipped: AtomicU64,
+    log_record_pages_shipped,
     /// Individual log records generated at the client.
-    pub log_records_generated: AtomicU64,
+    log_records_generated,
     /// Bytes of before/after images placed in log records (excl. headers).
-    pub log_image_bytes: AtomicU64,
+    log_image_bytes,
     /// Write-protection faults taken (PD / WPL / REDO first-touch).
-    pub write_faults: AtomicU64,
+    write_faults,
     /// Read (mapping) faults taken — page not yet mapped into a frame.
-    pub read_faults: AtomicU64,
+    read_faults,
     /// Bytes copied into the recovery buffer (page or block copies).
-    pub bytes_copied: AtomicU64,
+    bytes_copied,
     /// Bytes compared by the diff algorithm.
-    pub bytes_diffed: AtomicU64,
+    bytes_diffed,
     /// Application-level object updates performed.
-    pub updates: AtomicU64,
+    updates,
     /// Calls into the software update function (SD/SL path).
-    pub update_fn_calls: AtomicU64,
+    update_fn_calls,
     /// Pages requested by clients from the server.
-    pub page_requests: AtomicU64,
+    page_requests,
     /// Page requests that missed in the server buffer pool (→ data disk).
-    pub server_pool_misses: AtomicU64,
+    server_pool_misses,
     /// Pages evicted from the *client* buffer pool (client paging).
-    pub client_evictions: AtomicU64,
+    client_evictions,
     /// Recovery-buffer overflows (forced early log-record generation).
-    pub recovery_buffer_overflows: AtomicU64,
+    recovery_buffer_overflows,
     /// Transactions committed.
-    pub commits: AtomicU64,
+    commits,
     /// Objects visited by the application traversal (priced as client CPU).
-    pub visits: AtomicU64,
+    visits,
     /// Lock acquisitions processed at the server.
-    pub locks_acquired: AtomicU64,
+    locks_acquired,
     /// Redo log records applied at the server (REDO scheme).
-    pub redo_applies: AtomicU64,
+    redo_applies,
 }
 
 impl Meter {
@@ -83,43 +127,9 @@ impl Meter {
 
     /// Zero every counter.
     pub fn reset(&self) {
-        // Snapshot lists every field; subtracting via store keeps this in
-        // sync with the struct definition without unsafe tricks.
         for c in self.all() {
             c.store(0, ORD);
         }
-    }
-
-    fn all(&self) -> [&AtomicU64; 27] {
-        [
-            &self.client_instr,
-            &self.server_instr,
-            &self.net_msgs,
-            &self.net_bytes,
-            &self.data_reads,
-            &self.data_writes,
-            &self.log_pages_written,
-            &self.log_pages_read,
-            &self.log_forces,
-            &self.dirty_pages_shipped,
-            &self.log_record_pages_shipped,
-            &self.log_records_generated,
-            &self.log_image_bytes,
-            &self.write_faults,
-            &self.read_faults,
-            &self.bytes_copied,
-            &self.bytes_diffed,
-            &self.updates,
-            &self.update_fn_calls,
-            &self.page_requests,
-            &self.server_pool_misses,
-            &self.client_evictions,
-            &self.recovery_buffer_overflows,
-            &self.commits,
-            &self.visits,
-            &self.locks_acquired,
-            &self.redo_applies,
-        ]
     }
 
     // Convenience mutators used throughout the engine. ---------------------
@@ -145,109 +155,9 @@ impl Meter {
     pub fn add(&self, field: impl Fn(&Meter) -> &AtomicU64, n: u64) {
         field(self).fetch_add(n, ORD);
     }
-
-    /// Copy every counter out (relaxed; callers quiesce the engine first).
-    pub fn snapshot(&self) -> MeterSnapshot {
-        MeterSnapshot {
-            client_instr: self.client_instr.load(ORD),
-            server_instr: self.server_instr.load(ORD),
-            net_msgs: self.net_msgs.load(ORD),
-            net_bytes: self.net_bytes.load(ORD),
-            data_reads: self.data_reads.load(ORD),
-            data_writes: self.data_writes.load(ORD),
-            log_pages_written: self.log_pages_written.load(ORD),
-            log_pages_read: self.log_pages_read.load(ORD),
-            log_forces: self.log_forces.load(ORD),
-            dirty_pages_shipped: self.dirty_pages_shipped.load(ORD),
-            log_record_pages_shipped: self.log_record_pages_shipped.load(ORD),
-            log_records_generated: self.log_records_generated.load(ORD),
-            log_image_bytes: self.log_image_bytes.load(ORD),
-            write_faults: self.write_faults.load(ORD),
-            read_faults: self.read_faults.load(ORD),
-            bytes_copied: self.bytes_copied.load(ORD),
-            bytes_diffed: self.bytes_diffed.load(ORD),
-            updates: self.updates.load(ORD),
-            update_fn_calls: self.update_fn_calls.load(ORD),
-            page_requests: self.page_requests.load(ORD),
-            server_pool_misses: self.server_pool_misses.load(ORD),
-            client_evictions: self.client_evictions.load(ORD),
-            recovery_buffer_overflows: self.recovery_buffer_overflows.load(ORD),
-            commits: self.commits.load(ORD),
-            visits: self.visits.load(ORD),
-            locks_acquired: self.locks_acquired.load(ORD),
-            redo_applies: self.redo_applies.load(ORD),
-        }
-    }
-}
-
-/// A plain-old-data copy of every counter, suitable for arithmetic.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MeterSnapshot {
-    pub client_instr: u64,
-    pub server_instr: u64,
-    pub net_msgs: u64,
-    pub net_bytes: u64,
-    pub data_reads: u64,
-    pub data_writes: u64,
-    pub log_pages_written: u64,
-    pub log_pages_read: u64,
-    pub log_forces: u64,
-    pub dirty_pages_shipped: u64,
-    pub log_record_pages_shipped: u64,
-    pub log_records_generated: u64,
-    pub log_image_bytes: u64,
-    pub write_faults: u64,
-    pub read_faults: u64,
-    pub bytes_copied: u64,
-    pub bytes_diffed: u64,
-    pub updates: u64,
-    pub update_fn_calls: u64,
-    pub page_requests: u64,
-    pub server_pool_misses: u64,
-    pub client_evictions: u64,
-    pub recovery_buffer_overflows: u64,
-    pub commits: u64,
-    pub visits: u64,
-    pub locks_acquired: u64,
-    pub redo_applies: u64,
 }
 
 impl MeterSnapshot {
-    /// Field-wise difference (`self - earlier`), for windowed measurements.
-    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
-        MeterSnapshot {
-            client_instr: self.client_instr - earlier.client_instr,
-            server_instr: self.server_instr - earlier.server_instr,
-            net_msgs: self.net_msgs - earlier.net_msgs,
-            net_bytes: self.net_bytes - earlier.net_bytes,
-            data_reads: self.data_reads - earlier.data_reads,
-            data_writes: self.data_writes - earlier.data_writes,
-            log_pages_written: self.log_pages_written - earlier.log_pages_written,
-            log_pages_read: self.log_pages_read - earlier.log_pages_read,
-            log_forces: self.log_forces - earlier.log_forces,
-            dirty_pages_shipped: self.dirty_pages_shipped - earlier.dirty_pages_shipped,
-            log_record_pages_shipped: self.log_record_pages_shipped
-                - earlier.log_record_pages_shipped,
-            log_records_generated: self.log_records_generated - earlier.log_records_generated,
-            log_image_bytes: self.log_image_bytes - earlier.log_image_bytes,
-            write_faults: self.write_faults - earlier.write_faults,
-            read_faults: self.read_faults - earlier.read_faults,
-            bytes_copied: self.bytes_copied - earlier.bytes_copied,
-            bytes_diffed: self.bytes_diffed - earlier.bytes_diffed,
-            updates: self.updates - earlier.updates,
-            update_fn_calls: self.update_fn_calls - earlier.update_fn_calls,
-            page_requests: self.page_requests - earlier.page_requests,
-            server_pool_misses: self.server_pool_misses - earlier.server_pool_misses,
-            client_evictions: self.client_evictions - earlier.client_evictions,
-            recovery_buffer_overflows: self.recovery_buffer_overflows
-                - earlier.recovery_buffer_overflows,
-            commits: self.commits - earlier.commits,
-            visits: self.visits - earlier.visits,
-            locks_acquired: self.locks_acquired - earlier.locks_acquired,
-            redo_applies: self.redo_applies - earlier.redo_applies,
-        }
-    }
-
     /// Total client-CPU instructions implied by the events in this window.
     /// This is where every per-operation budget of the hardware model is
     /// applied — the engine only counts events.
@@ -342,6 +252,33 @@ mod tests {
         assert_eq!(s.data_reads, 3);
         m.reset();
         assert_eq!(m.snapshot(), MeterSnapshot::default());
+    }
+
+    #[test]
+    fn reset_zeroes_every_snapshot_field() {
+        // Bump every counter through the same macro-generated list that
+        // reset() iterates, then check the full round trip: every snapshot
+        // field is nonzero, and reset() restores the all-zero default.
+        let m = Meter::new();
+        for (i, c) in m.all().iter().enumerate() {
+            c.fetch_add(i as u64 + 1, ORD);
+        }
+        let s = m.snapshot();
+        let diff = s.since(&MeterSnapshot::default());
+        assert_eq!(diff, s, "since() must cover every field");
+        for (i, c) in m.all().iter().enumerate() {
+            assert_eq!(c.load(ORD), i as u64 + 1, "field {i} missed by snapshot round trip");
+        }
+        assert_ne!(s, MeterSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MeterSnapshot::default(), "reset must zero every field");
+    }
+
+    #[test]
+    fn field_count_matches_declaration() {
+        let m = Meter::new();
+        assert_eq!(m.all().len(), Meter::FIELD_COUNT);
+        assert_eq!(Meter::FIELD_COUNT, 28);
     }
 
     #[test]

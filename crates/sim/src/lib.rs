@@ -19,6 +19,6 @@ pub mod json;
 pub mod mva;
 
 pub use cost::HardwareModel;
-pub use json::JsonWriter;
 pub use demand::{Demand, Meter, MeterSnapshot};
+pub use json::JsonWriter;
 pub use mva::{solve, Center, MvaResult};

@@ -30,12 +30,8 @@ pub enum Center {
 }
 
 impl Center {
-    pub const ALL: [Center; 4] = [
-        Center::Network,
-        Center::ServerCpu,
-        Center::DataDisk,
-        Center::LogDisk,
-    ];
+    pub const ALL: [Center; 4] =
+        [Center::Network, Center::ServerCpu, Center::DataDisk, Center::LogDisk];
 
     pub fn name(self) -> &'static str {
         match self {

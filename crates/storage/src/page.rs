@@ -195,8 +195,7 @@ impl Page {
     /// Byte offset of an object within the page (for virtual-address
     /// computation when the page is mapped into a frame).
     pub fn object_offset(&self, page_id: PageId, slot: u16) -> QsResult<(usize, usize)> {
-        self.slot_entry(slot)
-            .ok_or(QsError::NoSuchObject(qs_types::Oid::new(page_id, slot)))
+        self.slot_entry(slot).ok_or(QsError::NoSuchObject(qs_types::Oid::new(page_id, slot)))
     }
 
     /// Overwrite an object with same-length data.

@@ -46,10 +46,7 @@ fn page_matches_model() {
                     // Errors (full / oversized) leave the model unchanged.
                     if let Ok(slot) = page.insert(PID, &data) {
                         assert!(data.len() <= MAX_OBJECT_SIZE, "case {case}");
-                        assert!(
-                            !model.contains_key(&slot),
-                            "case {case}: slot reuse of live slot"
-                        );
+                        assert!(!model.contains_key(&slot), "case {case}: slot reuse of live slot");
                         model.insert(slot, data);
                     }
                 }

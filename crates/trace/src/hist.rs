@@ -1,0 +1,243 @@
+//! Hand-rolled HDR-style histogram: logarithmic buckets with linear
+//! sub-buckets, so relative error is bounded (~6% with 16 sub-buckets)
+//! across the full `u64` range while storage stays fixed.
+//!
+//! Values are dimensionless `u64`s; by convention the tracer records
+//! latencies in simulated nanoseconds and sizes in bytes.
+
+/// Linear sub-buckets per power of two: 2^SUB_BITS.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Rows: row 0 holds values `0..SUB` exactly; rows 1..=60 each split one
+/// power-of-two range `[16<<(r-1), 32<<(r-1))` into `SUB` sub-buckets.
+const ROWS: usize = (64 - SUB_BITS as usize) + 1;
+/// Total bucket count (976 with 16 sub-buckets).
+pub const BUCKETS: usize = ROWS * SUB;
+
+/// A log-bucketed histogram with p50/p90/p99/max readout and lossless
+/// merge. `merge(a, b)` is exactly `record` over the union of the inputs
+/// (bucket counts add; max/count/sum combine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram { counts: vec![0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+/// Bucket index for a value: row 0 is exact, higher rows keep the top
+/// `SUB_BITS` bits below the most significant bit.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let row = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    row * SUB + sub
+}
+
+/// Smallest value mapping to bucket `idx` (monotone in `idx`).
+pub fn bucket_low(idx: usize) -> u64 {
+    let row = idx / SUB;
+    let sub = (idx % SUB) as u64;
+    if row == 0 {
+        return sub;
+    }
+    (SUB as u64 + sub) << (row - 1)
+}
+
+/// Largest value mapping to bucket `idx`.
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_low(idx + 1) - 1
+}
+
+impl LogHistogram {
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at or below which `p` percent of recorded values fall,
+    /// reported as the containing bucket's upper bound clamped to the
+    /// observed maximum — so `percentile(100.0) == max()` exactly and
+    /// `p50 <= p90 <= p99 <= max` always holds.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Add every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            max: self.max,
+        }
+    }
+}
+
+/// Percentile digest of one histogram, for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Append this summary as a JSON object under way in `w`.
+    pub fn write_json(&self, w: &mut qs_sim::JsonWriter) {
+        w.begin_object();
+        w.field_u64("count", self.count);
+        w.field_f64("mean", self.mean);
+        w.field_u64("p50", self.p50);
+        w.field_u64("p90", self.p90);
+        w.field_u64("p99", self.p99);
+        w.field_u64("max", self.max);
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_prng::Prng;
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_consistent() {
+        for idx in 0..BUCKETS - 1 {
+            assert!(bucket_low(idx) < bucket_low(idx + 1), "low({idx}) >= low({})", idx + 1);
+            assert_eq!(bucket_high(idx), bucket_low(idx + 1) - 1);
+        }
+        // Every value lands in the bucket whose [low, high] range holds it.
+        let mut rng = Prng::seed_from_u64(0x5EED_0001);
+        for _ in 0..10_000 {
+            let shift = rng.gen_below(64) as u32;
+            let v = rng.next_u64() >> shift;
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx), "v={v} idx={idx}");
+        }
+        // Exact low-range behaviour and row seams.
+        for v in 0..(SUB as u64) {
+            assert_eq!(bucket_low(bucket_index(v)), v);
+        }
+        for &v in &[16u64, 31, 32, 63, 64, 1 << 20, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut rng = Prng::seed_from_u64(0x5EED_0002);
+        let mut h = LogHistogram::new();
+        for _ in 0..5_000 {
+            // Mix of magnitudes: exercise several rows.
+            let v = rng.next_u64() >> rng.gen_below(56);
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p90, "{s:?}");
+        assert!(s.p90 <= s.p99, "{s:?}");
+        assert!(s.p99 <= s.max, "{s:?}");
+        assert_eq!(h.percentile(100.0), h.max());
+        assert_eq!(s.count, 5_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let mut rng = Prng::seed_from_u64(0x5EED_0003);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut union = LogHistogram::new();
+        for i in 0..4_000 {
+            let v = rng.next_u64() >> rng.gen_below(48);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            union.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, union, "merge(a, b) must equal recording the union");
+    }
+
+    #[test]
+    fn empty_and_single_value() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.summary(), HistSummary::default());
+        let mut h = LogHistogram::new();
+        h.record(42);
+        assert_eq!(h.percentile(50.0), 42);
+        assert_eq!(h.max(), 42);
+        assert!((h.mean() - 42.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Trace sinks: where events go. [`NullSink`] is the tracing-off path (one
+//! branch, no work); [`RingSink`] is the flight recorder — a fixed-capacity
+//! ring that always holds the most recent events, mutex-guarded because the
+//! recorder is written from whichever thread the engine runs on.
+
+use crate::event::TraceEvent;
+use qs_types::sync::Mutex;
+
+/// Destination for trace events.
+pub trait TraceSink: Send + Sync {
+    /// When false, the tracer short-circuits before building the event.
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn record(&self, ev: &TraceEvent);
+}
+
+/// Tracing disabled: events are never constructed, let alone stored.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _ev: &TraceEvent) {}
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next write position (buf is a circular window once full).
+    next: usize,
+    /// Events ever recorded (>= buf.len()).
+    total: u64,
+}
+
+/// Fixed-capacity flight recorder: keeps the last `capacity` events.
+pub struct RingSink {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            ring: Mutex::new(Ring { buf: Vec::with_capacity(capacity), next: 0, total: 0 }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events recorded over the sink's lifetime (not just those retained).
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().total
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = self.ring.lock();
+        let len = ring.buf.len();
+        let take = n.min(len);
+        let mut out = Vec::with_capacity(take);
+        // Chronological order: start `take` slots behind the write cursor.
+        let start = (ring.next + len - take) % len.max(1);
+        for i in 0..take {
+            out.push(ring.buf[(start + i) % len]);
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, ev: &TraceEvent) {
+        let mut ring = self.ring.lock();
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(*ev);
+            ring.next = ring.buf.len() % self.capacity;
+        } else {
+            let at = ring.next;
+            ring.buf[at] = *ev;
+            ring.next = (at + 1) % self.capacity;
+        }
+        ring.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceCat;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent { seq, sim_us: seq * 10, cat: TraceCat::Ship, label: "t", a: 0, b: 0 }
+    }
+
+    #[test]
+    fn ring_keeps_last_events_in_order() {
+        let sink = RingSink::new(4);
+        for i in 0..10 {
+            sink.record(&ev(i));
+        }
+        assert_eq!(sink.total_recorded(), 10);
+        let last = sink.last(4);
+        assert_eq!(last.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        let last2 = sink.last(2);
+        assert_eq!(last2.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9]);
+        // Asking for more than retained returns what's there.
+        assert_eq!(sink.last(100).len(), 4);
+    }
+
+    #[test]
+    fn ring_before_wraparound() {
+        let sink = RingSink::new(8);
+        for i in 0..3 {
+            sink.record(&ev(i));
+        }
+        assert_eq!(sink.last(8).iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+        let sink = RingSink::new(2);
+        assert!(sink.enabled());
+    }
+}

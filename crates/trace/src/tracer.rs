@@ -1,0 +1,195 @@
+//! The [`Tracer`]: the one handle the whole stack carries. Every method
+//! takes `&self`; disabled tracers cost a single branch per call site.
+
+use crate::clock::SimClock;
+use crate::event::{TraceCat, TraceEvent};
+use crate::hist::{HistSummary, LogHistogram};
+use crate::sink::{NullSink, RingSink, TraceSink};
+use qs_sim::{HardwareModel, Meter};
+use qs_types::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared tracing handle: a sink for events, a simulated clock for
+/// timestamps, and a family of named histograms.
+pub struct Tracer {
+    enabled: bool,
+    sink: Arc<dyn TraceSink>,
+    /// Kept alongside `sink` so the flight recorder can be snapshotted
+    /// without downcasting.
+    ring: Option<Arc<RingSink>>,
+    clock: Option<SimClock>,
+    seq: AtomicU64,
+    hists: Mutex<BTreeMap<&'static str, LogHistogram>>,
+}
+
+impl Default for Tracer {
+    /// A disabled tracer (the `NullSink` configuration).
+    fn default() -> Tracer {
+        Tracer {
+            enabled: false,
+            sink: Arc::new(NullSink),
+            ring: None,
+            clock: None,
+            seq: AtomicU64::new(0),
+            hists: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .field("events_recorded", &self.events_recorded())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// Tracing off: every instrumented call site reduces to one branch.
+    pub fn disabled() -> Arc<Tracer> {
+        Arc::new(Tracer::default())
+    }
+
+    /// The flight-recorder configuration: events go to a fixed-capacity
+    /// ring, timestamps come from pricing `meter` with `hw`.
+    pub fn flight(meter: Arc<Meter>, hw: HardwareModel, ring_capacity: usize) -> Arc<Tracer> {
+        let ring = Arc::new(RingSink::new(ring_capacity));
+        Arc::new(Tracer {
+            enabled: true,
+            sink: Arc::clone(&ring) as Arc<dyn TraceSink>,
+            ring: Some(ring),
+            clock: Some(SimClock::new(meter, hw)),
+            seq: AtomicU64::new(0),
+            hists: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Custom sink (histograms and the clock still live in the tracer).
+    pub fn with_sink(sink: Arc<dyn TraceSink>, clock: Option<SimClock>) -> Arc<Tracer> {
+        let enabled = sink.enabled();
+        Arc::new(Tracer {
+            enabled,
+            sink,
+            ring: None,
+            clock,
+            seq: AtomicU64::new(0),
+            hists: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Simulated "now" in seconds (0.0 with no clock, e.g. when disabled).
+    pub fn now_secs(&self) -> f64 {
+        self.clock.as_ref().map(SimClock::now_secs).unwrap_or(0.0)
+    }
+
+    pub fn hardware(&self) -> Option<&HardwareModel> {
+        self.clock.as_ref().map(SimClock::hardware)
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn event(&self, cat: TraceCat, label: &'static str, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            sim_us: (self.now_secs() * 1e6) as u64,
+            cat,
+            label,
+            a,
+            b,
+        };
+        self.sink.record(&ev);
+    }
+
+    /// Record a value into the named histogram (no-op when disabled).
+    pub fn record(&self, hist: &'static str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists.lock().entry(hist).or_default().record(v);
+    }
+
+    /// Record a simulated duration, stored in nanoseconds.
+    pub fn record_secs(&self, hist: &'static str, secs: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.record(hist, (secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Clone of one named histogram, if it has been recorded into.
+    pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
+        self.hists.lock().get(name).cloned()
+    }
+
+    /// Digest of every histogram, sorted by name.
+    pub fn summaries(&self) -> Vec<(&'static str, HistSummary)> {
+        self.hists.lock().iter().map(|(k, v)| (*k, v.summary())).collect()
+    }
+
+    /// The flight recorder's most recent `n` events (oldest first), empty
+    /// when the tracer has no ring sink.
+    pub fn flight_snapshot(&self, n: usize) -> Vec<TraceEvent> {
+        self.ring.as_ref().map(|r| r.last(n)).unwrap_or_default()
+    }
+
+    /// Events recorded since construction (enabled tracers only).
+    pub fn events_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_does_no_work() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.event(TraceCat::Commit, "x", 1, 2);
+        t.record("h", 5);
+        t.record_secs("h", 1.0);
+        assert_eq!(t.events_recorded(), 0);
+        assert!(t.histogram("h").is_none());
+        assert!(t.flight_snapshot(10).is_empty());
+        assert_eq!(t.now_secs(), 0.0);
+    }
+
+    #[test]
+    fn flight_tracer_records_events_and_hists() {
+        let meter = Meter::new();
+        let t = Tracer::flight(Arc::clone(&meter), HardwareModel::paper_1995(), 8);
+        meter.client_cpu(20_000_000); // 1 simulated second
+        t.event(TraceCat::WalForce, "force", 3, 0);
+        t.record("force_pages", 3);
+        let evs = t.flight_snapshot(8);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].cat, TraceCat::WalForce);
+        assert!(evs[0].sim_us >= 999_999, "simulated timestamp, got {}", evs[0].sim_us);
+        assert_eq!(t.histogram("force_pages").unwrap().count(), 1);
+        let sums = t.summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].0, "force_pages");
+    }
+
+    #[test]
+    fn tracing_never_touches_the_meter() {
+        let meter = Meter::new();
+        let before = meter.snapshot();
+        let t = Tracer::flight(Arc::clone(&meter), HardwareModel::paper_1995(), 8);
+        t.event(TraceCat::Diff, "d", 1, 1);
+        t.record("h", 9);
+        let _ = t.now_secs();
+        assert_eq!(meter.snapshot(), before, "tracer must only read the meter");
+    }
+}

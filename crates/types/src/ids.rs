@@ -54,10 +54,7 @@ pub struct Oid {
 }
 
 impl Oid {
-    pub const NULL: Oid = Oid {
-        page: PageId::INVALID,
-        slot: u16::MAX,
-    };
+    pub const NULL: Oid = Oid { page: PageId::INVALID, slot: u16::MAX };
 
     #[inline]
     pub fn new(page: PageId, slot: u16) -> Self {

@@ -21,7 +21,9 @@
 //! nothing to the algorithms under study and would make the crash tests
 //! nondeterministic and platform-bound.
 
+use qs_trace::{TraceCat, Tracer};
 use qs_types::{FrameId, QsError, QsResult, VAddr, PAGE_SIZE};
+use std::sync::Arc;
 
 /// Per-frame protection, mirroring `PROT_NONE` / `PROT_READ` /
 /// `PROT_READ|PROT_WRITE`.
@@ -60,11 +62,18 @@ pub struct Mmu {
     free: Vec<FrameId>,
     /// Protection changes performed (each models an `mprotect` call).
     protect_calls: u64,
+    /// Observability hook (disabled by default: one branch per fault).
+    tracer: Arc<Tracer>,
 }
 
 impl Mmu {
     pub fn new() -> Mmu {
         Mmu::default()
+    }
+
+    /// Route fault events into `tracer` (the store installs this).
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
     }
 
     /// Number of frames ever allocated (address-space size).
@@ -120,9 +129,7 @@ impl Mmu {
             return Err(QsError::CrossesFrameBoundary);
         }
         if first.index() >= self.prot.len() {
-            return Err(QsError::UnmappedAddress {
-                detail: format!("{va} beyond address space"),
-            });
+            return Err(QsError::UnmappedAddress { detail: format!("{va} beyond address space") });
         }
         Ok(first)
     }
@@ -132,7 +139,10 @@ impl Mmu {
     pub fn check_read(&self, va: VAddr, len: usize) -> QsResult<Result<FrameId, AccessFault>> {
         let frame = self.frame_of_access(va, len)?;
         Ok(match self.prot(frame) {
-            Prot::None => Err(AccessFault::Unmapped(frame)),
+            Prot::None => {
+                self.tracer.event(TraceCat::Fault, "read_unmapped", frame.index() as u64, 0);
+                Err(AccessFault::Unmapped(frame))
+            }
             Prot::Read | Prot::ReadWrite => Ok(frame),
         })
     }
@@ -141,8 +151,14 @@ impl Mmu {
     pub fn check_write(&self, va: VAddr, len: usize) -> QsResult<Result<FrameId, AccessFault>> {
         let frame = self.frame_of_access(va, len)?;
         Ok(match self.prot(frame) {
-            Prot::None => Err(AccessFault::Unmapped(frame)),
-            Prot::Read => Err(AccessFault::WriteProtected(frame)),
+            Prot::None => {
+                self.tracer.event(TraceCat::Fault, "write_unmapped", frame.index() as u64, 1);
+                Err(AccessFault::Unmapped(frame))
+            }
+            Prot::Read => {
+                self.tracer.event(TraceCat::Fault, "write_protected", frame.index() as u64, 1);
+                Err(AccessFault::WriteProtected(frame))
+            }
             Prot::ReadWrite => Ok(frame),
         })
     }

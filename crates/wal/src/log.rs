@@ -14,6 +14,7 @@
 
 use crate::record::LogRecord;
 use qs_storage::StableMedia;
+use qs_trace::{TraceCat, Tracer};
 use qs_types::sync::Mutex;
 use qs_types::{Lsn, QsError, QsResult, PAGE_SIZE};
 use std::sync::Arc;
@@ -48,6 +49,8 @@ pub struct LogManager {
     /// Bytes of log body on the medium (capacity of the circular window).
     body_capacity: usize,
     state: Mutex<LogState>,
+    /// Observability hook (disabled by default: one branch per append/force).
+    tracer: Arc<Tracer>,
 }
 
 impl LogManager {
@@ -80,6 +83,7 @@ impl LogManager {
                 checkpoint: Lsn::NULL,
                 buffer: Vec::new(),
             }),
+            tracer: Tracer::disabled(),
         };
         lm.write_header(&lm.state.lock())?;
         Ok(lm)
@@ -108,7 +112,14 @@ impl LogManager {
                 checkpoint,
                 buffer: Vec::new(),
             }),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Install a tracer (the server wires its own through right after
+    /// `format`/`open`, before the log sees any traffic).
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
     }
 
     fn write_header(&self, st: &LogState) -> QsResult<()> {
@@ -158,6 +169,8 @@ impl LogManager {
         let lsn = st.tail;
         st.buffer.extend_from_slice(&enc);
         st.tail = st.tail.advance(enc.len());
+        drop(st);
+        self.tracer.event(TraceCat::WalAppend, "append", lsn.0, enc.len() as u64);
         Ok(lsn)
     }
 
@@ -168,6 +181,8 @@ impl LogManager {
     pub fn force(&self, upto: Lsn) -> QsResult<ForceStats> {
         let mut st = self.state.lock();
         if upto < st.durable {
+            drop(st);
+            self.tracer.event(TraceCat::WalForce, "noop", 0, 1);
             return Ok(ForceStats { pages_written: 0, wrote: false });
         }
         // Walk record boundaries in the tail buffer to find the end of the
@@ -175,13 +190,14 @@ impl LogManager {
         let mut end = st.durable;
         let mut idx = 0usize;
         while end < st.tail && end <= upto {
-            let len =
-                u32::from_le_bytes(st.buffer[idx..idx + 4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(st.buffer[idx..idx + 4].try_into().unwrap()) as usize;
             end = end.advance(len);
             idx += len;
         }
         let target = end.min(st.tail);
         if target <= st.durable {
+            drop(st);
+            self.tracer.event(TraceCat::WalForce, "noop", 0, 1);
             return Ok(ForceStats { pages_written: 0, wrote: false });
         }
         let n = (target.0 - st.durable.0) as usize;
@@ -193,8 +209,10 @@ impl LogManager {
         self.write_header(&st)?;
         self.media.sync()?;
         // Sequential pages touched: the force streams `n` bytes.
-        let pages = (n as u64).div_ceil(PAGE_SIZE as u64);
-        Ok(ForceStats { pages_written: pages.max(1), wrote: true })
+        let pages = (n as u64).div_ceil(PAGE_SIZE as u64).max(1);
+        drop(st);
+        self.tracer.event(TraceCat::WalForce, "force", pages, 0);
+        Ok(ForceStats { pages_written: pages, wrote: true })
     }
 
     /// Read the record starting at `lsn` (from the durable body or the
@@ -209,8 +227,7 @@ impl LogManager {
         let bytes = if lsn >= st.durable {
             // In the volatile tail buffer.
             let at = (lsn.0 - st.durable.0) as usize;
-            let len =
-                u32::from_le_bytes(st.buffer[at..at + 4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(st.buffer[at..at + 4].try_into().unwrap()) as usize;
             st.buffer[at..at + len].to_vec()
         } else {
             let mut lenb = [0u8; 4];
@@ -477,10 +494,8 @@ mod tests {
             lm.append(&update(1, i, 0)).unwrap();
         }
         lm.force(lm.tail_lsn()).unwrap();
-        let pages: Vec<u32> = lm
-            .scan_forward(Lsn(0))
-            .map(|r| r.unwrap().1.page().unwrap().0)
-            .collect();
+        let pages: Vec<u32> =
+            lm.scan_forward(Lsn(0)).map(|r| r.unwrap().1.page().unwrap().0).collect();
         assert_eq!(pages, (0..20).collect::<Vec<_>>());
     }
 

@@ -30,8 +30,7 @@ fn build(cfg: &SystemConfig) -> QsResult<(Store, Arc<Server>, Vec<Oid>)> {
         server.bulk_write(pid, &p)?;
     }
     server.bulk_sync()?;
-    let client =
-        ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
     Ok((Store::new(client, cfg.clone())?, server, oids))
 }
 
@@ -73,7 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(read(oids[1])?, vec![0u8; 64], "{name}: aborted update leaked");
         assert_eq!(read(oids[2])?, vec![0u8; 64], "{name}: in-flight update leaked");
         assert_eq!(restarted.active_txns(), 0);
-        println!("{name:<8} crash/restart matrix ✓  (committed kept, aborted+in-flight rolled back)");
+        println!(
+            "{name:<8} crash/restart matrix ✓  (committed kept, aborted+in-flight rolled back)"
+        );
     }
     println!("\nall five software versions recover correctly");
     Ok(())

@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let meter = Meter::new();
     let server = Arc::new(Server::format(
-        ServerConfig::new(cfg.flavor)
-            .with_pool_mb(36.0)
-            .with_volume_pages(2048)
-            .with_log_mb(64.0),
+        ServerConfig::new(cfg.flavor).with_pool_mb(36.0).with_volume_pages(2048).with_log_mb(64.0),
         Arc::clone(&meter),
     )?);
     let mut params = Oo7Params::small();

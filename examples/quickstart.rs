@@ -18,10 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("system under test: {}", cfg.name());
 
     let meter = Meter::new();
-    let server_cfg = ServerConfig::new(cfg.flavor)
-        .with_pool_mb(4.0)
-        .with_volume_pages(1024)
-        .with_log_mb(16.0);
+    let server_cfg =
+        ServerConfig::new(cfg.flavor).with_pool_mb(4.0).with_volume_pages(1024).with_log_mb(16.0);
     let server = Arc::new(Server::format(server_cfg.clone(), Arc::clone(&meter))?);
     let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
     let mut store = Store::new(client, cfg)?;

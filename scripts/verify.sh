@@ -6,6 +6,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
@@ -18,7 +21,12 @@ echo "== dependency audit: path-only =="
 # deps always carry `path = ...` (directly or via `workspace = true`
 # resolving to a path entry in the root manifest).
 audit_failed=0
+# The glob must actually cover every workspace crate; spot-check one that
+# was added after the audit was written (a silent glob miss would pass
+# vacuously).
+audit_saw_trace=0
 for manifest in Cargo.toml crates/*/Cargo.toml; do
+    [ "$manifest" = "crates/trace/Cargo.toml" ] && audit_saw_trace=1
     bad=$(awk '
         /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
         in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ {
@@ -37,7 +45,14 @@ if grep -RE '^(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde)[ \t]*=
     echo "FAIL: removed external crate reappeared in a manifest"
     audit_failed=1
 fi
+if [ "$audit_saw_trace" -ne 1 ]; then
+    echo "FAIL: dep audit glob never visited crates/trace/Cargo.toml"
+    audit_failed=1
+fi
 [ "$audit_failed" -eq 0 ] || exit 1
 echo "dependency audit: OK (all dependencies are internal path deps)"
+
+echo "== trace binary smoke run =="
+cargo run --release --offline -p qs-bench --bin trace > /dev/null
 
 echo "== verify: all green =="

@@ -16,6 +16,8 @@
 //!   diffing, and the five recovery schemes (`quickstore`).
 //! * [`oo7`] — the OO7 benchmark database and traversals (`qs-oo7`).
 //! * [`sim`] — the 1995 hardware model and MVA solver (`qs-sim`).
+//! * [`trace`] — simulated-time tracing: spans, histograms, and the
+//!   crash flight recorder (`qs-trace`).
 //! * [`prng`] — the seedable PRNG behind every randomized component
 //!   (`qs-prng`); the workspace uses no external crates.
 //!
@@ -26,6 +28,7 @@ pub use qs_oo7 as oo7;
 pub use qs_prng as prng;
 pub use qs_sim as sim;
 pub use qs_storage as storage;
+pub use qs_trace as trace;
 pub use qs_types as types;
 pub use qs_vmem as vmem;
 pub use qs_wal as wal;
@@ -45,10 +48,7 @@ pub fn open_single_client(cfg: SystemConfig) -> QsResult<(Store, Arc<Server>)> {
     cfg.validate()?;
     let meter = Meter::new();
     let server = Arc::new(Server::format(
-        ServerConfig::new(cfg.flavor)
-            .with_pool_mb(8.0)
-            .with_volume_pages(2048)
-            .with_log_mb(32.0),
+        ServerConfig::new(cfg.flavor).with_pool_mb(8.0).with_volume_pages(2048).with_log_mb(32.0),
         Arc::clone(&meter),
     )?);
     let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);

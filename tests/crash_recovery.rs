@@ -9,10 +9,7 @@ use qs_repro::types::{ClientId, Oid, QsResult};
 use std::sync::Arc;
 
 fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
-    ServerConfig::new(cfg.flavor)
-        .with_pool_mb(1.0)
-        .with_volume_pages(256)
-        .with_log_mb(8.0)
+    ServerConfig::new(cfg.flavor).with_pool_mb(1.0).with_volume_pages(256).with_log_mb(8.0)
 }
 
 fn all_configs() -> Vec<SystemConfig> {
@@ -38,8 +35,7 @@ fn build(cfg: &SystemConfig) -> QsResult<(Store, Arc<Server>, Vec<Oid>)> {
         server.bulk_write(pid, &p)?;
     }
     server.bulk_sync()?;
-    let client =
-        ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
     Ok((Store::new(client, cfg.clone())?, server, oids))
 }
 
@@ -49,12 +45,7 @@ fn crash(store: Store, server: Arc<Server>) -> StableParts {
 }
 
 fn value_at(server: &Server, oid: Oid) -> Vec<u8> {
-    server
-        .read_page_for_test(oid.page)
-        .unwrap()
-        .object(oid.page, oid.slot)
-        .unwrap()
-        .to_vec()
+    server.read_page_for_test(oid.page).unwrap().object(oid.page, oid.slot).unwrap().to_vec()
 }
 
 #[test]
@@ -117,18 +108,13 @@ fn wpl_crash_with_unreclaimed_log_then_workload_continues() {
         store.commit().unwrap();
     }
     let parts = crash(store, server);
-    let restarted =
-        Arc::new(Server::restart(parts, server_cfg(&cfg), Meter::new()).unwrap());
+    let restarted = Arc::new(Server::restart(parts, server_cfg(&cfg), Meter::new()).unwrap());
     assert!(restarted.wpl_table_len() > 0, "entries reconstructed");
     assert_eq!(value_at(&restarted, oids[0])[0..16], [20u8; 16]);
 
     // Continue transacting on the restarted server.
-    let client = ClientConn::new(
-        ClientId(1),
-        Arc::clone(&restarted),
-        cfg.client_pool_pages(),
-        Meter::new(),
-    );
+    let client =
+        ClientConn::new(ClientId(1), Arc::clone(&restarted), cfg.client_pool_pages(), Meter::new());
     let mut store = Store::new(client, cfg.clone()).unwrap();
     store.begin().unwrap();
     store.modify(oids[0], 0, &[99u8; 16]).unwrap();
@@ -185,10 +171,7 @@ fn oo7_update_traversal_crash_matrix() {
     use qs_repro::types::PageId;
 
     let oo7_server_cfg = |cfg: &SystemConfig| {
-        ServerConfig::new(cfg.flavor)
-            .with_pool_mb(2.0)
-            .with_volume_pages(2048)
-            .with_log_mb(16.0)
+        ServerConfig::new(cfg.flavor).with_pool_mb(2.0).with_volume_pages(2048).with_log_mb(16.0)
     };
     let committed_rounds = 2;
 
@@ -203,8 +186,7 @@ fn oo7_update_traversal_crash_matrix() {
 
         // Victim: committed rounds, plus an uncommitted traversal, crash.
         let meter = Meter::new();
-        let server =
-            Arc::new(Server::format(oo7_server_cfg(&cfg), Arc::clone(&meter)).unwrap());
+        let server = Arc::new(Server::format(oo7_server_cfg(&cfg), Arc::clone(&meter)).unwrap());
         let db = oo7::generate(&server, &Oo7Params::tiny(), 11).unwrap();
         let client =
             ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
@@ -225,12 +207,8 @@ fn oo7_update_traversal_crash_matrix() {
             Arc::new(Server::format(oo7_server_cfg(&cfg), Arc::clone(&meter)).unwrap());
         let ref_db = oo7::generate(&ref_server, &Oo7Params::tiny(), 11).unwrap();
         assert_eq!(db.total_pages, ref_db.total_pages, "{name}");
-        let client = ClientConn::new(
-            ClientId(0),
-            Arc::clone(&ref_server),
-            cfg.client_pool_pages(),
-            meter,
-        );
+        let client =
+            ClientConn::new(ClientId(0), Arc::clone(&ref_server), cfg.client_pool_pages(), meter);
         let mut ref_store = Store::new(client, cfg.clone()).unwrap();
         for _ in 0..committed_rounds {
             ref_store.begin().unwrap();
@@ -255,10 +233,9 @@ fn oo7_update_traversal_crash_matrix() {
 fn log_wraparound_under_sustained_load() {
     // A log far smaller than the total write volume: watermark maintenance
     // (checkpoints / WPL reclaim) must keep the circular log usable forever.
-    for cfg in [
-        SystemConfig::pd_esm().with_memory(1.0, 0.25),
-        SystemConfig::wpl().with_memory(1.0, 0.25),
-    ] {
+    for cfg in
+        [SystemConfig::pd_esm().with_memory(1.0, 0.25), SystemConfig::wpl().with_memory(1.0, 0.25)]
+    {
         let name = cfg.name();
         let mut scfg = server_cfg(&cfg);
         scfg.log_bytes = 96 * 8192; // 96 log pages

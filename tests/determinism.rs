@@ -13,10 +13,7 @@ use qs_repro::types::{ClientId, PageId};
 use std::sync::Arc;
 
 fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
-    ServerConfig::new(cfg.flavor)
-        .with_pool_mb(2.0)
-        .with_volume_pages(2048)
-        .with_log_mb(16.0)
+    ServerConfig::new(cfg.flavor).with_pool_mb(2.0).with_volume_pages(2048).with_log_mb(16.0)
 }
 
 fn all_configs() -> Vec<SystemConfig> {
@@ -35,8 +32,7 @@ fn run_workload(cfg: &SystemConfig, seed: u64) -> (Arc<Server>, usize) {
     let meter = Meter::new();
     let server = Arc::new(Server::format(server_cfg(cfg), Arc::clone(&meter)).unwrap());
     let db = oo7::generate(&server, &Oo7Params::tiny(), seed).unwrap();
-    let client =
-        ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
     let mut store = Store::new(client, cfg.clone()).unwrap();
     for mode in [T2Mode::A, T2Mode::B] {
         store.begin().unwrap();

@@ -13,10 +13,7 @@ fn make_server(flavor: RecoveryFlavor, pages: usize) -> (Arc<Server>, Vec<Oid>) 
     let meter = Meter::new();
     let server = Arc::new(
         Server::format(
-            ServerConfig::new(flavor)
-                .with_pool_mb(2.0)
-                .with_volume_pages(1024)
-                .with_log_mb(32.0),
+            ServerConfig::new(flavor).with_pool_mb(2.0).with_volume_pages(1024).with_log_mb(32.0),
             meter,
         )
         .unwrap(),

@@ -10,10 +10,7 @@ use qs_repro::types::{ClientId, PageId};
 use std::sync::Arc;
 
 fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
-    ServerConfig::new(cfg.flavor)
-        .with_pool_mb(2.0)
-        .with_volume_pages(2048)
-        .with_log_mb(32.0)
+    ServerConfig::new(cfg.flavor).with_pool_mb(2.0).with_volume_pages(2048).with_log_mb(32.0)
 }
 
 /// Run T2A, T2B, T2C (one committed transaction each) on a tiny OO7
@@ -26,8 +23,7 @@ fn run_and_dump(cfg: SystemConfig) -> (String, Vec<Vec<u8>>) {
     params.num_modules = 1;
     let db = gen::generate(&server, &params, 2024).unwrap();
     let pages = db.total_pages;
-    let client =
-        ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
     let mut store = Store::new(client, cfg).unwrap();
     for mode in [T2Mode::A, T2Mode::B, T2Mode::C] {
         store.begin().unwrap();

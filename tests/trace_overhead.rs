@@ -1,0 +1,83 @@
+//! Satellite regression test: tracing is free when it is off, and — more
+//! importantly — *never counted* even when it is on.
+//!
+//! The tracer's contract (DESIGN.md "Observability") is that it only
+//! READS the shared meter: installing a flight recorder must not change a
+//! single counter of the workload it observes, so every `results/*.txt`
+//! figure is byte-identical whether or not a trace is being taken. This
+//! test reruns the determinism-test workload per scheme three ways —
+//! untraced, untraced again, and traced — and asserts all three produce
+//! the same `MeterSnapshot`.
+
+use qs_repro::core::{Store, SystemConfig};
+use qs_repro::esm::{ClientConn, Server, ServerConfig};
+use qs_repro::oo7::{self, Oo7Params, T2Mode};
+use qs_repro::sim::{HardwareModel, Meter, MeterSnapshot};
+use qs_repro::trace::Tracer;
+use qs_repro::types::ClientId;
+use std::sync::Arc;
+
+fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
+    ServerConfig::new(cfg.flavor).with_pool_mb(2.0).with_volume_pages(2048).with_log_mb(16.0)
+}
+
+fn all_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::pd_esm().with_memory(2.0, 0.5),
+        SystemConfig::sd_esm().with_memory(2.0, 0.5),
+        SystemConfig::sl_esm().with_memory(2.0, 0.5),
+        SystemConfig::pd_redo().with_memory(2.0, 0.5),
+        SystemConfig::wpl().with_memory(2.0, 0.0),
+    ]
+}
+
+/// Run the determinism-test workload and return the final meter snapshot.
+/// With `traced`, a flight-recorder tracer is installed on the server (and
+/// therefore inherited by the client, store, and MMU).
+fn run_workload(cfg: &SystemConfig, seed: u64, traced: bool) -> MeterSnapshot {
+    let meter = Meter::new();
+    let server = if traced {
+        let tracer = Tracer::flight(Arc::clone(&meter), HardwareModel::paper_1995(), 256);
+        Server::format_traced(server_cfg(cfg), Arc::clone(&meter), tracer).unwrap()
+    } else {
+        Server::format(server_cfg(cfg), Arc::clone(&meter)).unwrap()
+    };
+    let server = Arc::new(server);
+    let db = oo7::generate(&server, &Oo7Params::tiny(), seed).unwrap();
+    let client = ClientConn::new(
+        ClientId(0),
+        Arc::clone(&server),
+        cfg.client_pool_pages(),
+        Arc::clone(&meter),
+    );
+    let mut store = Store::new(client, cfg.clone()).unwrap();
+    for mode in [T2Mode::A, T2Mode::B] {
+        store.begin().unwrap();
+        oo7::t2(&mut store, &db.modules[0], mode).unwrap();
+        store.commit().unwrap();
+    }
+    drop(store);
+    server.quiesce().unwrap();
+    if traced {
+        assert!(server.tracer().events_recorded() > 0, "{}: tracer saw no traffic", cfg.name());
+    }
+    meter.snapshot()
+}
+
+#[test]
+fn disabled_tracer_runs_are_deterministic() {
+    for cfg in all_configs() {
+        let a = run_workload(&cfg, 7, false);
+        let b = run_workload(&cfg, 7, false);
+        assert_eq!(a, b, "{}: two untraced runs diverged", cfg.name());
+    }
+}
+
+#[test]
+fn flight_recorder_adds_zero_counted_work() {
+    for cfg in all_configs() {
+        let off = run_workload(&cfg, 7, false);
+        let on = run_workload(&cfg, 7, true);
+        assert_eq!(off, on, "{}: tracing changed the meter", cfg.name());
+    }
+}
