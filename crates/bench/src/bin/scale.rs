@@ -1,0 +1,145 @@
+//! `scale`: multi-client wall-clock scaling of the decomposed server.
+//!
+//! Unlike the figure binaries (simulated 1995 time), this measures *real*
+//! elapsed time on the host: 4 clients with disjoint working sets run the
+//! same update workload against
+//!
+//! 1. the single-lock baseline — one shard, group commit off, and one
+//!    global mutex wrapped around every server call, which is exactly the
+//!    pre-decomposition server's concurrency behavior (`Mutex<Inner>` held
+//!    across everything, including the commit-path log sync); and
+//! 2. the decomposed server — 8 pool shards, group commit on, subsystem
+//!    locks, with lock-hold tracing enabled.
+//!
+//! The log medium carries a real per-sync latency, as a log disk does, so
+//! holding a global lock across commit forces is as expensive as it was in
+//! life. Reports the speedup (acceptance target: > 1.5x), the mean group-
+//! commit batch size, and per-subsystem lock-hold tails. Prints to stdout
+//! only — this binary never writes `results/`.
+
+use qs_esm::{LockMode, RecoveryFlavor, Server, ServerConfig, StableParts};
+use qs_sim::{HardwareModel, Meter};
+use qs_storage::{MemDisk, Page, Volume};
+use qs_trace::Tracer;
+use qs_types::sync::Mutex;
+use qs_types::{Lsn, PageId};
+use qs_wal::{LogManager, LogRecord};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const TXNS_PER_CLIENT: usize = 40;
+const PAGES_PER_CLIENT: usize = 8;
+/// What one log-disk sync costs in real time (a fast-for-1995 ~0.5 ms).
+const SYNC_LATENCY: Duration = Duration::from_micros(500);
+
+fn build_server(
+    shards: usize,
+    group: bool,
+    tracer: Arc<Tracer>,
+) -> (Arc<Server>, Vec<Vec<PageId>>) {
+    let cfg = ServerConfig::new(RecoveryFlavor::EsmAries)
+        .with_pool_mb(4.0)
+        .with_volume_pages(1024)
+        .with_log_mb(64.0)
+        .with_pool_shards(shards)
+        .with_group_commit(group);
+    let parts = StableParts {
+        data_media: Arc::new(MemDisk::new(Volume::required_bytes(cfg.volume_pages))),
+        log_media: Arc::new(MemDisk::with_sync_latency(
+            LogManager::required_bytes(cfg.log_bytes),
+            SYNC_LATENCY,
+        )),
+        flight: None,
+    };
+    let server = Arc::new(Server::format_on_traced(parts, cfg, Meter::new(), tracer).unwrap());
+    let pids = server.bulk_allocate(CLIENTS * PAGES_PER_CLIENT).unwrap();
+    for &pid in &pids {
+        let mut p = Page::new();
+        p.insert(pid, &[0u8; 64]).unwrap();
+        server.bulk_write(pid, &p).unwrap();
+    }
+    server.bulk_sync().unwrap();
+    let sets = pids.chunks(PAGES_PER_CLIENT).map(|c| c.to_vec()).collect();
+    (server, sets)
+}
+
+/// One update transaction over `set`, optionally with every server call
+/// under a global mutex (the single-lock baseline).
+fn one_txn(server: &Server, set: &[PageId], val: u8, global: Option<&Mutex<()>>) {
+    macro_rules! call {
+        ($e:expr) => {{
+            let _g = global.map(|m| m.lock());
+            $e
+        }};
+    }
+    let txn = call!(server.begin());
+    for &pid in set {
+        call!(server.lock_page(txn, pid, LockMode::X).unwrap());
+        let mut page = call!(server.fetch_page(txn, pid).unwrap());
+        page.object_mut(pid, 0).unwrap().fill(val);
+        let rec = LogRecord::Update {
+            txn,
+            prev: Lsn::NULL,
+            page: pid,
+            slot: 0,
+            offset: 0,
+            before: vec![0u8; 64],
+            after: vec![val; 64],
+        };
+        call!(server.receive_log_records(txn, vec![rec]).unwrap());
+        call!(server.receive_dirty_page(txn, pid, page).unwrap());
+    }
+    call!(server.commit(txn).unwrap());
+}
+
+fn drive(server: &Arc<Server>, sets: &[Vec<PageId>], global: Option<&Arc<Mutex<()>>>) -> Duration {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for (i, set) in sets.iter().enumerate() {
+            let server = Arc::clone(server);
+            let set = set.clone();
+            let global = global.cloned();
+            s.spawn(move || {
+                for t in 0..TXNS_PER_CLIENT {
+                    let val = ((i * 31 + t) % 251 + 1) as u8;
+                    one_txn(&server, &set, val, global.as_deref());
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn main() {
+    println!("qs-scale: multi-client wall-clock scaling (real time, not simulated)");
+    println!(
+        "  {CLIENTS} clients x {TXNS_PER_CLIENT} txns x {PAGES_PER_CLIENT} disjoint pages, log sync {SYNC_LATENCY:?}"
+    );
+
+    let (server, sets) = build_server(1, false, Tracer::disabled());
+    let global = Arc::new(Mutex::new(()));
+    let base = drive(&server, &sets, Some(&global));
+    println!("  single-lock baseline : {:>10.1?}", base);
+
+    let tracer = Tracer::flight(Meter::new(), HardwareModel::paper_1995(), 256);
+    tracer.set_lock_stats(true);
+    let (server, sets) = build_server(8, true, Arc::clone(&tracer));
+    let dec = drive(&server, &sets, None);
+    println!("  decomposed server    : {:>10.1?}", dec);
+
+    let speedup = base.as_secs_f64() / dec.as_secs_f64();
+    println!("  speedup              : {speedup:.2}x  (acceptance target > 1.5x)");
+
+    let (calls, forces) = server.group_commit_stats();
+    println!(
+        "  group commit         : {calls} commit forces -> {forces} disk syncs (mean batch {:.2})",
+        calls as f64 / forces.max(1) as f64
+    );
+    println!("  per-subsystem lock holds:");
+    for (name, s) in tracer.summaries() {
+        if let Some(sub) = name.strip_prefix("lock_hold:") {
+            println!("    {:<12} n={:<7} p99={:>9}ns max={:>9}ns", sub, s.count, s.p99, s.max);
+        }
+    }
+}

@@ -21,7 +21,7 @@ const RING_CAPACITY: usize = 256;
 /// What one scheme's traced run produced.
 struct SchemeTrace {
     name: String,
-    hists: Vec<(&'static str, HistSummary)>,
+    hists: Vec<(String, HistSummary)>,
     events: u64,
     report: RestartReport,
 }

@@ -37,7 +37,7 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
     let mut ph_redo = PhaseStat { name: "redo", ..PhaseStat::default() };
     let mut ph_undo = PhaseStat { name: "undo", ..PhaseStat::default() };
 
-    let analysis = server.with_inner(|inner| -> QsResult<Analysis> {
+    let analysis = server.with_quiesced(|inner| -> QsResult<Analysis> {
         let ck = inner.log.checkpoint_lsn();
         let scan_from = if ck.is_null() { inner.log.start_lsn() } else { ck };
         ph_analysis.pages_read =
@@ -98,7 +98,7 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
     })?;
 
     // Redo pass: repeat history from the earliest recovery LSN.
-    server.with_inner(|inner| -> QsResult<()> {
+    server.with_quiesced(|inner| -> QsResult<()> {
         let Some(&redo_from) = analysis.dpt.values().min() else {
             return Ok(());
         };
@@ -167,14 +167,14 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
         l.sort_by_key(|&(_, lsn)| std::cmp::Reverse(lsn));
         l
     };
-    server.with_inner(|inner| -> QsResult<()> {
+    server.with_quiesced(|inner| -> QsResult<()> {
         for &(txn, last) in &losers {
             inner.txns.restore(txn, last);
         }
         Ok(())
     })?;
     for (txn, last) in losers {
-        server.with_inner(|inner| -> QsResult<()> {
+        server.with_quiesced(|inner| -> QsResult<()> {
             let undone = server.undo_chain(inner, txn, last)?;
             // Each undo re-reads the record (random log read) and applies a
             // before-image; the report treats one record as one log read.
@@ -189,11 +189,11 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
 
     // Resume id assignment above everything seen, then make the recovered
     // state durable and truncate the log.
-    server.with_inner(|inner| {
+    server.with_quiesced(|inner| {
         let resumed = TxnTable::resuming_after(analysis.max_txn);
         // Preserve whichever is higher (restore() may already have bumped).
         if inner.txns.is_empty() {
-            inner.txns = resumed;
+            *inner.txns = resumed;
         }
     });
     server.checkpoint()?;

@@ -243,20 +243,23 @@ impl ClientConn {
         if self.log_buf.is_empty() {
             return Ok(());
         }
-        // Take records summing to ≤ one page (at least one record).
-        let mut batch = Vec::new();
+        // Take records summing to ≤ one page (at least one record). Count
+        // first, then drain the prefix in one pass — draining one-by-one
+        // from the front is quadratic in the buffered record count.
+        let mut count = 0usize;
         let mut bytes = 0usize;
-        while let Some(r) = self.log_buf.first() {
+        for r in &self.log_buf {
             let rl = r.encoded_len();
-            if !batch.is_empty() && bytes + rl > PAGE_SIZE {
+            if count > 0 && bytes + rl > PAGE_SIZE {
                 break;
             }
             bytes += rl;
-            batch.push(self.log_buf.remove(0));
+            count += 1;
             if !partial && bytes >= PAGE_SIZE {
                 break;
             }
         }
+        let batch: Vec<_> = self.log_buf.drain(..count).collect();
         self.log_buf_bytes -= bytes.min(self.log_buf_bytes);
         if partial && bytes < PAGE_SIZE {
             net::partial_upload(&self.meter, bytes as u64);
@@ -402,6 +405,8 @@ mod tests {
             log_bytes: 8 * 1024 * 1024,
             log_high_watermark: 0.6,
             log_low_watermark: 0.3,
+            pool_shards: 1,
+            group_commit: false,
         };
         let meter = Meter::new();
         let server = Arc::new(Server::format(cfg, Arc::clone(&meter)).unwrap());
@@ -476,6 +481,8 @@ mod tests {
             log_bytes: 8 * 1024 * 1024,
             log_high_watermark: 0.6,
             log_low_watermark: 0.3,
+            pool_shards: 1,
+            group_commit: false,
         };
         let s2 = Server::restart(server, cfg, Meter::new()).unwrap();
         let page = s2.read_page_for_test(pid).unwrap();

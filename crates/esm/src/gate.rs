@@ -1,0 +1,26 @@
+//! [`VolumeGate`]: the data-disk subsystem lock.
+//!
+//! The paper's server has one database disk (the Sun1.3G); all data-page
+//! I/O serializes on its arm. The gate models that as one traced mutex
+//! around the [`Volume`], so data reads/writes from different subsystems
+//! (shard misses, evictions, checkpoint flushes, WPL reclaim) queue here —
+//! and only here — instead of under one server-wide lock.
+
+use qs_storage::Volume;
+use qs_trace::{TracedGuard, TracedMutex, Tracer};
+
+/// The independently locked data-volume subsystem.
+pub struct VolumeGate {
+    inner: TracedMutex<Volume>,
+}
+
+impl VolumeGate {
+    pub fn new(volume: Volume) -> VolumeGate {
+        VolumeGate { inner: TracedMutex::new("volume", volume) }
+    }
+
+    /// Acquire the disk. The guard derefs to [`Volume`].
+    pub fn lock<'a>(&'a self, tracer: &'a Tracer) -> TracedGuard<'a, Volume> {
+        self.inner.lock(tracer)
+    }
+}

@@ -18,17 +18,29 @@
 //! Everything the server keeps in ordinary memory is volatile: a simulated
 //! crash ([`server::Server::crash`]) drops the struct and keeps only the
 //! stable media, from which [`server::Server::restart`] recovers.
+//!
+//! Internally the server is decomposed into independently locked
+//! subsystems — a sharded buffer pool ([`shard`]), the log tower with
+//! optional group commit ([`tower`]), the data-disk gate ([`gate`]), and
+//! small dedicated locks for the transaction/WPL/dirty-page tables — see
+//! the module docs on [`server`] and DESIGN.md for the locking protocol.
 
 pub mod aries;
 pub mod buffer;
 pub mod client;
+pub mod gate;
 pub mod lock;
 pub mod net;
 pub mod server;
+pub mod shard;
+pub mod tower;
 pub mod txn;
 pub mod wpl;
 
 pub use buffer::{BufferPool, Evicted};
 pub use client::ClientConn;
+pub use gate::VolumeGate;
 pub use lock::{LockManager, LockMode};
 pub use server::{RecoveryFlavor, Server, ServerConfig, StableParts};
+pub use shard::ShardedPool;
+pub use tower::LogTower;

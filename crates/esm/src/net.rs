@@ -33,9 +33,11 @@ pub fn page_upload(meter: &Meter) {
 }
 
 /// Meter an upload of `bytes` that is smaller than a page (final partial
-/// log-record batch) + ack.
+/// log-record batch) + ack. Payload plus framing is clamped to a full page
+/// message: a partial upload can never cost more on the wire than shipping
+/// the whole page would.
 pub fn partial_upload(meter: &Meter, bytes: u64) {
-    meter.net(bytes.min(PAGE_MSG_BYTES) + 32);
+    meter.net((bytes + 32).min(PAGE_MSG_BYTES));
     meter.net(CONTROL_MSG_BYTES);
 }
 
@@ -66,5 +68,15 @@ mod tests {
                 + (PAGE_MSG_BYTES + CONTROL_MSG_BYTES)
                 + (532 + CONTROL_MSG_BYTES)
         );
+    }
+
+    #[test]
+    fn partial_upload_never_exceeds_a_full_page_message() {
+        let m = Meter::new();
+        // Payload so large that payload + framing would exceed a page
+        // message: the charge clamps to exactly PAGE_MSG_BYTES.
+        partial_upload(&m, PAGE_MSG_BYTES + 1000);
+        let s = m.snapshot();
+        assert_eq!(s.net_bytes, PAGE_MSG_BYTES + CONTROL_MSG_BYTES);
     }
 }

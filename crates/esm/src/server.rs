@@ -8,18 +8,46 @@
 //! is metered by the *client* side (`qs-esm::client`), while the server
 //! meters its own CPU/disk events.
 //!
+//! # Concurrency architecture
+//!
+//! The server is decomposed into independently synchronized subsystems
+//! instead of one big mutex (see DESIGN.md "Server concurrency
+//! architecture" for the full protocol):
+//!
+//! * [`crate::shard::ShardedPool`] — N buffer-pool shards, each its own lock;
+//! * [`crate::tower::LogTower`] — the WAL (internally synchronized) plus
+//!   optional group commit for the commit-path force;
+//! * [`crate::gate::VolumeGate`] — the one data disk;
+//! * small dedicated locks for the transaction table, the ARIES dirty-page
+//!   table, and the WPL table;
+//! * the [`LockManager`] (already internally synchronized).
+//!
+//! Lock order: txn table → pool shards (ascending) → WPL table → DPT →
+//! volume; the log is lock-free at this level and always last. Hot paths
+//! hold at most one shard lock plus short single-statement acquisitions of
+//! the others, and never take the txn-table lock while holding a shard.
+//! Whole-server operations (checkpoint, reclaim, abort/undo, restart) run
+//! under [`Server::with_quiesced`], which acquires everything in order and
+//! exposes the old single-lock view ([`InnerView`]).
+//!
+//! With the default configuration (one shard, group commit off) every code
+//! path performs the same operations in the same order as the original
+//! single-lock server, so all single-client figures are byte-identical.
+//!
 //! A simulated crash ([`Server::crash`]) consumes the server and returns
 //! only the stable media; [`Server::restart`] rebuilds a consistent server
 //! from them, running the flavor-appropriate restart algorithm
 //! ([`crate::aries::restart`] or the WPL backward scan in [`Server::wpl_restart`]).
 
-use crate::buffer::BufferPool;
+use crate::gate::VolumeGate;
 use crate::lock::{LockManager, LockMode};
+use crate::shard::{PoolView, ShardedPool};
+use crate::tower::LogTower;
 use crate::txn::{TxnStatus, TxnTable};
 use crate::wpl::WplTable;
 use qs_sim::{HardwareModel, Meter};
 use qs_storage::{MemDisk, Page, StableMedia, Volume};
-use qs_trace::{FlightRecording, PhaseStat, RestartReport, TraceCat, Tracer};
+use qs_trace::{FlightRecording, PhaseStat, RestartReport, TraceCat, TracedMutex, Tracer};
 use qs_types::sync::Mutex;
 use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
 use qs_wal::{CheckpointBody, LogManager, LogRecord};
@@ -66,6 +94,13 @@ pub struct ServerConfig {
     pub log_high_watermark: f64,
     /// Maintenance drives log usage back below this fraction.
     pub log_low_watermark: f64,
+    /// Buffer-pool shards. 1 (the default) reproduces the single-lock
+    /// pool exactly; the multi-client benchmarks use more.
+    pub pool_shards: usize,
+    /// Batch concurrent commit forces through the group committer. Off by
+    /// default: the figure runs are single-client and must stay
+    /// byte-identical.
+    pub group_commit: bool,
 }
 
 impl ServerConfig {
@@ -77,6 +112,8 @@ impl ServerConfig {
             log_bytes: 192 * 1024 * 1024,
             log_high_watermark: 0.60,
             log_low_watermark: 0.30,
+            pool_shards: 1,
+            group_commit: false,
         }
     }
 
@@ -92,6 +129,16 @@ impl ServerConfig {
 
     pub fn with_log_mb(mut self, mb: f64) -> ServerConfig {
         self.log_bytes = (mb * 1024.0 * 1024.0) as usize;
+        self
+    }
+
+    pub fn with_pool_shards(mut self, shards: usize) -> ServerConfig {
+        self.pool_shards = shards.max(1);
+        self
+    }
+
+    pub fn with_group_commit(mut self, on: bool) -> ServerConfig {
+        self.group_commit = on;
         self
     }
 }
@@ -111,20 +158,36 @@ pub struct StableParts {
     pub flight: Option<FlightRecording>,
 }
 
-pub(crate) struct Inner {
-    pub(crate) volume: Volume,
-    pub(crate) log: LogManager,
-    pub(crate) pool: BufferPool,
-    pub(crate) txns: TxnTable,
+/// The old single-lock `Inner`, reconstructed on demand: a whole-server
+/// view with every subsystem lock held (see [`Server::with_quiesced`]).
+/// Field names match the pre-decomposition struct so the algorithms that
+/// genuinely need global consistency (checkpoint, reclaim, undo, restart)
+/// read exactly as they used to.
+pub(crate) struct InnerView<'a> {
+    pub(crate) volume: &'a Volume,
+    pub(crate) log: &'a LogManager,
+    pub(crate) pool: PoolView<'a>,
+    pub(crate) txns: &'a mut TxnTable,
     /// ARIES dirty-page table: page → recovery LSN.
-    pub(crate) dpt: HashMap<PageId, Lsn>,
-    pub(crate) wpl: WplTable,
+    pub(crate) dpt: &'a mut HashMap<PageId, Lsn>,
+    pub(crate) wpl: &'a mut WplTable,
 }
 
 /// The ESM server.
 pub struct Server {
     cfg: ServerConfig,
-    inner: Mutex<Inner>,
+    /// Data-disk subsystem (its own lock).
+    volume: VolumeGate,
+    /// Log subsystem: WAL + group-commit policy (internally synchronized).
+    log: LogTower,
+    /// Sharded buffer pool (one lock per shard).
+    pool: ShardedPool,
+    /// Transaction table, behind its own small lock.
+    txns: TracedMutex<TxnTable>,
+    /// ARIES dirty-page table, behind its own small lock.
+    dpt: TracedMutex<HashMap<PageId, Lsn>>,
+    /// WPL table, behind its own small lock.
+    wpl: TracedMutex<WplTable>,
     locks: LockManager,
     meter: Arc<Meter>,
     data_media: Arc<dyn StableMedia>,
@@ -180,14 +243,12 @@ impl Server {
         let mut log = LogManager::format(Arc::clone(&parts.log_media), cfg.log_bytes)?;
         log.set_tracer(Arc::clone(&tracer));
         Ok(Server {
-            inner: Mutex::new(Inner {
-                volume,
-                log,
-                pool: BufferPool::new(cfg.pool_pages),
-                txns: TxnTable::new(),
-                dpt: HashMap::new(),
-                wpl: WplTable::new(),
-            }),
+            volume: VolumeGate::new(volume),
+            log: LogTower::new(log, cfg.group_commit),
+            pool: ShardedPool::new(cfg.pool_pages, cfg.pool_shards),
+            txns: TracedMutex::new("txns", TxnTable::new()),
+            dpt: TracedMutex::new("dpt", HashMap::new()),
+            wpl: TracedMutex::new("wpl", WplTable::new()),
             locks: LockManager::new(),
             meter,
             data_media: parts.data_media,
@@ -245,14 +306,12 @@ impl Server {
         log.set_tracer(Arc::clone(&tracer));
         let flight = parts.flight.unwrap_or_default();
         let server = Server {
-            inner: Mutex::new(Inner {
-                volume,
-                log,
-                pool: BufferPool::new(cfg.pool_pages),
-                txns: TxnTable::new(),
-                dpt: HashMap::new(),
-                wpl: WplTable::new(),
-            }),
+            volume: VolumeGate::new(volume),
+            log: LogTower::new(log, cfg.group_commit),
+            pool: ShardedPool::new(cfg.pool_pages, cfg.pool_shards),
+            txns: TracedMutex::new("txns", TxnTable::new()),
+            dpt: TracedMutex::new("dpt", HashMap::new()),
+            wpl: TracedMutex::new("wpl", WplTable::new()),
             locks: LockManager::new(),
             meter,
             data_media: parts.data_media,
@@ -310,8 +369,37 @@ impl Server {
         self.reclaimed.load(Ordering::Relaxed)
     }
 
-    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
-        f(&mut self.inner.lock())
+    /// Which buffer-pool shard owns `pid` (shard-independence tests).
+    pub fn shard_of(&self, pid: PageId) -> usize {
+        self.pool.shard_of(pid)
+    }
+
+    /// `(commit-force calls, real log forces)` through the group
+    /// committer; their ratio is the mean group-commit batch size.
+    pub fn group_commit_stats(&self) -> (u64, u64) {
+        self.log.group_stats()
+    }
+
+    /// Acquire every subsystem lock in the canonical order — txn table,
+    /// pool shards (ascending), WPL table, DPT, volume — and run `f` over
+    /// the resulting whole-server view. This is the quiesced world the
+    /// pre-decomposition `Mutex<Inner>` provided implicitly; checkpoint,
+    /// reclaim, abort/undo, and both restart algorithms run under it.
+    pub(crate) fn with_quiesced<R>(&self, f: impl FnOnce(&mut InnerView<'_>) -> R) -> R {
+        let mut txns = self.txns.lock(&self.tracer);
+        let mut shards = self.pool.lock_all(&self.tracer);
+        let mut wpl = self.wpl.lock(&self.tracer);
+        let mut dpt = self.dpt.lock(&self.tracer);
+        let volume = self.volume.lock(&self.tracer);
+        let mut view = InnerView {
+            volume: &volume,
+            log: self.log.wal(),
+            pool: PoolView::new(shards.iter_mut().map(|g| &mut **g).collect()),
+            txns: &mut txns,
+            dpt: &mut dpt,
+            wpl: &mut wpl,
+        };
+        f(&mut view)
     }
 
     // ---------------------------------------------------------------------
@@ -320,27 +408,27 @@ impl Server {
 
     /// Allocate `n` fresh pages without logging (bulk loader only).
     pub fn bulk_allocate(&self, n: usize) -> QsResult<Vec<PageId>> {
-        let inner = self.inner.lock();
+        let volume = self.volume.lock(&self.tracer);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push(inner.volume.allocate()?);
+            out.push(volume.allocate()?);
         }
         Ok(out)
     }
 
     /// Write a page directly to the volume without logging (bulk loader).
     pub fn bulk_write(&self, pid: PageId, page: &Page) -> QsResult<()> {
-        self.inner.lock().volume.write_page(pid, page)
+        self.volume.lock(&self.tracer).write_page(pid, page)
     }
 
     /// Make the bulk load durable.
     pub fn bulk_sync(&self) -> QsResult<()> {
-        self.inner.lock().volume.sync_header()
+        self.volume.lock(&self.tracer).sync_header()
     }
 
     /// Pages currently allocated on the volume.
     pub fn allocated_pages(&self) -> usize {
-        self.inner.lock().volume.allocated()
+        self.volume.lock(&self.tracer).allocated()
     }
 
     // ---------------------------------------------------------------------
@@ -348,7 +436,7 @@ impl Server {
     // ---------------------------------------------------------------------
 
     pub fn begin(&self) -> TxnId {
-        self.inner.lock().txns.begin()
+        self.txns.lock(&self.tracer).begin()
     }
 
     /// Acquire a page lock on behalf of `txn` (the paper's "obtains an
@@ -365,12 +453,12 @@ impl Server {
 
     /// Allocate a page inside a transaction (logged, recoverable).
     pub fn allocate_page(&self, txn: TxnId) -> QsResult<PageId> {
-        let mut inner = self.inner.lock();
-        let pid = inner.volume.allocate()?;
-        let prev = inner.txns.active_mut(txn)?.last_lsn;
-        let lsn = inner.log.append(&LogRecord::PageAlloc { txn, prev, page: pid })?;
-        inner.txns.active_mut(txn)?.note_logged(lsn);
-        drop(inner);
+        let pid = self.volume.lock(&self.tracer).allocate()?;
+        let mut txns = self.txns.lock(&self.tracer);
+        let prev = txns.active_mut(txn)?.last_lsn;
+        let lsn = self.log.wal().append(&LogRecord::PageAlloc { txn, prev, page: pid })?;
+        txns.active_mut(txn)?.note_logged(lsn);
+        drop(txns);
         self.locks.lock(txn, pid, LockMode::X)?;
         self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
         Ok(pid)
@@ -379,33 +467,33 @@ impl Server {
     /// Serve a page to a client. The caller must already hold a lock
     /// (QuickStore acquires S on read-fault, X on write-fault).
     pub fn fetch_page(&self, txn: TxnId, pid: PageId) -> QsResult<Page> {
-        let mut inner = self.inner.lock();
-        inner.txns.active_mut(txn)?; // validate
-        self.read_page_locked(&mut inner, Some(txn), pid)
+        self.txns.lock(&self.tracer).active_mut(txn)?; // validate
+        self.read_page_hot(Some(txn), pid)
     }
 
-    /// Shared read path: pool → (WPL table → log) → volume.
-    fn read_page_locked(
-        &self,
-        inner: &mut Inner,
-        reader: Option<TxnId>,
-        pid: PageId,
-    ) -> QsResult<Page> {
-        if let Some(p) = inner.pool.get(pid) {
+    /// Shared read path, hot variant: holds only `pid`'s shard lock (plus
+    /// single-statement takes of WPL/volume/DPT). Pool → (WPL table → log)
+    /// → volume. Holding the shard across the miss-fill-evict sequence
+    /// blocks whole-pool maintenance (which needs every shard), so the WPL
+    /// entry and the log region it points at cannot be reclaimed mid-read,
+    /// and the evicted victim — same shard by construction — cannot be
+    /// re-read from the volume before its write-back lands.
+    fn read_page_hot(&self, reader: Option<TxnId>, pid: PageId) -> QsResult<Page> {
+        let mut pool = self.pool.lock(pid, &self.tracer);
+        if let Some(p) = pool.get(pid) {
             return Ok(p.clone());
         }
         self.meter.server_pool_misses.fetch_add(1, Ordering::Relaxed);
         let page = if self.cfg.flavor == RecoveryFlavor::Wpl {
-            match inner.wpl.newest(pid) {
+            match self.wpl.lock(&self.tracer).newest(pid).cloned() {
                 // The newest logged image is authoritative. Page locking
                 // guarantees an uncommitted image is only ever re-read by
                 // its own transaction (X lock held), which the paper relies
                 // on too ("read from the log if it is reaccessed during the
                 // same transaction").
                 Some(v) if v.committed || reader == Some(v.txn) => {
-                    let lsn = v.lsn;
                     self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-                    Self::page_image_from_log(&inner.log, lsn, pid)?
+                    Self::page_image_from_log(self.log.wal(), v.lsn, pid)?
                 }
                 Some(v) => {
                     return Err(QsError::Protocol {
@@ -417,16 +505,58 @@ impl Server {
                 }
                 None => {
                     self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
-                    inner.volume.read_page(pid)?
+                    self.volume.lock(&self.tracer).read_page(pid)?
                 }
             }
         } else {
             self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
-            inner.volume.read_page(pid)?
+            self.volume.lock(&self.tracer).read_page(pid)?
         };
-        let evicted = inner.pool.insert(pid, page.clone(), false)?;
+        let evicted = pool.insert(pid, page.clone(), false)?;
         if let Some(ev) = evicted {
-            self.handle_server_eviction(inner, ev)?;
+            self.evict_dirty_hot(ev)?;
+        }
+        Ok(page)
+    }
+
+    /// Shared read path over a quiesced view (undo, reclaim, restart).
+    fn read_page_view(
+        &self,
+        view: &mut InnerView<'_>,
+        reader: Option<TxnId>,
+        pid: PageId,
+    ) -> QsResult<Page> {
+        if let Some(p) = view.pool.get(pid) {
+            return Ok(p.clone());
+        }
+        self.meter.server_pool_misses.fetch_add(1, Ordering::Relaxed);
+        let page = if self.cfg.flavor == RecoveryFlavor::Wpl {
+            match view.wpl.newest(pid) {
+                Some(v) if v.committed || reader == Some(v.txn) => {
+                    let lsn = v.lsn;
+                    self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                    Self::page_image_from_log(view.log, lsn, pid)?
+                }
+                Some(v) => {
+                    return Err(QsError::Protocol {
+                        detail: format!(
+                            "page {pid} has uncommitted logged image of {} but is read by {reader:?}",
+                            v.txn
+                        ),
+                    });
+                }
+                None => {
+                    self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
+                    view.volume.read_page(pid)?
+                }
+            }
+        } else {
+            self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
+            view.volume.read_page(pid)?
+        };
+        let evicted = view.pool.insert(pid, page.clone(), false)?;
+        if let Some(ev) = evicted {
+            self.evict_dirty_view(view, ev)?;
         }
         Ok(page)
     }
@@ -440,12 +570,10 @@ impl Server {
         }
     }
 
-    /// STEAL handling: a dirty page leaves the server pool.
-    fn handle_server_eviction(
-        &self,
-        inner: &mut Inner,
-        ev: crate::buffer::Evicted,
-    ) -> QsResult<()> {
+    /// STEAL handling, hot variant: a dirty page left a shard whose lock
+    /// the caller still holds (the victim is in the same shard, so no one
+    /// can re-read it from the volume before the write-back below).
+    fn evict_dirty_hot(&self, ev: crate::buffer::Evicted) -> QsResult<()> {
         if !ev.dirty {
             return Ok(());
         }
@@ -458,11 +586,33 @@ impl Server {
             }
             _ => {
                 // WAL: force the log up to the page's LSN, then steal.
-                let stats = inner.log.force(ev.page.lsn())?;
+                let stats = self.log.wal().force(ev.page.lsn())?;
                 self.meter_force(stats);
-                inner.volume.write_page(ev.page_id, &ev.page)?;
+                self.volume.lock(&self.tracer).write_page(ev.page_id, &ev.page)?;
                 self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
-                inner.dpt.remove(&ev.page_id);
+                self.dpt.lock(&self.tracer).remove(&ev.page_id);
+                Ok(())
+            }
+        }
+    }
+
+    /// STEAL handling over a quiesced view.
+    fn evict_dirty_view(
+        &self,
+        view: &mut InnerView<'_>,
+        ev: crate::buffer::Evicted,
+    ) -> QsResult<()> {
+        if !ev.dirty {
+            return Ok(());
+        }
+        match self.cfg.flavor {
+            RecoveryFlavor::Wpl => Ok(()),
+            _ => {
+                let stats = view.log.force(ev.page.lsn())?;
+                self.meter_force(stats);
+                view.volume.write_page(ev.page_id, &ev.page)?;
+                self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                view.dpt.remove(&ev.page_id);
                 Ok(())
             }
         }
@@ -490,8 +640,7 @@ impl Server {
                 detail: "WPL clients do not generate log records".into(),
             });
         }
-        let mut inner = self.inner.lock();
-        inner.txns.active_mut(txn)?;
+        self.txns.lock(&self.tracer).active_mut(txn)?;
         for rec in records {
             if rec.txn() != txn {
                 return Err(QsError::Protocol {
@@ -500,14 +649,18 @@ impl Server {
             }
             // Client-side `prev` is unknown to the client; rebuild the
             // backward chain here where the authoritative last_lsn lives.
-            let rec = Self::rechain(rec, inner.txns.get(txn)?.last_lsn);
-            let lsn = inner.log.append(&rec)?;
-            inner.txns.active_mut(txn)?.note_logged(lsn);
+            // The txn-table lock is held across the append so the chain
+            // stays consistent under concurrency.
+            let mut txns = self.txns.lock(&self.tracer);
+            let rec = Self::rechain(rec, txns.get(txn)?.last_lsn);
+            let lsn = self.log.wal().append(&rec)?;
+            txns.active_mut(txn)?.note_logged(lsn);
             if let Some(pid) = rec.page() {
-                inner.dpt.entry(pid).or_insert(lsn);
-                inner.txns.active_mut(txn)?.pages_logged.insert(pid);
+                txns.active_mut(txn)?.pages_logged.insert(pid);
+                drop(txns);
+                self.dpt.lock(&self.tracer).entry(pid).or_insert(lsn);
                 if self.cfg.flavor == RecoveryFlavor::RedoAtServer {
-                    self.apply_redo(&mut inner, Some(txn), &rec, lsn)?;
+                    self.apply_redo_hot(&rec, lsn)?;
                 }
             }
         }
@@ -527,22 +680,23 @@ impl Server {
         }
     }
 
-    /// Apply one redo record to the server's copy of the page.
-    fn apply_redo(
-        &self,
-        inner: &mut Inner,
-        reader: Option<TxnId>,
-        rec: &LogRecord,
-        lsn: Lsn,
-    ) -> QsResult<()> {
+    /// Apply one redo record to the server's copy of the page, under the
+    /// page's shard lock. Only the REDO flavor reaches this, so a pool
+    /// miss always fills from the volume (no WPL table involved).
+    fn apply_redo_hot(&self, rec: &LogRecord, lsn: Lsn) -> QsResult<()> {
         let pid = rec.page().expect("redo record without page");
+        let mut pool = self.pool.lock(pid, &self.tracer);
         // Ensure the page is resident (disk read on miss — metered).
-        if !inner.pool.contains(pid) {
-            let page = self.read_page_locked(inner, reader, pid)?;
-            // read_page_locked installed it; `page` clone is dropped.
-            drop(page);
+        if !pool.contains(pid) {
+            self.meter.server_pool_misses.fetch_add(1, Ordering::Relaxed);
+            self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
+            let page = self.volume.lock(&self.tracer).read_page(pid)?;
+            let evicted = pool.insert(pid, page, false)?;
+            if let Some(ev) = evicted {
+                self.evict_dirty_hot(ev)?;
+            }
         }
-        let page = inner.pool.get_mut(pid).expect("page resident after read");
+        let page = pool.get_mut(pid).expect("page resident after read");
         match rec {
             LogRecord::Update { slot, offset, after, .. } => {
                 let obj = page.object_mut(pid, *slot)?;
@@ -560,8 +714,9 @@ impl Server {
             _ => {}
         }
         page.set_lsn(lsn);
-        inner.pool.mark_dirty(pid);
-        inner.dpt.entry(pid).or_insert(lsn);
+        pool.mark_dirty(pid);
+        drop(pool);
+        self.dpt.lock(&self.tracer).entry(pid).or_insert(lsn);
         self.meter.redo_applies.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -570,32 +725,34 @@ impl Server {
     /// this transaction have been shipped (possibly zero). Enforcement hook
     /// for the log-before-page rule.
     pub fn note_page_logged(&self, txn: TxnId, pid: PageId) -> QsResult<()> {
-        let mut inner = self.inner.lock();
-        inner.txns.active_mut(txn)?.pages_logged.insert(pid);
+        self.txns.lock(&self.tracer).active_mut(txn)?.pages_logged.insert(pid);
         Ok(())
     }
 
     /// Receive a dirty page from a client.
     pub fn receive_dirty_page(&self, txn: TxnId, pid: PageId, page: Page) -> QsResult<()> {
-        let mut inner = self.inner.lock();
-        inner.txns.active_mut(txn)?;
+        self.txns.lock(&self.tracer).active_mut(txn)?;
         match self.cfg.flavor {
             RecoveryFlavor::RedoAtServer => {
                 Err(QsError::Protocol { detail: "REDO clients do not ship dirty pages".into() })
             }
             RecoveryFlavor::EsmAries => {
-                // Log-before-page rule (§3.1): the server must never cache a
-                // page for which it lacks the update log records.
-                if !inner.txns.get(txn)?.pages_logged.contains(&pid) {
-                    return Err(QsError::LogBeforePageViolation(pid));
-                }
                 let mut page = page;
-                page.set_lsn(inner.txns.get(txn)?.last_lsn);
-                let rec_lsn = inner.log.tail_lsn();
-                let evicted = inner.pool.insert(pid, page, true)?;
-                inner.dpt.entry(pid).or_insert(rec_lsn);
+                {
+                    let txns = self.txns.lock(&self.tracer);
+                    // Log-before-page rule (§3.1): the server must never
+                    // cache a page for which it lacks the update log records.
+                    if !txns.get(txn)?.pages_logged.contains(&pid) {
+                        return Err(QsError::LogBeforePageViolation(pid));
+                    }
+                    page.set_lsn(txns.get(txn)?.last_lsn);
+                }
+                let rec_lsn = self.log.wal().tail_lsn();
+                let mut pool = self.pool.lock(pid, &self.tracer);
+                let evicted = pool.insert(pid, page, true)?;
+                self.dpt.lock(&self.tracer).entry(pid).or_insert(rec_lsn);
                 if let Some(ev) = evicted {
-                    self.handle_server_eviction(&mut inner, ev)?;
+                    self.evict_dirty_hot(ev)?;
                 }
                 Ok(())
             }
@@ -603,19 +760,22 @@ impl Server {
                 // Append the whole page to the log; track it in the WPL
                 // table; cache it. Its permanent location stays untouched
                 // until after commit (§3.4.2).
-                let prev = inner.txns.get(txn)?.last_lsn;
                 let mut page = page;
+                let mut txns = self.txns.lock(&self.tracer);
+                let prev = txns.get(txn)?.last_lsn;
                 let rec =
                     LogRecord::WholePage { txn, prev, page: pid, image: page.bytes().to_vec() };
-                let lsn = inner.log.append(&rec)?;
+                let lsn = self.log.wal().append(&rec)?;
                 page.set_lsn(lsn);
-                let t = inner.txns.active_mut(txn)?;
+                let t = txns.active_mut(txn)?;
                 t.note_logged(lsn);
                 t.logged_pages.push(pid);
-                inner.wpl.log_page(pid, lsn, txn);
-                let evicted = inner.pool.insert(pid, page, true)?;
+                drop(txns);
+                self.wpl.lock(&self.tracer).log_page(pid, lsn, txn);
+                let mut pool = self.pool.lock(pid, &self.tracer);
+                let evicted = pool.insert(pid, page, true)?;
                 if let Some(ev) = evicted {
-                    self.handle_server_eviction(&mut inner, ev)?;
+                    self.evict_dirty_hot(ev)?;
                 }
                 Ok(())
             }
@@ -625,19 +785,25 @@ impl Server {
     /// Commit: force the log (records + commit record; under WPL this
     /// forces the page images too), flip WPL entries to committed, release
     /// locks. NO-FORCE: data pages are *not* written to the volume here.
+    ///
+    /// The txn-table lock is released across the force so concurrent
+    /// committers can append their own commit records while this one's
+    /// batch syncs — that window is what group commit batches over.
     pub fn commit(&self, txn: TxnId) -> QsResult<()> {
-        let mut inner = self.inner.lock();
-        let prev = inner.txns.active_mut(txn)?.last_lsn;
-        let lsn = inner.log.append(&LogRecord::Commit { txn, prev })?;
-        let stats = inner.log.force(lsn)?;
+        let mut txns = self.txns.lock(&self.tracer);
+        let prev = txns.active_mut(txn)?.last_lsn;
+        let lsn = self.log.wal().append(&LogRecord::Commit { txn, prev })?;
+        drop(txns);
+        let stats = self.log.commit_force(lsn, &self.tracer)?;
         self.meter_force(stats);
+        let mut txns = self.txns.lock(&self.tracer);
         if self.cfg.flavor == RecoveryFlavor::Wpl {
-            let logged = std::mem::take(&mut inner.txns.active_mut(txn)?.logged_pages);
-            inner.wpl.on_commit(txn, &logged);
+            let logged = std::mem::take(&mut txns.active_mut(txn)?.logged_pages);
+            self.wpl.lock(&self.tracer).on_commit(txn, &logged);
         }
-        inner.txns.get_mut(txn)?.status = TxnStatus::Committed;
-        inner.txns.remove(txn);
-        drop(inner);
+        txns.get_mut(txn)?.status = TxnStatus::Committed;
+        txns.remove(txn);
+        drop(txns);
         self.locks.release_all(txn);
         self.meter.commits.fetch_add(1, Ordering::Relaxed);
         self.maybe_maintain()?;
@@ -647,28 +813,30 @@ impl Server {
     /// Abort: ARIES-style undo with CLRs (ESM/REDO flavors); under WPL
     /// simply forget the transaction's logged images and drop its cached
     /// pages (§3.4.2: "abort … by simply ignoring, from then on, any of its
-    /// updated values").
+    /// updated values"). Undo reads and rewrites pages across subsystems,
+    /// so the whole abort runs quiesced.
     pub fn abort(&self, txn: TxnId) -> QsResult<()> {
-        let mut inner = self.inner.lock();
-        inner.txns.active_mut(txn)?;
-        match self.cfg.flavor {
-            RecoveryFlavor::Wpl => {
-                inner.wpl.on_abort(txn);
-                let logged = inner.txns.get(txn)?.logged_pages.clone();
-                for pid in logged {
-                    inner.pool.remove(pid);
+        self.with_quiesced(|view| -> QsResult<()> {
+            view.txns.active_mut(txn)?;
+            match self.cfg.flavor {
+                RecoveryFlavor::Wpl => {
+                    view.wpl.on_abort(txn);
+                    let logged = view.txns.get(txn)?.logged_pages.clone();
+                    for pid in logged {
+                        view.pool.remove(pid);
+                    }
+                }
+                _ => {
+                    let last = view.txns.get(txn)?.last_lsn;
+                    self.undo_chain(view, txn, last)?;
+                    let prev = view.txns.get(txn)?.last_lsn;
+                    view.log.append(&LogRecord::Abort { txn, prev })?;
                 }
             }
-            _ => {
-                let last = inner.txns.get(txn)?.last_lsn;
-                self.undo_chain(&mut inner, txn, last)?;
-                let prev = inner.txns.get(txn)?.last_lsn;
-                inner.log.append(&LogRecord::Abort { txn, prev })?;
-            }
-        }
-        inner.txns.get_mut(txn)?.status = TxnStatus::Aborted;
-        inner.txns.remove(txn);
-        drop(inner);
+            view.txns.get_mut(txn)?.status = TxnStatus::Aborted;
+            view.txns.remove(txn);
+            Ok(())
+        })?;
         self.locks.release_all(txn);
         Ok(())
     }
@@ -676,25 +844,30 @@ impl Server {
     /// Walk a transaction's backward chain applying before-images, writing
     /// CLRs. Used by abort and by restart undo. Returns the number of
     /// update records undone (restart-report input).
-    pub(crate) fn undo_chain(&self, inner: &mut Inner, txn: TxnId, from: Lsn) -> QsResult<u64> {
+    pub(crate) fn undo_chain(
+        &self,
+        view: &mut InnerView<'_>,
+        txn: TxnId,
+        from: Lsn,
+    ) -> QsResult<u64> {
         let mut undone = 0u64;
         let mut at = from;
         while !at.is_null() {
-            let (rec, _) = inner.log.read_record(at)?;
+            let (rec, _) = view.log.read_record(at)?;
             match rec {
                 LogRecord::Update { page: pid, slot, offset, before, prev, .. } => {
-                    if !inner.pool.contains(pid) {
-                        let p = self.read_page_locked(inner, Some(txn), pid)?;
+                    if !view.pool.contains(pid) {
+                        let p = self.read_page_view(view, Some(txn), pid)?;
                         drop(p);
                     }
-                    let clr_lsn_guess = inner.log.tail_lsn();
-                    let page = inner.pool.get_mut(pid).expect("resident");
+                    let clr_lsn_guess = view.log.tail_lsn();
+                    let page = view.pool.get_mut(pid).expect("resident");
                     let obj = page.object_mut(pid, slot)?;
                     let off = offset as usize;
                     obj[off..off + before.len()].copy_from_slice(&before);
                     page.set_lsn(clr_lsn_guess);
-                    inner.pool.mark_dirty(pid);
-                    let t_prev = inner.txns.get(txn)?.last_lsn;
+                    view.pool.mark_dirty(pid);
+                    let t_prev = view.txns.get(txn)?.last_lsn;
                     let clr = LogRecord::Clr {
                         txn,
                         prev: t_prev,
@@ -704,9 +877,9 @@ impl Server {
                         after: before.clone(),
                         undo_next: prev,
                     };
-                    let lsn = inner.log.append(&clr)?;
-                    inner.txns.active_mut(txn)?.note_logged(lsn);
-                    inner.dpt.entry(pid).or_insert(lsn);
+                    let lsn = view.log.append(&clr)?;
+                    view.txns.active_mut(txn)?.note_logged(lsn);
+                    view.dpt.entry(pid).or_insert(lsn);
                     undone += 1;
                     at = prev;
                 }
@@ -727,10 +900,7 @@ impl Server {
 
     /// Run maintenance if the log is past its high watermark.
     pub fn maybe_maintain(&self) -> QsResult<()> {
-        let (used, cap) = {
-            let inner = self.inner.lock();
-            (inner.log.used_bytes(), inner.log.body_capacity())
-        };
+        let (used, cap) = (self.log.wal().used_bytes(), self.log.wal().body_capacity());
         if (used as f64) < self.cfg.log_high_watermark * cap as f64 {
             return Ok(());
         }
@@ -744,59 +914,59 @@ impl Server {
     /// pages first (a sharp checkpoint) so the log can truncate to the
     /// checkpoint; under WPL it snapshots the WPL table (§3.4.3).
     pub fn checkpoint(&self) -> QsResult<()> {
-        let mut inner = self.inner.lock();
-        let mut flushed = 0u64;
-        if self.cfg.flavor != RecoveryFlavor::Wpl {
-            // Flush every dirty page, obeying WAL.
-            let dirty = inner.pool.dirty_pages();
-            if !dirty.is_empty() {
-                let max_lsn =
-                    dirty.iter().filter_map(|p| inner.pool.peek(*p)).map(|p| p.lsn()).max();
-                if let Some(l) = max_lsn {
-                    let stats = inner.log.force(l)?;
-                    self.meter_force(stats);
+        let (flushed, log_used) = self.with_quiesced(|view| -> QsResult<(u64, u64)> {
+            let mut flushed = 0u64;
+            if self.cfg.flavor != RecoveryFlavor::Wpl {
+                // Flush every dirty page, obeying WAL.
+                let dirty = view.pool.dirty_pages();
+                if !dirty.is_empty() {
+                    let max_lsn =
+                        dirty.iter().filter_map(|p| view.pool.peek(*p)).map(|p| p.lsn()).max();
+                    if let Some(l) = max_lsn {
+                        let stats = view.log.force(l)?;
+                        self.meter_force(stats);
+                    }
+                    for pid in dirty {
+                        let page = view.pool.peek(pid).expect("dirty page resident").clone();
+                        view.volume.write_page(pid, &page)?;
+                        self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                        view.pool.clear_dirty(pid);
+                        flushed += 1;
+                    }
                 }
-                for pid in dirty {
-                    let page = inner.pool.peek(pid).expect("dirty page resident").clone();
-                    inner.volume.write_page(pid, &page)?;
-                    self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
-                    inner.pool.clear_dirty(pid);
-                    flushed += 1;
-                }
+                view.dpt.clear();
             }
-            inner.dpt.clear();
-        }
-        let body = CheckpointBody {
-            active_txns: inner.txns.active().map(|t| (t.id, t.last_lsn)).collect(),
-            dirty_pages: inner.dpt.iter().map(|(&p, &l)| (p, l)).collect(),
-            wpl_entries: if self.cfg.flavor == RecoveryFlavor::Wpl {
-                inner.wpl.checkpoint_entries()
-            } else {
-                Vec::new()
-            },
-            allocated_pages: inner.volume.allocated() as u64,
-        };
-        let ck_lsn = inner.log.append(&LogRecord::Checkpoint { body })?;
-        let stats = inner.log.force(inner.log.tail_lsn())?;
-        self.meter_force(stats);
-        inner.log.set_checkpoint(ck_lsn)?;
-        inner.volume.sync_header()?;
-        // Truncate to the earliest record still needed.
-        let mut keep = ck_lsn;
-        if let Some(l) = inner.txns.min_active_first_lsn() {
-            keep = keep.min(l);
-        }
-        if self.cfg.flavor == RecoveryFlavor::Wpl {
-            if let Some(l) = inner.wpl.min_needed_lsn() {
+            let body = CheckpointBody {
+                active_txns: view.txns.active().map(|t| (t.id, t.last_lsn)).collect(),
+                dirty_pages: view.dpt.iter().map(|(&p, &l)| (p, l)).collect(),
+                wpl_entries: if self.cfg.flavor == RecoveryFlavor::Wpl {
+                    view.wpl.checkpoint_entries()
+                } else {
+                    Vec::new()
+                },
+                allocated_pages: view.volume.allocated() as u64,
+            };
+            let ck_lsn = view.log.append(&LogRecord::Checkpoint { body })?;
+            let stats = view.log.force(view.log.tail_lsn())?;
+            self.meter_force(stats);
+            view.log.set_checkpoint(ck_lsn)?;
+            view.volume.sync_header()?;
+            // Truncate to the earliest record still needed.
+            let mut keep = ck_lsn;
+            if let Some(l) = view.txns.min_active_first_lsn() {
                 keep = keep.min(l);
             }
-        } else if let Some(&l) = inner.dpt.values().min() {
-            keep = keep.min(l);
-        }
-        inner.log.truncate_to(keep)?;
-        self.checkpoints.fetch_add(1, Ordering::Relaxed);
-        let log_used = inner.log.used_bytes() as u64;
-        drop(inner);
+            if self.cfg.flavor == RecoveryFlavor::Wpl {
+                if let Some(l) = view.wpl.min_needed_lsn() {
+                    keep = keep.min(l);
+                }
+            } else if let Some(&l) = view.dpt.values().min() {
+                keep = keep.min(l);
+            }
+            view.log.truncate_to(keep)?;
+            self.checkpoints.fetch_add(1, Ordering::Relaxed);
+            Ok((flushed, view.log.used_bytes() as u64))
+        })?;
         self.tracer.event(TraceCat::Checkpoint, "taken", flushed, log_used);
         Ok(())
     }
@@ -808,57 +978,59 @@ impl Server {
     /// optimization — else from the log) and written to their permanent
     /// locations.
     pub fn wpl_reclaim(&self) -> QsResult<()> {
-        let mut inner = self.inner.lock();
-        let low = (self.cfg.log_low_watermark * inner.log.body_capacity() as f64) as usize;
-        loop {
-            if inner.log.used_bytes() <= low {
-                break;
-            }
-            let Some((pid, lsn, superseded)) = inner.wpl.reclaim_candidate() else {
-                break;
-            };
-            if !superseded {
-                // Find the committed image and flush it home.
-                let cached_ok = inner
-                    .wpl
-                    .newest(pid)
-                    .map(|v| v.lsn == lsn && inner.pool.contains(pid))
-                    .unwrap_or(false);
-                let page = if cached_ok {
-                    inner.pool.peek(pid).expect("cached").clone()
-                } else {
-                    self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-                    Self::page_image_from_log(&inner.log, lsn, pid)?
+        self.with_quiesced(|view| -> QsResult<()> {
+            let low = (self.cfg.log_low_watermark * view.log.body_capacity() as f64) as usize;
+            loop {
+                if view.log.used_bytes() <= low {
+                    break;
+                }
+                let Some((pid, lsn, superseded)) = view.wpl.reclaim_candidate() else {
+                    break;
                 };
-                inner.volume.write_page(pid, &page)?;
-                self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
-                if cached_ok {
-                    inner.pool.clear_dirty(pid);
+                if !superseded {
+                    // Find the committed image and flush it home.
+                    let cached_ok = view
+                        .wpl
+                        .newest(pid)
+                        .map(|v| v.lsn == lsn && view.pool.contains(pid))
+                        .unwrap_or(false);
+                    let page = if cached_ok {
+                        view.pool.peek(pid).expect("cached").clone()
+                    } else {
+                        self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                        Self::page_image_from_log(view.log, lsn, pid)?
+                    };
+                    view.volume.write_page(pid, &page)?;
+                    self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                    if cached_ok {
+                        view.pool.clear_dirty(pid);
+                    }
+                }
+                view.wpl.remove_version(pid, lsn);
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+
+                // Advance the log start as far as the table and active
+                // transactions allow; if we cannot advance past an
+                // uncommitted image, stop (the paper's thread would wait
+                // for the commit).
+                let mut keep = view.log.durable_lsn();
+                if let Some(l) = view.wpl.min_needed_lsn() {
+                    keep = keep.min(l);
+                }
+                if let Some(l) = view.txns.min_active_first_lsn() {
+                    keep = keep.min(l);
+                }
+                let ck = view.log.checkpoint_lsn();
+                if !ck.is_null() {
+                    keep = keep.min(ck);
+                }
+                view.log.truncate_to(keep)?;
+                if view.log.used_bytes() > low && view.wpl.oldest_is_uncommitted() {
+                    break;
                 }
             }
-            inner.wpl.remove_version(pid, lsn);
-            self.reclaimed.fetch_add(1, Ordering::Relaxed);
-
-            // Advance the log start as far as the table and active
-            // transactions allow; if we cannot advance past an uncommitted
-            // image, stop (the paper's thread would wait for the commit).
-            let mut keep = inner.log.durable_lsn();
-            if let Some(l) = inner.wpl.min_needed_lsn() {
-                keep = keep.min(l);
-            }
-            if let Some(l) = inner.txns.min_active_first_lsn() {
-                keep = keep.min(l);
-            }
-            let ck = inner.log.checkpoint_lsn();
-            if !ck.is_null() {
-                keep = keep.min(ck);
-            }
-            inner.log.truncate_to(keep)?;
-            if inner.log.used_bytes() > low && inner.wpl.oldest_is_uncommitted() {
-                break;
-            }
-        }
-        drop(inner);
+            Ok(())
+        })?;
         // Refresh the checkpoint so restart's backward scan stays short and
         // the old checkpoint stops pinning the log tail.
         self.checkpoint()
@@ -868,37 +1040,31 @@ impl Server {
     pub fn quiesce(&self) -> QsResult<()> {
         if self.cfg.flavor == RecoveryFlavor::Wpl {
             // Drain the WPL table completely.
-            loop {
-                let done = {
-                    let inner = self.inner.lock();
-                    inner.wpl.reclaim_candidate().is_none()
-                };
-                if done {
-                    break;
-                }
-                let mut inner = self.inner.lock();
-                let (pid, lsn, superseded) = inner.wpl.reclaim_candidate().expect("checked");
-                if !superseded {
-                    let cached_ok = inner
-                        .wpl
-                        .newest(pid)
-                        .map(|v| v.lsn == lsn && inner.pool.contains(pid))
-                        .unwrap_or(false);
-                    let page = if cached_ok {
-                        inner.pool.peek(pid).expect("cached").clone()
-                    } else {
-                        self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-                        Self::page_image_from_log(&inner.log, lsn, pid)?
-                    };
-                    inner.volume.write_page(pid, &page)?;
-                    self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
-                    if cached_ok {
-                        inner.pool.clear_dirty(pid);
+            self.with_quiesced(|view| -> QsResult<()> {
+                while let Some((pid, lsn, superseded)) = view.wpl.reclaim_candidate() {
+                    if !superseded {
+                        let cached_ok = view
+                            .wpl
+                            .newest(pid)
+                            .map(|v| v.lsn == lsn && view.pool.contains(pid))
+                            .unwrap_or(false);
+                        let page = if cached_ok {
+                            view.pool.peek(pid).expect("cached").clone()
+                        } else {
+                            self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                            Self::page_image_from_log(view.log, lsn, pid)?
+                        };
+                        view.volume.write_page(pid, &page)?;
+                        self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                        if cached_ok {
+                            view.pool.clear_dirty(pid);
+                        }
                     }
+                    view.wpl.remove_version(pid, lsn);
+                    self.reclaimed.fetch_add(1, Ordering::Relaxed);
                 }
-                inner.wpl.remove_version(pid, lsn);
-                self.reclaimed.fetch_add(1, Ordering::Relaxed);
-            }
+                Ok(())
+            })?;
         }
         self.checkpoint()
     }
@@ -910,23 +1076,22 @@ impl Server {
     /// Read a page the way a post-restart client would (pool → WPL table →
     /// volume), without transaction context. Test helper.
     pub fn read_page_for_test(&self, pid: PageId) -> QsResult<Page> {
-        let mut inner = self.inner.lock();
-        self.read_page_locked(&mut inner, None, pid)
+        self.read_page_hot(None, pid)
     }
 
     /// Number of active transactions.
     pub fn active_txns(&self) -> usize {
-        self.inner.lock().txns.active().count()
+        self.txns.lock(&self.tracer).active().count()
     }
 
     /// WPL table size (pages tracked).
     pub fn wpl_table_len(&self) -> usize {
-        self.inner.lock().wpl.len()
+        self.wpl.lock(&self.tracer).len()
     }
 
     /// Current log occupancy in bytes.
     pub fn log_used_bytes(&self) -> usize {
-        self.inner.lock().log.used_bytes()
+        self.log.wal().used_bytes()
     }
 
     // ---------------------------------------------------------------------
@@ -942,69 +1107,70 @@ impl Server {
     fn wpl_restart(&self) -> QsResult<Vec<PhaseStat>> {
         let mut scan = PhaseStat { name: "backward_scan", ..PhaseStat::default() };
         let mut rebuild = PhaseStat { name: "table_rebuild", ..PhaseStat::default() };
-        let mut inner = self.inner.lock();
-        let end = inner.log.durable_lsn();
-        let ck = inner.log.checkpoint_lsn();
-        let stop = if ck.is_null() { inner.log.start_lsn() } else { ck };
+        self.with_quiesced(|view| -> QsResult<()> {
+            let end = view.log.durable_lsn();
+            let ck = view.log.checkpoint_lsn();
+            let stop = if ck.is_null() { view.log.start_lsn() } else { ck };
 
-        let mut ctl: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
-        let mut claimed: std::collections::HashSet<PageId> = std::collections::HashSet::new();
-        let mut max_txn = TxnId::INVALID;
-        let mut max_page: Option<u32> = None;
-        let mut checkpoint_body: Option<CheckpointBody> = None;
+            let mut ctl: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
+            let mut claimed: std::collections::HashSet<PageId> = std::collections::HashSet::new();
+            let mut max_txn = TxnId::INVALID;
+            let mut max_page: Option<u32> = None;
+            let mut checkpoint_body: Option<CheckpointBody> = None;
 
-        scan.pages_read = (end.0.saturating_sub(stop.0)).div_ceil(PAGE_SIZE as u64);
-        let mut at = end;
-        while at > stop {
-            let (rec, start) = inner.log.read_record_ending_at(at)?;
-            self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-            scan.records += 1;
-            match &rec {
-                LogRecord::Commit { txn, .. } => {
-                    ctl.insert(*txn);
-                }
-                LogRecord::WholePage { txn, page, .. } => {
-                    if ctl.contains(txn) && claimed.insert(*page) {
-                        // Newest committed image for this page (backward
-                        // scan sees newest first).
-                        inner.wpl.insert_restored(*page, start, *txn);
-                    }
-                    max_page = Some(max_page.unwrap_or(0).max(page.0 + 1));
-                }
-                LogRecord::Checkpoint { body } => {
-                    checkpoint_body = Some(body.clone());
-                }
-                _ => {}
-            }
-            let t = rec.txn();
-            if t != TxnId::INVALID && (max_txn == TxnId::INVALID || t.0 > max_txn.0) {
-                max_txn = t;
-            }
-            at = start;
-        }
-        // The checkpoint record sits exactly at `stop` when one exists.
-        if !ck.is_null() && checkpoint_body.is_none() {
-            if let LogRecord::Checkpoint { body } = inner.log.read_record(ck)?.0 {
+            scan.pages_read = (end.0.saturating_sub(stop.0)).div_ceil(PAGE_SIZE as u64);
+            let mut at = end;
+            while at > stop {
+                let (rec, start) = view.log.read_record_ending_at(at)?;
                 self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-                rebuild.pages_read += 1;
-                checkpoint_body = Some(body);
-            }
-        }
-        if let Some(body) = checkpoint_body {
-            for e in &body.wpl_entries {
-                if (e.committed || ctl.contains(&e.txn)) && claimed.insert(e.page) {
-                    inner.wpl.insert_restored(e.page, e.lsn, e.txn);
+                scan.records += 1;
+                match &rec {
+                    LogRecord::Commit { txn, .. } => {
+                        ctl.insert(*txn);
+                    }
+                    LogRecord::WholePage { txn, page, .. } => {
+                        if ctl.contains(txn) && claimed.insert(*page) {
+                            // Newest committed image for this page (backward
+                            // scan sees newest first).
+                            view.wpl.insert_restored(*page, start, *txn);
+                        }
+                        max_page = Some(max_page.unwrap_or(0).max(page.0 + 1));
+                    }
+                    LogRecord::Checkpoint { body } => {
+                        checkpoint_body = Some(body.clone());
+                    }
+                    _ => {}
                 }
-                rebuild.records += 1;
-                max_page = Some(max_page.unwrap_or(0).max(e.page.0 + 1));
+                let t = rec.txn();
+                if t != TxnId::INVALID && (max_txn == TxnId::INVALID || t.0 > max_txn.0) {
+                    max_txn = t;
+                }
+                at = start;
             }
-            inner.volume.ensure_allocated(body.allocated_pages as usize)?;
-        }
-        if let Some(mp) = max_page {
-            inner.volume.ensure_allocated(mp as usize)?;
-        }
-        inner.txns = TxnTable::resuming_after(max_txn);
-        drop(inner);
+            // The checkpoint record sits exactly at `stop` when one exists.
+            if !ck.is_null() && checkpoint_body.is_none() {
+                if let LogRecord::Checkpoint { body } = view.log.read_record(ck)?.0 {
+                    self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                    rebuild.pages_read += 1;
+                    checkpoint_body = Some(body);
+                }
+            }
+            if let Some(body) = checkpoint_body {
+                for e in &body.wpl_entries {
+                    if (e.committed || ctl.contains(&e.txn)) && claimed.insert(e.page) {
+                        view.wpl.insert_restored(e.page, e.lsn, e.txn);
+                    }
+                    rebuild.records += 1;
+                    max_page = Some(max_page.unwrap_or(0).max(e.page.0 + 1));
+                }
+                view.volume.ensure_allocated(body.allocated_pages as usize)?;
+            }
+            if let Some(mp) = max_page {
+                view.volume.ensure_allocated(mp as usize)?;
+            }
+            *view.txns = TxnTable::resuming_after(max_txn);
+            Ok(())
+        })?;
         Ok(vec![scan, rebuild])
     }
 }
@@ -1021,6 +1187,8 @@ mod tests {
             log_bytes: 4 * 1024 * 1024,
             log_high_watermark: 0.6,
             log_low_watermark: 0.3,
+            pool_shards: 1,
+            group_commit: false,
         }
     }
 

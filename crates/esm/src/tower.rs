@@ -1,0 +1,52 @@
+//! [`LogTower`]: the log subsystem — the WAL plus its commit-force policy.
+//!
+//! The tower owns the [`LogManager`] (which is internally synchronized and
+//! never sits behind a server lock) and, when group commit is enabled, a
+//! [`GroupCommitter`] that coalesces concurrent commit forces: one leader
+//! syncs the log disk per batch while followers wait and absorb. With
+//! group commit off (the default), `commit_force` is a plain
+//! `LogManager::force` — the pre-decomposition commit path, preserved
+//! exactly for the single-client figures.
+
+use qs_trace::Tracer;
+use qs_types::{Lsn, QsResult};
+use qs_wal::{ForceStats, GroupCommitter, LogManager};
+
+/// The log subsystem: WAL + group-commit policy.
+pub struct LogTower {
+    wal: LogManager,
+    group: GroupCommitter,
+    group_commit: bool,
+}
+
+impl LogTower {
+    pub fn new(wal: LogManager, group_commit: bool) -> LogTower {
+        LogTower { wal, group: GroupCommitter::new(), group_commit }
+    }
+
+    /// The WAL itself: appends, reads, scans, non-commit forces (eviction
+    /// steals, checkpoints) go straight through.
+    pub fn wal(&self) -> &LogManager {
+        &self.wal
+    }
+
+    /// Commit-path force: group-batched when enabled, plain otherwise.
+    /// Leaders record their batch size in the `group_commit_size`
+    /// histogram; followers return `wrote: false` (metered by the caller
+    /// as a no-op force, so forces + no-ops still sum to commits).
+    pub fn commit_force(&self, lsn: Lsn, tracer: &Tracer) -> QsResult<ForceStats> {
+        if !self.group_commit {
+            return self.wal.force(lsn);
+        }
+        let out = self.group.force_through(&self.wal, lsn)?;
+        if let Some(batch) = out.led_batch {
+            tracer.record("group_commit_size", batch);
+        }
+        Ok(out.stats)
+    }
+
+    /// `(commit-force calls, real forces)` — mean batch size is their ratio.
+    pub fn group_stats(&self) -> (u64, u64) {
+        (self.group.calls(), self.group.forces())
+    }
+}

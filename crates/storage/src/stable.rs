@@ -48,12 +48,23 @@ fn check_bounds(len: usize, off: usize, n: usize) -> QsResult<()> {
 /// In-memory stable medium.
 pub struct MemDisk {
     data: RwLock<Vec<u8>>,
+    /// Wall-clock sleep per `sync()` call — zero by default so the normal
+    /// figure runs stay instantaneous. The contention benchmarks set this
+    /// to model a real disk's synchronous-write latency, which is what
+    /// group commit amortizes.
+    sync_latency: std::time::Duration,
 }
 
 impl MemDisk {
     /// A zero-filled device of `len` bytes.
     pub fn new(len: usize) -> MemDisk {
-        MemDisk { data: RwLock::new(vec![0u8; len]) }
+        MemDisk { data: RwLock::new(vec![0u8; len]), sync_latency: std::time::Duration::ZERO }
+    }
+
+    /// A zero-filled device whose `sync()` blocks for `latency` wall-clock
+    /// time, so commit forces cost something real to batch away.
+    pub fn with_sync_latency(len: usize, latency: std::time::Duration) -> MemDisk {
+        MemDisk { data: RwLock::new(vec![0u8; len]), sync_latency: latency }
     }
 }
 
@@ -77,6 +88,9 @@ impl StableMedia for MemDisk {
     }
 
     fn sync(&self) -> QsResult<()> {
+        if !self.sync_latency.is_zero() {
+            std::thread::sleep(self.sync_latency);
+        }
         Ok(())
     }
 }
@@ -151,6 +165,16 @@ mod tests {
         assert!(d.read_at(usize::MAX, &mut buf).is_err());
         // Exactly at the end is fine.
         d.write_at(8, &[1u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn memdisk_sync_latency_sleeps() {
+        let d = MemDisk::with_sync_latency(16, std::time::Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        d.sync().unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        // Default construction stays instantaneous (no sleep path).
+        assert!(MemDisk::new(16).sync_latency.is_zero());
     }
 
     #[test]

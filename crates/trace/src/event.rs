@@ -17,6 +17,8 @@ pub enum TraceCat {
     Fault,
     /// Lock acquisition that had to wait at the server (`a` = page).
     LockWait,
+    /// Subsystem mutex released (`a` = held ns, `b` = wait ns; wall clock).
+    LockHold,
     /// Log-manager append (`a` = LSN, `b` = record bytes).
     WalAppend,
     /// Log-manager force (`a` = pages written, `b` = 1 if it was a no-op).
@@ -36,6 +38,7 @@ impl TraceCat {
             TraceCat::RbufEvict => "rbuf_evict",
             TraceCat::Fault => "fault",
             TraceCat::LockWait => "lock_wait",
+            TraceCat::LockHold => "lock_hold",
             TraceCat::WalAppend => "wal_append",
             TraceCat::WalForce => "wal_force",
             TraceCat::Checkpoint => "checkpoint",

@@ -27,6 +27,7 @@ pub mod event;
 pub mod hist;
 pub mod restart;
 pub mod sink;
+pub mod tlock;
 pub mod tracer;
 
 pub use clock::SimClock;
@@ -34,4 +35,5 @@ pub use event::{TraceCat, TraceEvent};
 pub use hist::{HistSummary, LogHistogram};
 pub use restart::{FlightRecording, PhaseStat, RestartReport};
 pub use sink::{NullSink, RingSink, TraceSink};
+pub use tlock::{TracedGuard, TracedMutex};
 pub use tracer::Tracer;

@@ -8,7 +8,7 @@ use crate::sink::{NullSink, RingSink, TraceSink};
 use qs_sim::{HardwareModel, Meter};
 use qs_types::sync::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared tracing handle: a sink for events, a simulated clock for
@@ -21,7 +21,12 @@ pub struct Tracer {
     ring: Option<Arc<RingSink>>,
     clock: Option<SimClock>,
     seq: AtomicU64,
-    hists: Mutex<BTreeMap<&'static str, LogHistogram>>,
+    hists: Mutex<BTreeMap<String, LogHistogram>>,
+    /// Opt-in for wall-clock lock-hold/lock-wait measurement. Off by
+    /// default even on enabled tracers: hold times are nondeterministic
+    /// wall-clock values, and the default trace outputs must stay
+    /// byte-reproducible. The contention benchmarks flip this on.
+    lock_stats: AtomicBool,
 }
 
 impl Default for Tracer {
@@ -34,6 +39,7 @@ impl Default for Tracer {
             clock: None,
             seq: AtomicU64::new(0),
             hists: Mutex::new(BTreeMap::new()),
+            lock_stats: AtomicBool::new(false),
         }
     }
 }
@@ -64,6 +70,7 @@ impl Tracer {
             clock: Some(SimClock::new(meter, hw)),
             seq: AtomicU64::new(0),
             hists: Mutex::new(BTreeMap::new()),
+            lock_stats: AtomicBool::new(false),
         })
     }
 
@@ -77,7 +84,36 @@ impl Tracer {
             clock,
             seq: AtomicU64::new(0),
             hists: Mutex::new(BTreeMap::new()),
+            lock_stats: AtomicBool::new(false),
         })
+    }
+
+    /// Turn wall-clock lock-hold measurement on or off (see `lock_stats`).
+    pub fn set_lock_stats(&self, on: bool) {
+        self.lock_stats.store(on, Ordering::Relaxed);
+    }
+
+    /// True when lock instrumentation should measure (enabled + opted in).
+    #[inline]
+    pub fn lock_stats_enabled(&self) -> bool {
+        self.enabled && self.lock_stats.load(Ordering::Relaxed)
+    }
+
+    /// Record one lock acquisition+release of the subsystem mutex `name`:
+    /// wall-clock nanoseconds held and spent waiting go to the
+    /// `lock_hold:<name>` / `lock_wait:<name>` histograms plus one
+    /// [`TraceCat::LockHold`] event. Wait time is only recorded when the
+    /// lock was actually contended, so an untouched `lock_wait:*`
+    /// histogram is itself evidence of independence.
+    pub fn record_lock(&self, name: &'static str, held_ns: u64, wait_ns: Option<u64>) {
+        if !self.lock_stats_enabled() {
+            return;
+        }
+        self.record(&format!("lock_hold:{name}"), held_ns);
+        if let Some(w) = wait_ns {
+            self.record(&format!("lock_wait:{name}"), w);
+        }
+        self.event(TraceCat::LockHold, name, held_ns, wait_ns.unwrap_or(0));
     }
 
     #[inline]
@@ -111,15 +147,19 @@ impl Tracer {
     }
 
     /// Record a value into the named histogram (no-op when disabled).
-    pub fn record(&self, hist: &'static str, v: u64) {
+    pub fn record(&self, hist: &str, v: u64) {
         if !self.enabled {
             return;
         }
-        self.hists.lock().entry(hist).or_default().record(v);
+        let mut hists = self.hists.lock();
+        match hists.get_mut(hist) {
+            Some(h) => h.record(v),
+            None => hists.entry(hist.to_string()).or_default().record(v),
+        }
     }
 
     /// Record a simulated duration, stored in nanoseconds.
-    pub fn record_secs(&self, hist: &'static str, secs: f64) {
+    pub fn record_secs(&self, hist: &str, secs: f64) {
         if !self.enabled {
             return;
         }
@@ -132,8 +172,8 @@ impl Tracer {
     }
 
     /// Digest of every histogram, sorted by name.
-    pub fn summaries(&self) -> Vec<(&'static str, HistSummary)> {
-        self.hists.lock().iter().map(|(k, v)| (*k, v.summary())).collect()
+    pub fn summaries(&self) -> Vec<(String, HistSummary)> {
+        self.hists.lock().iter().map(|(k, v)| (k.clone(), v.summary())).collect()
     }
 
     /// The flight recorder's most recent `n` events (oldest first), empty
@@ -180,6 +220,27 @@ mod tests {
         let sums = t.summaries();
         assert_eq!(sums.len(), 1);
         assert_eq!(sums[0].0, "force_pages");
+    }
+
+    #[test]
+    fn lock_stats_gated_off_by_default() {
+        let meter = Meter::new();
+        let t = Tracer::flight(Arc::clone(&meter), HardwareModel::paper_1995(), 8);
+        assert!(t.is_enabled() && !t.lock_stats_enabled());
+        t.record_lock("pool_shard", 100, Some(40));
+        assert!(t.histogram("lock_hold:pool_shard").is_none(), "gated off");
+        t.set_lock_stats(true);
+        assert!(t.lock_stats_enabled());
+        t.record_lock("pool_shard", 100, Some(40));
+        t.record_lock("pool_shard", 200, None);
+        assert_eq!(t.histogram("lock_hold:pool_shard").unwrap().count(), 2);
+        assert_eq!(t.histogram("lock_wait:pool_shard").unwrap().count(), 1);
+        let held = t.flight_snapshot(8);
+        assert!(held.iter().any(|e| e.cat == TraceCat::LockHold && e.label == "pool_shard"));
+        // A disabled tracer ignores the flag entirely.
+        let off = Tracer::disabled();
+        off.set_lock_stats(true);
+        assert!(!off.lock_stats_enabled());
     }
 
     #[test]

@@ -30,6 +30,16 @@ impl<T> Mutex<T> {
         MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
+    /// Non-blocking acquire: `None` when another thread holds the lock.
+    /// A poisoned (but free) mutex is recovered exactly like [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
@@ -108,6 +118,17 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_contended_and_free() {
+        let m = Mutex::new(5);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none(), "held elsewhere");
+        }
+        *m.try_lock().expect("free now") = 6;
+        assert_eq!(*m.lock(), 6);
     }
 
     #[test]

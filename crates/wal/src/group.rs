@@ -1,0 +1,176 @@
+//! Group commit: concurrent committers coalesce their log forces.
+//!
+//! Classic leader/follower protocol (DeWitt et al.'s group commit, as in
+//! the multicore-recovery literature the decomposition PR follows): each
+//! committer publishes the LSN it needs durable and joins the batch. The
+//! first one in becomes *leader* and forces the log once, through the
+//! highest LSN any batch member published; everyone whose record became
+//! durable under that force — before it, or by absorption while waiting —
+//! returns without touching the disk. One synchronous `sync()` per batch
+//! instead of one per commit is the entire win.
+//!
+//! Correctness leans on one property of [`LogManager`]: `durable_lsn()`
+//! only advances to record *boundaries*, so `durable_lsn() > lsn` proves
+//! the whole record starting at `lsn` is on stable storage.
+
+use crate::log::{ForceStats, LogManager};
+use qs_types::sync::{Condvar, Mutex};
+use qs_types::{Lsn, QsResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Coalesces concurrent [`LogManager::force_through`] calls into batches.
+#[derive(Debug, Default)]
+pub struct GroupCommitter {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+    /// Commits that asked for durability through this committer.
+    calls: AtomicU64,
+    /// Forces that actually wrote (mean batch size = calls / forces).
+    forces: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// A leader is currently forcing.
+    leader: bool,
+    /// Highest LSN any current waiter needs durable.
+    high: Lsn,
+    /// Members of the forming batch (leader included).
+    waiting: u64,
+}
+
+/// What one group-commit participation amounted to.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupOutcome {
+    /// The underlying force's stats — `wrote: false` for followers whose
+    /// record was made durable by a leader (metered as a no-op force).
+    pub stats: ForceStats,
+    /// `Some(batch_size)` when this caller led a force; the size counts
+    /// every member waiting at the moment the leader took over.
+    pub led_batch: Option<u64>,
+}
+
+impl GroupCommitter {
+    pub fn new() -> GroupCommitter {
+        GroupCommitter::default()
+    }
+
+    /// Make the record starting at `lsn` durable, batching with any other
+    /// committers in flight. Exactly one caller per batch drives the
+    /// actual [`LogManager::force_through`].
+    pub fn force_through(&self, log: &LogManager, lsn: Lsn) -> QsResult<GroupOutcome> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        if st.high < lsn {
+            st.high = lsn;
+        }
+        st.waiting += 1;
+        loop {
+            // Absorbed: a leader (earlier or concurrent) already covered us.
+            if log.durable_lsn() > lsn {
+                st.waiting -= 1;
+                return Ok(GroupOutcome {
+                    stats: ForceStats { pages_written: 0, wrote: false },
+                    led_batch: None,
+                });
+            }
+            if !st.leader {
+                // Take leadership: force through the batch's high-water
+                // mark with the group lock released, so later committers
+                // can join the *next* batch while the disk syncs.
+                st.leader = true;
+                let target = st.high;
+                let batch = st.waiting;
+                drop(st);
+                let res = log.force_through(target);
+                let mut st2 = self.state.lock();
+                st2.leader = false;
+                st2.waiting -= 1;
+                self.cv.notify_all();
+                drop(st2);
+                let stats = res?;
+                if stats.wrote {
+                    self.forces.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(GroupOutcome { stats, led_batch: Some(batch) });
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Commits that went through the committer.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Real (writing) forces the leaders performed.
+    pub fn forces(&self) -> u64 {
+        self.forces.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogRecord;
+    use qs_storage::{MemDisk, StableMedia};
+    use qs_types::TxnId;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn commit_rec(t: u64) -> LogRecord {
+        LogRecord::Commit { txn: TxnId(t), prev: Lsn::NULL }
+    }
+
+    #[test]
+    fn single_caller_leads_its_own_batch() {
+        let media = Arc::new(MemDisk::new(LogManager::required_bytes(1 << 16)));
+        let log = LogManager::format(media as Arc<dyn StableMedia>, 1 << 16).unwrap();
+        let gc = GroupCommitter::new();
+        let lsn = log.append(&commit_rec(1)).unwrap();
+        let out = gc.force_through(&log, lsn).unwrap();
+        assert!(out.stats.wrote);
+        assert_eq!(out.led_batch, Some(1));
+        assert!(log.durable_lsn() > lsn);
+        assert_eq!((gc.calls(), gc.forces()), (1, 1));
+        // Already durable: absorbed without a force.
+        let out2 = gc.force_through(&log, lsn).unwrap();
+        assert!(!out2.stats.wrote);
+        assert_eq!(out2.led_batch, None);
+        assert_eq!((gc.calls(), gc.forces()), (2, 1));
+    }
+
+    #[test]
+    fn concurrent_commits_batch_into_few_forces() {
+        // A slow log sync gives followers time to pile up behind a leader.
+        const K: usize = 8;
+        let media = Arc::new(MemDisk::with_sync_latency(
+            LogManager::required_bytes(1 << 18),
+            Duration::from_millis(5),
+        ));
+        let log = Arc::new(LogManager::format(media as Arc<dyn StableMedia>, 1 << 18).unwrap());
+        let gc = Arc::new(GroupCommitter::new());
+        let handles: Vec<_> = (0..K)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                let gc = Arc::clone(&gc);
+                std::thread::spawn(move || {
+                    let lsn = log.append(&commit_rec(i as u64)).unwrap();
+                    let out = gc.force_through(&log, lsn).unwrap();
+                    (lsn, out)
+                })
+            })
+            .collect();
+        let outs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (lsn, _) in &outs {
+            assert!(log.durable_lsn() > *lsn, "every commit durable");
+        }
+        let forces = gc.forces();
+        assert!(forces >= 1 && forces <= K as u64, "got {forces} forces");
+        assert_eq!(gc.calls(), K as u64);
+        let led: u64 = outs.iter().filter_map(|(_, o)| o.led_batch).count() as u64;
+        let wrote: u64 = outs.iter().filter(|(_, o)| o.stats.wrote).count() as u64;
+        assert_eq!(wrote, forces, "exactly the writing leaders counted");
+        assert!(led >= wrote, "every writing force had a leader");
+    }
+}

@@ -13,9 +13,14 @@
 //!   (the paper's dedicated Sun0424 log disk), with an in-memory tail
 //!   buffer, explicit force (WAL discipline), forward and backward scans,
 //!   and space reclamation via `truncate_to`.
+//!
+//! Plus [`group`] — a leader/follower [`GroupCommitter`] that coalesces
+//! concurrent commit forces into one disk sync per batch.
 
+pub mod group;
 pub mod log;
 pub mod record;
 
-pub use log::LogManager;
+pub use group::{GroupCommitter, GroupOutcome};
+pub use log::{ForceStats, LogManager};
 pub use record::{CheckpointBody, LogRecord, WplCheckpointEntry};

@@ -49,6 +49,11 @@ pub struct LogManager {
     /// Bytes of log body on the medium (capacity of the circular window).
     body_capacity: usize,
     state: Mutex<LogState>,
+    /// Serializes forces with each other so the media write and `sync()`
+    /// can run *outside* `state`: appends and reads proceed while a force
+    /// is waiting on the disk, which is what lets a group-commit leader
+    /// sleep in `sync()` without stalling the next batch's appends.
+    force_serial: Mutex<()>,
     /// Observability hook (disabled by default: one branch per append/force).
     tracer: Arc<Tracer>,
 }
@@ -83,6 +88,7 @@ impl LogManager {
                 checkpoint: Lsn::NULL,
                 buffer: Vec::new(),
             }),
+            force_serial: Mutex::new(()),
             tracer: Tracer::disabled(),
         };
         lm.write_header(&lm.state.lock())?;
@@ -112,6 +118,7 @@ impl LogManager {
                 checkpoint,
                 buffer: Vec::new(),
             }),
+            force_serial: Mutex::new(()),
             tracer: Tracer::disabled(),
         })
     }
@@ -178,8 +185,22 @@ impl LogManager {
     /// `upto` durable. (Forcing `tail_lsn()` forces the whole buffer.)
     /// This is the WAL hook: stealing a page with pageLSN `l` calls
     /// `force(l)` first.
+    ///
+    /// Runs in three phases so the media write and `sync()` happen outside
+    /// the state lock (appends keep flowing while the disk spins):
+    ///
+    /// 1. under `state`: find the target boundary and *copy* the bytes;
+    /// 2. no lock: write the body region `[durable, target)` to the medium
+    ///    — nobody reads it there yet (reads at LSN ≥ durable go to the
+    ///    tail buffer, which still holds those bytes), nobody else writes
+    ///    it (`force_serial` admits one force, `truncate_to` never moves
+    ///    `start` past `durable`);
+    /// 3. under `state`: drain the copied prefix, publish the new
+    ///    `durable`, rewrite the header; then `sync()` with no lock held.
     pub fn force(&self, upto: Lsn) -> QsResult<ForceStats> {
-        let mut st = self.state.lock();
+        let _one_force = self.force_serial.lock();
+        // Phase 1: snapshot what to write.
+        let st = self.state.lock();
         if upto < st.durable {
             drop(st);
             self.tracer.event(TraceCat::WalForce, "noop", 0, 1);
@@ -200,19 +221,38 @@ impl LogManager {
             self.tracer.event(TraceCat::WalForce, "noop", 0, 1);
             return Ok(ForceStats { pages_written: 0, wrote: false });
         }
-        let n = (target.0 - st.durable.0) as usize;
+        let base = st.durable;
+        let n = (target.0 - base.0) as usize;
         // `n` may exceed the buffer only through logic bugs; be strict.
         assert!(n <= st.buffer.len(), "force past buffered tail");
-        let chunk: Vec<u8> = st.buffer.drain(..n).collect();
-        self.write_body(st.durable, &chunk)?;
+        let chunk: Vec<u8> = st.buffer[..n].to_vec();
+        drop(st);
+
+        // Phase 2: stream the body without blocking appenders.
+        self.write_body(base, &chunk)?;
+
+        // Phase 3: publish durability. Only forces mutate `durable` or the
+        // buffer front, and `force_serial` keeps this one alone in flight,
+        // so `base`/`n` still describe the buffer's prefix exactly.
+        let mut st = self.state.lock();
+        st.buffer.drain(..n);
         st.durable = target;
         self.write_header(&st)?;
+        drop(st);
         self.media.sync()?;
         // Sequential pages touched: the force streams `n` bytes.
         let pages = (n as u64).div_ceil(PAGE_SIZE as u64).max(1);
-        drop(st);
         self.tracer.event(TraceCat::WalForce, "force", pages, 0);
         Ok(ForceStats { pages_written: pages, wrote: true })
+    }
+
+    /// Batch-oriented alias for [`LogManager::force`], used by the group
+    /// committer: a leader forces through the *highest* LSN its batch
+    /// needs, and every waiter whose record starts at or below `lsn` is
+    /// durable afterwards (`durable_lsn() > lsn`, since `durable` only
+    /// lands on record boundaries).
+    pub fn force_through(&self, lsn: Lsn) -> QsResult<ForceStats> {
+        self.force(lsn)
     }
 
     /// Read the record starting at `lsn` (from the durable body or the

@@ -52,6 +52,21 @@ fi
 [ "$audit_failed" -eq 0 ] || exit 1
 echo "dependency audit: OK (all dependencies are internal path deps)"
 
+echo "== clippy (esm + wal), warnings are errors =="
+cargo clippy -q --offline -p qs-esm -p qs-wal -- -D warnings
+
+echo "== concurrency tests under a deadlock watchdog =="
+# The multi-client / group-commit / shard-independence tests exercise the
+# decomposed server's locking across real threads; a lock-order bug shows
+# up as a hang, not a failure. `timeout` turns a hang into a hard FAIL.
+for t in multi_client group_commit shard_independence; do
+    if ! timeout 120 cargo test -q --offline --test "$t"; then
+        echo "FAIL: --test $t did not finish within 120s (possible deadlock)" \
+             "or failed; see output above"
+        exit 1
+    fi
+done
+
 echo "== trace binary smoke run =="
 cargo run --release --offline -p qs-bench --bin trace > /dev/null
 
