@@ -7,43 +7,105 @@
 //! the former Criterion bench so the perf trajectory can be tracked with
 //! zero external crates: each benchmark runs a warmup, then N measured
 //! batches, and reports the median, minimum, and maximum per-iteration
-//! wall-clock time.
+//! wall-clock time. Results are also written to `BENCH_micro.json`
+//! (see EXPERIMENTS.md for the format).
+//!
+//! Flags:
+//!   --smoke            cut batch counts and iteration counts for a fast
+//!                      CI pass (numbers are not meaningful, only the
+//!                      harness and JSON output are exercised)
+//!   --validate <path>  parse a previously written BENCH_micro.json and
+//!                      assert it covers every expected benchmark name;
+//!                      exits non-zero on malformed or incomplete files
 
 use qs_esm::{BufferPool, ClientConn, LockManager, LockMode, Server, ServerConfig};
-use qs_sim::Meter;
+use qs_sim::{JsonWriter, Meter};
 use qs_storage::{MemDisk, Page, StableMedia};
-use qs_types::{ClientId, Lsn, Oid, PageId, TxnId, PAGE_SIZE};
-use qs_wal::{LogManager, LogRecord};
+use qs_types::{ClientId, Lsn, Oid, PageId, TxnId, LOG_HEADER_SIZE, PAGE_SIZE};
+use qs_wal::{LogManager, LogRecord, RecordWriter};
 use quickstore::avl::AvlMap;
-use quickstore::diff;
+use quickstore::diff::{self, Region};
 use quickstore::{Store, SystemConfig};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Measured batches per benchmark (median-of-N).
-const BATCHES: usize = 15;
+/// Every benchmark the harness runs, in output order. `--validate` checks
+/// a result file against this list, so keep it in sync with the `bench`
+/// calls below.
+const EXPECTED_NAMES: &[&str] = &[
+    "kernel/diff_clean_page",
+    "kernel/diff_clean_page_scalar",
+    "kernel/diff_sparse_oo7",
+    "kernel/commit_log_generation",
+    "diff/page/1_regions",
+    "diff/page/16_regions",
+    "diff/page/128_regions",
+    "avl/floor_lookup_4096_frames",
+    "avl/insert_remove_cycle",
+    "buffer_pool/hit_get",
+    "buffer_pool/miss_insert_evict",
+    "wal/append_update_record",
+    "wal/encode_decode_round_trip",
+    "lock_manager/uncontended_x_lock_release",
+    "update_path/txn_64pages_2048_updates/PD-ESM",
+    "update_path/txn_64pages_2048_updates/SD-ESM",
+    "update_path/txn_64pages_2048_updates/WPL",
+];
 
-/// Run `f` `iters_per_batch` times per batch, `BATCHES` batches, after one
-/// warmup batch; print median/min/max nanoseconds per iteration.
-fn bench<F: FnMut()>(name: &str, iters_per_batch: u64, mut f: F) {
-    for _ in 0..iters_per_batch {
-        f(); // warmup
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Timing harness: per-benchmark warmup, then `batches` measured batches.
+struct Harness {
+    batches: usize,
+    /// Divisor applied to each benchmark's iteration count (`--smoke`).
+    iter_shrink: u64,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    fn new(smoke: bool) -> Harness {
+        Harness {
+            batches: if smoke { 3 } else { 15 },
+            iter_shrink: if smoke { 200 } else { 1 },
+            results: Vec::new(),
+        }
     }
-    let mut per_iter_ns: Vec<f64> = (0..BATCHES)
-        .map(|_| {
-            let t0 = Instant::now();
-            for _ in 0..iters_per_batch {
-                f();
-            }
-            t0.elapsed().as_nanos() as f64 / iters_per_batch as f64
-        })
-        .collect();
-    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = per_iter_ns[per_iter_ns.len() / 2];
-    let min = per_iter_ns[0];
-    let max = per_iter_ns[per_iter_ns.len() - 1];
-    println!("{name:<48} median {:>12}  min {:>12}  max {:>12}", ns(median), ns(min), ns(max));
+
+    /// Run `f` `iters_per_batch` times per batch, `self.batches` batches,
+    /// after one warmup batch; record and print median/min/max ns per
+    /// iteration.
+    fn bench<F: FnMut()>(&mut self, name: &str, iters_per_batch: u64, mut f: F) {
+        let iters = (iters_per_batch / self.iter_shrink).max(1);
+        for _ in 0..iters {
+            f(); // warmup
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.batches)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+        println!("{name:<48} median {:>12}  min {:>12}  max {:>12}", ns(median), ns(min), ns(max));
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+        });
+    }
 }
 
 fn ns(v: f64) -> String {
@@ -58,7 +120,78 @@ fn ns(v: f64) -> String {
     }
 }
 
-fn bench_diff() {
+/// The commit-path kernels the word-parallel diff PR targets: clean-page
+/// scan (the dominant cost when few pages actually changed), the scalar
+/// oracle on the same input (the pre-PR baseline, kept for an honest
+/// same-binary speedup ratio), a sparse OO7-style object diff, and the
+/// whole diff → combine → serialize pipeline.
+fn bench_kernels(h: &mut Harness) {
+    println!("-- commit hot-path kernels --");
+
+    // Clean page: before == after, the all-equal fast path.
+    let clean = vec![0xC3u8; PAGE_SIZE];
+    let mut runs: Vec<Region> = Vec::with_capacity(64);
+    h.bench("kernel/diff_clean_page", 20_000, || {
+        runs.clear();
+        diff::append_modified_runs(black_box(&clean), black_box(&clean), 0, &mut runs);
+        black_box(runs.len());
+    });
+    h.bench("kernel/diff_clean_page_scalar", 2_000, || {
+        black_box(diff::raw_modified_runs_scalar(black_box(&clean), black_box(&clean)));
+    });
+
+    // Sparse OO7-style update: 64 objects of 128 bytes on a page, 4 of
+    // them with one 8-byte field rewritten — the shape of an OO7 T2a
+    // traversal touching a fraction of the AtomicParts on a page.
+    const OBJ: usize = 128;
+    let before = vec![0x5Au8; PAGE_SIZE];
+    let mut after = before.clone();
+    for k in 0..4usize {
+        let at = k * 16 * OBJ + 24; // every 16th object, one field
+        after[at..at + 8].fill(0xEE);
+    }
+    h.bench("kernel/diff_sparse_oo7", 20_000, || {
+        runs.clear();
+        for o in 0..PAGE_SIZE / OBJ {
+            let s = o * OBJ;
+            diff::append_modified_runs(
+                black_box(&before[s..s + OBJ]),
+                black_box(&after[s..s + OBJ]),
+                s,
+                &mut runs,
+            );
+        }
+        black_box(runs.len());
+    });
+
+    // Full log generation for one dirty page: diff, combine under the
+    // header threshold, serialize one update record per region into a
+    // reused batch buffer — `store::flush_records_for` in miniature.
+    let mut regions: Vec<Region> = Vec::with_capacity(64);
+    let mut enc: Vec<u8> = Vec::with_capacity(PAGE_SIZE);
+    h.bench("kernel/commit_log_generation", 10_000, || {
+        runs.clear();
+        regions.clear();
+        enc.clear();
+        diff::append_modified_runs(black_box(&before), black_box(&after), 0, &mut runs);
+        diff::combine_regions_into(&runs, LOG_HEADER_SIZE, &mut regions);
+        let mut w = RecordWriter::new(&mut enc);
+        for r in &regions {
+            w.update(
+                TxnId(1),
+                Lsn::NULL,
+                PageId(9),
+                0,
+                r.start as u16,
+                &before[r.start..r.end],
+                &after[r.start..r.end],
+            );
+        }
+        black_box(w.records());
+    });
+}
+
+fn bench_diff(h: &mut Harness) {
     println!("-- diff (8 KB page) --");
     for density in [1usize, 16, 128] {
         let before = vec![0u8; PAGE_SIZE];
@@ -67,51 +200,51 @@ fn bench_diff() {
             let at = (i * PAGE_SIZE / density.max(1)) % (PAGE_SIZE - 8);
             after[at..at + 8].fill(7);
         }
-        bench(&format!("diff/page/{density}_regions"), 2_000, || {
+        h.bench(&format!("diff/page/{density}_regions"), 2_000, || {
             black_box(diff::diff_object(black_box(&before), black_box(&after)));
         });
     }
 }
 
-fn bench_avl() {
+fn bench_avl(h: &mut Harness) {
     println!("-- avl descriptor index --");
     let mut map: AvlMap<u64, u32> = AvlMap::new();
     for i in 0..4096u64 {
         map.insert(i * PAGE_SIZE as u64, i as u32);
     }
     let mut addr = 0u64;
-    bench("avl/floor_lookup_4096_frames", 200_000, || {
+    h.bench("avl/floor_lookup_4096_frames", 200_000, || {
         addr = (addr + 123_457) % (4096 * PAGE_SIZE as u64);
         black_box(map.floor(black_box(&addr)));
     });
     let mut k = 1u64 << 40;
-    bench("avl/insert_remove_cycle", 200_000, || {
+    h.bench("avl/insert_remove_cycle", 200_000, || {
         k += PAGE_SIZE as u64;
         map.insert(k, 1);
         map.remove(&k);
     });
 }
 
-fn bench_buffer_pool() {
+fn bench_buffer_pool(h: &mut Harness) {
     println!("-- buffer pool --");
     let mut bp = BufferPool::new(1024);
     for i in 0..1024u32 {
         bp.insert(PageId(i), Page::new(), false).unwrap();
     }
     let mut i = 0u32;
-    bench("buffer_pool/hit_get", 200_000, || {
+    h.bench("buffer_pool/hit_get", 200_000, || {
         i = (i + 7) % 1024;
         black_box(bp.get(PageId(i)).is_some());
     });
     let mut bp = BufferPool::new(256);
     let mut j = 0u32;
-    bench("buffer_pool/miss_insert_evict", 100_000, || {
+    h.bench("buffer_pool/miss_insert_evict", 100_000, || {
         j += 1;
         black_box(bp.insert(PageId(j), Page::new(), false).unwrap());
     });
 }
 
-fn bench_log() {
+fn bench_log(h: &mut Harness) {
     println!("-- wal --");
     let media: Arc<dyn StableMedia> = Arc::new(MemDisk::new(LogManager::required_bytes(64 << 20)));
     let log = LogManager::format(media, 64 << 20).unwrap();
@@ -125,7 +258,7 @@ fn bench_log() {
         after: vec![1u8; 16],
     };
     let mut since_truncate = 0u32;
-    bench("wal/append_update_record", 50_000, || {
+    h.bench("wal/append_update_record", 50_000, || {
         black_box(log.append(&rec).unwrap());
         // Keep the circular window bounded: drain every ~50k records
         // (≈6 MB of the 64 MB body).
@@ -136,17 +269,17 @@ fn bench_log() {
             log.truncate_to(log.durable_lsn()).unwrap();
         }
     });
-    bench("wal/encode_decode_round_trip", 100_000, || {
+    h.bench("wal/encode_decode_round_trip", 100_000, || {
         let e = rec.encode();
         black_box(LogRecord::decode(&e).unwrap());
     });
 }
 
-fn bench_locks() {
+fn bench_locks(h: &mut Harness) {
     println!("-- lock manager --");
     let lm = LockManager::new();
     let mut i = 0u32;
-    bench("lock_manager/uncontended_x_lock_release", 100_000, || {
+    h.bench("lock_manager/uncontended_x_lock_release", 100_000, || {
         i += 1;
         lm.lock(TxnId(1), PageId(i % 512), LockMode::X).unwrap();
         if i.is_multiple_of(512) {
@@ -157,7 +290,7 @@ fn bench_locks() {
 
 /// End-to-end update cost per scheme: hardware (fault-driven) vs software
 /// (update-function) detection — the §3.2-vs-§3.3 tradeoff.
-fn bench_update_paths() {
+fn bench_update_paths(h: &mut Harness) {
     println!("-- update path (txn: 64 pages, 2048 updates) --");
     for cfg in [
         SystemConfig::pd_esm().with_memory(2.0, 0.5),
@@ -188,7 +321,7 @@ fn bench_update_paths() {
         server.bulk_sync().unwrap();
         let client = ClientConn::new(ClientId(0), server, cfg.client_pool_pages(), meter);
         let mut store = Store::new(client, cfg).unwrap();
-        bench(&format!("update_path/txn_64pages_2048_updates/{name}"), 3, || {
+        h.bench(&format!("update_path/txn_64pages_2048_updates/{name}"), 3, || {
             store.begin().unwrap();
             for (i, &oid) in oids.iter().enumerate() {
                 store.modify(oid, (i % 16) * 8, &[i as u8; 8]).unwrap();
@@ -198,15 +331,231 @@ fn bench_update_paths() {
     }
 }
 
+/// Render the collected results as the BENCH_micro.json document.
+fn render_json(results: &[BenchResult], smoke: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("benchmark", "micro")
+        .field_str("build", if cfg!(debug_assertions) { "debug" } else { "release" })
+        .key("smoke")
+        .bool(smoke)
+        .key("results")
+        .begin_array();
+    for r in results {
+        w.begin_object()
+            .field_str("name", &r.name)
+            .field_f64("median_ns", r.median_ns)
+            .field_f64("min_ns", r.min_ns)
+            .field_f64("max_ns", r.max_ns)
+            .end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// `--validate`: a minimal JSON syntax check (the workspace is hermetic, so
+// no parser crate exists) plus coverage of EXPECTED_NAMES.
+
+/// Validate that `text` is a syntactically well-formed JSON value.
+/// Recursive-descent over the RFC 8259 grammar; returns the byte offset
+/// where parsing failed.
+fn check_json(text: &str) -> Result<(), usize> {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    check_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn check_value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                check_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(*i);
+                }
+                *i += 1;
+                skip_ws(b, i);
+                check_value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(*i),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                check_value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(*i),
+                }
+            }
+        }
+        Some(b'"') => check_string(b, i),
+        Some(b't') => check_lit(b, i, b"true"),
+        Some(b'f') => check_lit(b, i, b"false"),
+        Some(b'n') => check_lit(b, i, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => {
+            let start = *i;
+            if b.get(*i) == Some(&b'-') {
+                *i += 1;
+            }
+            let digits0 = *i;
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                *i += 1;
+            }
+            if *i == digits0 {
+                return Err(start);
+            }
+            if b.get(*i) == Some(&b'.') {
+                *i += 1;
+                let frac0 = *i;
+                while *i < b.len() && b[*i].is_ascii_digit() {
+                    *i += 1;
+                }
+                if *i == frac0 {
+                    return Err(*i);
+                }
+            }
+            if matches!(b.get(*i), Some(b'e') | Some(b'E')) {
+                *i += 1;
+                if matches!(b.get(*i), Some(b'+') | Some(b'-')) {
+                    *i += 1;
+                }
+                let exp0 = *i;
+                while *i < b.len() && b[*i].is_ascii_digit() {
+                    *i += 1;
+                }
+                if *i == exp0 {
+                    return Err(*i);
+                }
+            }
+            Ok(())
+        }
+        _ => Err(*i),
+    }
+}
+
+fn check_string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(*i);
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 2;
+            }
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn check_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    check_json(&text).map_err(|at| format!("{path}: malformed JSON at byte {at}"))?;
+    let mut missing = Vec::new();
+    for name in EXPECTED_NAMES {
+        // The writer escapes nothing in these names (no quotes/backslashes),
+        // so an exact field match is a faithful containment test.
+        if !text.contains(&format!("\"name\":\"{name}\"")) {
+            missing.push(*name);
+        }
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{path}: missing benchmark results: {missing:?}"))
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("usage: micro --validate <BENCH_micro.json>");
+            std::process::exit(2);
+        };
+        match validate(path) {
+            Ok(()) => {
+                println!("{path}: ok ({} benchmarks covered)", EXPECTED_NAMES.len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     println!(
-        "micro: warmup + median of {BATCHES} batches per benchmark (build: {})",
-        if cfg!(debug_assertions) { "DEBUG — use --release for real numbers" } else { "release" }
+        "micro: warmup + median of {} batches per benchmark (build: {}{})",
+        if smoke { 3 } else { 15 },
+        if cfg!(debug_assertions) { "DEBUG — use --release for real numbers" } else { "release" },
+        if smoke { ", SMOKE — numbers not meaningful" } else { "" }
     );
-    bench_diff();
-    bench_avl();
-    bench_buffer_pool();
-    bench_log();
-    bench_locks();
-    bench_update_paths();
+    let mut h = Harness::new(smoke);
+    bench_kernels(&mut h);
+    bench_diff(&mut h);
+    bench_avl(&mut h);
+    bench_buffer_pool(&mut h);
+    bench_log(&mut h);
+    bench_locks(&mut h);
+    bench_update_paths(&mut h);
+    let json = render_json(&h.results, smoke);
+    std::fs::write("BENCH_micro.json", &json).expect("write BENCH_micro.json");
+    println!("wrote BENCH_micro.json ({} results)", h.results.len());
 }

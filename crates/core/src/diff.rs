@@ -35,7 +35,20 @@ impl Region {
 
 /// Maximal runs of bytes that differ between `before` and `after`.
 /// Both slices must be the same length (in-place updates never resize).
+///
+/// Word-parallel: see [`append_modified_runs`] for the kernel. The
+/// reference byte-at-a-time loop survives as
+/// [`raw_modified_runs_scalar`], the oracle the property tests compare
+/// against.
 pub fn raw_modified_runs(before: &[u8], after: &[u8]) -> Vec<Region> {
+    let mut runs = Vec::new();
+    append_modified_runs(before, after, 0, &mut runs);
+    runs
+}
+
+/// The original byte-at-a-time run finder. Kept verbatim as the test
+/// oracle for the u64 kernel — its output defines "maximal runs".
+pub fn raw_modified_runs_scalar(before: &[u8], after: &[u8]) -> Vec<Region> {
     debug_assert_eq!(before.len(), after.len());
     let mut runs = Vec::new();
     let mut i = 0;
@@ -54,12 +67,112 @@ pub fn raw_modified_runs(before: &[u8], after: &[u8]) -> Vec<Region> {
     runs
 }
 
+/// Bit `k` of the result is set iff byte `k` (little-endian) of `x` is
+/// nonzero — i.e. iff byte `k` of the two compared words differs. The
+/// byte-to-bit collapse is a SWAR OR-fold; the gather multiply places
+/// byte `k`'s indicator at bit `56 + k` (positions `8k + 7 + 7j` collide
+/// for no two `(k, j)` pairs, and only `k + j = 7` terms land in the top
+/// byte, so no carries pollute the mask).
+#[inline]
+fn diff_byte_mask(x: u64) -> u32 {
+    let m = x | (x >> 4);
+    let m = m | (m >> 2);
+    let m = m | (m >> 1);
+    let m = m & 0x0101_0101_0101_0101;
+    (m.wrapping_mul(0x0102_0408_1020_4080) >> 56) as u32
+}
+
+/// The u64 diff kernel: append the maximal modified runs of
+/// `before[..] != after[..]` to `out`, shifting every offset by `base`
+/// (run coordinates are `base + i`). If the first new run starts exactly
+/// where `out`'s last run ends, the two are merged — this is what keeps
+/// runs maximal across word boundaries and across consecutive kernel
+/// invocations on adjacent sub-ranges.
+///
+/// Strategy: compare 8 bytes at a time via XOR (`u64::from_le_bytes`
+/// performs an unaligned load, so the slices may start anywhere), skip
+/// clean words in 32-byte gulps, and resolve exact byte boundaries inside
+/// a dirty word with `trailing_zeros` on the XOR word's byte-collapse
+/// mask ([`diff_byte_mask`]). The scalar tail handles the last
+/// `len % 8` bytes. Output is exactly [`raw_modified_runs_scalar`]'s.
+pub fn append_modified_runs(before: &[u8], after: &[u8], base: usize, out: &mut Vec<Region>) {
+    debug_assert_eq!(before.len(), after.len());
+    let n = before.len();
+    #[inline]
+    fn push(out: &mut Vec<Region>, start: usize, end: usize) {
+        if let Some(last) = out.last_mut() {
+            if last.end == start {
+                last.end = end;
+                return;
+            }
+        }
+        out.push(Region { start, end });
+    }
+    #[inline]
+    fn xor_at(before: &[u8], after: &[u8], i: usize) -> u64 {
+        let b = u64::from_le_bytes(before[i..i + 8].try_into().unwrap());
+        let a = u64::from_le_bytes(after[i..i + 8].try_into().unwrap());
+        a ^ b
+    }
+    let mut i = 0;
+    while i + 8 <= n {
+        // Bulk-skip: four clean words at a time.
+        while i + 32 <= n {
+            let any = xor_at(before, after, i)
+                | xor_at(before, after, i + 8)
+                | xor_at(before, after, i + 16)
+                | xor_at(before, after, i + 24);
+            if any != 0 {
+                break;
+            }
+            i += 32;
+        }
+        if i + 8 > n {
+            break;
+        }
+        let x = xor_at(before, after, i);
+        if x != 0 {
+            // Walk the 1-runs of the byte mask: each is a maximal run of
+            // differing bytes inside this word.
+            let mut mask = diff_byte_mask(x);
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                let len = (!(mask >> s)).trailing_zeros() as usize;
+                push(out, base + i + s, base + i + s + len);
+                mask &= !(((1u32 << len) - 1) << s);
+            }
+        }
+        i += 8;
+    }
+    // Scalar tail (< 8 bytes).
+    while i < n {
+        if before[i] != after[i] {
+            let start = i;
+            while i < n && before[i] != after[i] {
+                i += 1;
+            }
+            push(out, base + start, base + i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
 /// Combine adjacent runs per the `2·gap > H` rule (header size `h`).
 pub fn combine_regions(runs: &[Region], h: usize) -> Vec<Region> {
     let mut out = Vec::new();
+    combine_regions_into(runs, h, &mut out);
+    out
+}
+
+/// [`combine_regions`] into a caller-provided scratch vector (cleared
+/// first) — the commit hot path reuses one across all pages of a
+/// transaction so steady-state diffing never allocates.
+pub fn combine_regions_into(runs: &[Region], h: usize, out: &mut Vec<Region>) {
+    out.clear();
     let mut iter = runs.iter();
     let Some(first) = iter.next() else {
-        return out;
+        return;
     };
     let mut pending = *first;
     for r in iter {
@@ -72,13 +185,26 @@ pub fn combine_regions(runs: &[Region], h: usize) -> Vec<Region> {
         }
     }
     out.push(pending);
-    out
 }
 
 /// Diff one object: modified regions, already combined for minimal log
 /// traffic with the standard header size.
 pub fn diff_object(before: &[u8], after: &[u8]) -> Vec<Region> {
     combine_regions(&raw_modified_runs(before, after), LOG_HEADER_SIZE)
+}
+
+/// [`diff_object`] with caller-provided scratch: `runs` holds the raw
+/// runs, `out` the combined regions (both cleared first). Allocation-free
+/// once the scratch vectors have warmed up.
+pub fn diff_object_into(
+    before: &[u8],
+    after: &[u8],
+    runs: &mut Vec<Region>,
+    out: &mut Vec<Region>,
+) {
+    runs.clear();
+    append_modified_runs(before, after, 0, runs);
+    combine_regions_into(runs, LOG_HEADER_SIZE, out);
 }
 
 /// Total log bytes a set of regions would occupy (header + before + after
@@ -197,6 +323,69 @@ mod tests {
                 brute_force_min_log_bytes(&runs, LOG_HEADER_SIZE),
                 "layout {l:?}"
             );
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_on_word_boundary_patterns() {
+        // Hand-picked adversarial layouts; the seeded property loop in
+        // tests/prop_diff.rs covers the general case.
+        let n = 64;
+        let before = vec![0u8; n];
+        let layouts: &[&[usize]] = &[
+            &[],
+            &[0],
+            &[7],
+            &[8],
+            &[15, 16],                 // run straddling a word boundary
+            &[6, 7, 8, 9],             // run across words 0 and 1
+            &[0, 1, 2, 3, 4, 5, 6, 7], // exactly one full word
+            &[31, 32, 33],
+            &[56, 63],         // last word, both edges
+            &[60, 61, 62, 63], // tail-adjacent
+        ];
+        for l in layouts {
+            let mut after = before.clone();
+            for &i in *l {
+                after[i] ^= 0xA5;
+            }
+            assert_eq!(
+                raw_modified_runs(&before, &after),
+                raw_modified_runs_scalar(&before, &after),
+                "layout {l:?}"
+            );
+        }
+        // All-diff and all-equal whole pages.
+        let a = vec![1u8; 8192];
+        let b = vec![2u8; 8192];
+        assert_eq!(raw_modified_runs(&a, &b), raw_modified_runs_scalar(&a, &b));
+        assert_eq!(raw_modified_runs(&a, &a), Vec::new());
+    }
+
+    #[test]
+    fn append_merges_contiguous_runs_across_calls() {
+        // Diffing adjacent sub-ranges (the SD block path) must yield the
+        // same maximal runs as diffing the whole span at once.
+        let before = vec![0u8; 128];
+        let mut after = before.clone();
+        after[60..68].fill(9); // straddles the 64-byte split below
+        let mut split = Vec::new();
+        append_modified_runs(&before[..64], &after[..64], 0, &mut split);
+        append_modified_runs(&before[64..], &after[64..], 64, &mut split);
+        assert_eq!(split, raw_modified_runs_scalar(&before, &after));
+    }
+
+    #[test]
+    fn diff_object_into_reuses_scratch() {
+        let before = vec![0u8; 256];
+        let mut after = before.clone();
+        after[10..14].fill(1);
+        after[200..210].fill(2);
+        let mut runs = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            diff_object_into(&before, &after, &mut runs, &mut out);
+            assert_eq!(out, diff_object(&before, &after));
         }
     }
 

@@ -32,12 +32,33 @@ use qs_esm::ClientConn;
 use qs_sim::Meter;
 use qs_storage::Page;
 use qs_trace::{TraceCat, Tracer};
-use qs_types::{FrameId, Oid, PageId, QsError, QsResult, TxnId, VAddr, PAGE_SIZE};
+use qs_types::{
+    FrameId, Lsn, Oid, PageId, QsError, QsResult, TxnId, VAddr, LOG_HEADER_SIZE, PAGE_SIZE,
+};
 use qs_vmem::{AccessFault, Mmu, Prot};
-use qs_wal::LogRecord;
+use qs_wal::RecordWriter;
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Reused buffers for the commit hot path (DESIGN.md "commit hot path"):
+/// once grown to their high-water marks, log-record generation performs no
+/// heap allocation.
+#[derive(Default)]
+struct CommitScratch {
+    /// Raw modified runs of the object currently being diffed.
+    runs: Vec<diff::Region>,
+    /// Combined log regions of the object currently being diffed.
+    regions: Vec<diff::Region>,
+    /// Copied block ranges of the page being flushed (sub-page schemes).
+    ranges: Vec<(usize, usize)>,
+    /// Encoded log records for the page being flushed.
+    enc: Vec<u8>,
+    /// Reusable page snapshot: `flush_records_for` needs the page content
+    /// while the client connection is mutably borrowed, so commit and
+    /// overflow copy into this instead of cloning the cached page.
+    snapshot: Option<Box<Page>>,
+}
 
 /// A QuickStore client store.
 pub struct Store {
@@ -51,6 +72,7 @@ pub struct Store {
     created: HashSet<PageId>,
     /// Allocation cursor: the created page new objects go to.
     alloc_cursor: Option<PageId>,
+    scratch: CommitScratch,
 }
 
 impl Store {
@@ -79,7 +101,30 @@ impl Store {
             rbuf,
             created: HashSet::new(),
             alloc_cursor: None,
+            scratch: CommitScratch::default(),
         })
+    }
+
+    /// Snapshot a cached page into the reusable scratch page and run
+    /// `flush_records_for` against it (the page content must outlive a
+    /// mutable borrow of the client connection).
+    fn flush_records_for_cached(&mut self, pid: PageId) -> QsResult<()> {
+        if self.cfg.log_gen == LogGeneration::WholePage {
+            return Ok(()); // no client log records, ever — skip the snapshot
+        }
+        let mut snap = self.scratch.snapshot.take().unwrap_or_else(|| Box::new(Page::new()));
+        match self.client.peek(pid) {
+            Some(page) => snap.bytes_mut().copy_from_slice(page.bytes()),
+            None => {
+                self.scratch.snapshot = Some(snap);
+                return Err(QsError::Protocol {
+                    detail: format!("recovery copy of {pid} outlived its cached page"),
+                });
+            }
+        }
+        let res = self.flush_records_for(pid, &snap);
+        self.scratch.snapshot = Some(snap);
+        res
     }
 
     pub fn tracer(&self) -> &Arc<Tracer> {
@@ -125,12 +170,7 @@ impl Store {
         dirty.sort(); // deterministic shipping order
         let diff_t0 = tracer.now_secs();
         for &pid in &dirty {
-            let page = self
-                .client
-                .peek(pid)
-                .ok_or(QsError::Protocol { detail: format!("dirty page {pid} not cached") })?
-                .clone();
-            self.flush_records_for(pid, &page)?;
+            self.flush_records_for_cached(pid)?;
         }
         tracer.record_secs("commit_diff", tracer.now_secs() - diff_t0);
         for &pid in &dirty {
@@ -313,15 +353,13 @@ impl Store {
                 let already = self.rbuf.contains(pid) || self.created.contains(&pid);
                 if !already {
                     self.make_rbuf_room(PAGE_SIZE)?;
-                    let page = self
-                        .client
-                        .peek(pid)
-                        .ok_or(QsError::Protocol {
-                            detail: format!("write fault on non-resident {pid}"),
-                        })?
-                        .clone();
                     self.meter().bytes_copied.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
-                    self.rbuf.insert_full(pid, page);
+                    self.rbuf.insert_full(
+                        pid,
+                        self.client.peek(pid).ok_or(QsError::Protocol {
+                            detail: format!("write fault on non-resident {pid}"),
+                        })?,
+                    );
                 }
             }
             LogGeneration::WholePage => {
@@ -355,14 +393,7 @@ impl Store {
         self.meter().recovery_buffer_overflows.fetch_add(1, Ordering::Relaxed);
         for pid in victims {
             self.tracer().event(TraceCat::RbufEvict, "overflow", pid.0 as u64, need as u64);
-            let page = self
-                .client
-                .peek(pid)
-                .ok_or(QsError::Protocol {
-                    detail: format!("recovery copy of {pid} outlived its cached page"),
-                })?
-                .clone();
-            self.flush_records_for(pid, &page)?;
+            self.flush_records_for_cached(pid)?;
             // The page stays dirty and updatable: recovery remains enabled
             // (write access is already on); future updates will be captured
             // by a *fresh* copy on the next fault? No — write access is
@@ -485,11 +516,14 @@ impl Store {
             for idx in first..=last {
                 if !self.rbuf.block_copied(pid, idx) {
                     self.make_rbuf_room(block)?;
-                    let page = self.client.peek(pid).expect("mapped");
                     let b0 = idx as usize * block;
-                    let data = page.bytes()[b0..b0 + block].to_vec();
                     self.meter().bytes_copied.fetch_add(block as u64, Ordering::Relaxed);
-                    self.rbuf.insert_block(pid, block, idx, data);
+                    self.rbuf.insert_block(
+                        pid,
+                        block,
+                        idx,
+                        &self.client.peek(pid).expect("mapped").bytes()[b0..b0 + block],
+                    );
                 }
             }
         }
@@ -566,132 +600,169 @@ impl Store {
     /// Generate and queue log records describing all captured updates to
     /// `pid`, then release its recovery-buffer space. `current` is the
     /// page's updated content.
+    ///
+    /// The records are serialized straight into the reused scratch buffer
+    /// (`qs_wal::RecordWriter` over borrowed before/after slices) and
+    /// handed to the client as encoded bytes — after warm-up, no heap
+    /// allocation happens per record.
     fn flush_records_for(&mut self, pid: PageId, current: &Page) -> QsResult<()> {
         if self.cfg.log_gen == LogGeneration::WholePage {
             return Ok(()); // no client log records, ever
         }
         let txn = self.client.txn()?;
+        self.scratch.enc.clear();
         if self.created.contains(&pid) {
             // Newly created page: whole-page image (ESM's own policy).
-            let rec = LogRecord::WholePage {
-                txn,
-                prev: qs_types::Lsn::NULL,
-                page: pid,
-                image: current.bytes().to_vec(),
-            };
-            self.client.add_log_records(pid, vec![rec])?;
+            let mut w = RecordWriter::new(&mut self.scratch.enc);
+            w.whole_page(txn, Lsn::NULL, pid, current.bytes());
+            self.client.add_encoded_records(pid, &self.scratch.enc)?;
             self.created.remove(&pid);
             if self.alloc_cursor == Some(pid) {
                 self.alloc_cursor = None;
             }
             return Ok(());
         }
-        let Some(copied) = self.rbuf.remove(pid) else {
+        let Some(mut copied) = self.rbuf.remove(pid) else {
             // Dirty with no before-image: nothing was captured, so nothing
             // to log (e.g. WPL-style marking never reaches here). Declare
             // the page logged to satisfy the ordering rule.
             return self.client.note_page_logged(pid);
         };
-        let records = match (&copied, self.cfg.log_gen) {
+        let nrecords = match (&mut copied, self.cfg.log_gen) {
             (Copied::Full(old), _) => {
                 self.meter().bytes_diffed.fetch_add(current.live_bytes() as u64, Ordering::Relaxed);
-                Self::diff_records(txn, pid, old.bytes(), current)
-            }
-            (Copied::Blocks { block_size, blocks }, LogGeneration::SubPageDiff { .. }) => {
-                // Reconstruct the before-image over the copied ranges only;
-                // everything else is untouched by construction.
-                let mut old = *current.bytes();
-                let mut copied_bytes = 0u64;
-                for (&idx, data) in blocks {
-                    let b0 = idx as usize * block_size;
-                    old[b0..b0 + block_size].copy_from_slice(data);
-                    copied_bytes += *block_size as u64;
-                }
-                self.meter().bytes_diffed.fetch_add(copied_bytes, Ordering::Relaxed);
-                Self::diff_records(txn, pid, &old, current)
-            }
-            (Copied::Blocks { block_size, blocks }, LogGeneration::SubPageLog { .. }) => {
-                // No diffing: log every copied block wholesale, clipped to
-                // object boundaries (records cannot span objects).
-                let mut old = *current.bytes();
-                for (&idx, data) in blocks {
-                    let b0 = idx as usize * block_size;
-                    old[b0..b0 + block_size].copy_from_slice(data);
-                }
-                let mut ranges: Vec<(usize, usize)> = blocks
-                    .keys()
-                    .map(|&i| (i as usize * block_size, (i as usize + 1) * block_size))
-                    .collect();
-                ranges.sort_unstable();
-                // Merge adjacent blocks into maximal runs.
-                let mut merged: Vec<(usize, usize)> = Vec::new();
-                for r in ranges {
-                    match merged.last_mut() {
-                        Some(last) if last.1 == r.0 => last.1 = r.1,
-                        _ => merged.push(r),
+                let mut w = RecordWriter::new(&mut self.scratch.enc);
+                for (slot, off, len) in current.live_objects() {
+                    let before = &old[off..off + len];
+                    let after = &current.bytes()[off..off + len];
+                    diff::diff_object_into(
+                        before,
+                        after,
+                        &mut self.scratch.runs,
+                        &mut self.scratch.regions,
+                    );
+                    for r in &self.scratch.regions {
+                        w.update(
+                            txn,
+                            Lsn::NULL,
+                            pid,
+                            slot,
+                            r.start as u16,
+                            &before[r.start..r.end],
+                            &after[r.start..r.end],
+                        );
                     }
                 }
-                let mut recs = Vec::new();
+                w.records()
+            }
+            (Copied::Blocks(bc), LogGeneration::SubPageDiff { .. }) => {
+                // Diff only the copied block ranges — every modified byte
+                // lies inside one (blocks are copied before they are
+                // written), and the ranges come sorted off the bitmap.
+                self.meter()
+                    .bytes_diffed
+                    .fetch_add((bc.block_size() * bc.count()) as u64, Ordering::Relaxed);
+                self.scratch.ranges.clear();
+                bc.append_ranges(&mut self.scratch.ranges);
+                let mut w = RecordWriter::new(&mut self.scratch.enc);
                 for (slot, obj_off, obj_len) in current.live_objects() {
-                    for &(s, e) in &merged {
+                    self.scratch.runs.clear();
+                    for &(s, e) in &self.scratch.ranges {
                         let s = s.max(obj_off);
                         let e = e.min(obj_off + obj_len);
                         if s >= e {
                             continue;
                         }
-                        recs.push(LogRecord::Update {
+                        diff::append_modified_runs(
+                            &bc.data()[s..e],
+                            &current.bytes()[s..e],
+                            s - obj_off,
+                            &mut self.scratch.runs,
+                        );
+                    }
+                    diff::combine_regions_into(
+                        &self.scratch.runs,
+                        LOG_HEADER_SIZE,
+                        &mut self.scratch.regions,
+                    );
+                    for r in &self.scratch.regions {
+                        let (a, b) = (obj_off + r.start, obj_off + r.end);
+                        // A combined region can span a small uncopied gap
+                        // (combine merges runs ≤ 25 bytes apart; blocks can
+                        // be as small as 8). Gap bytes are clean, so fill
+                        // them from `current` to keep the before-image one
+                        // contiguous slice.
+                        let mut pos = a;
+                        for &(s, e) in &self.scratch.ranges {
+                            if e <= a {
+                                continue;
+                            }
+                            if s >= b {
+                                break;
+                            }
+                            if s > pos {
+                                bc.data_mut()[pos..s].copy_from_slice(&current.bytes()[pos..s]);
+                            }
+                            pos = pos.max(e);
+                        }
+                        if pos < b {
+                            bc.data_mut()[pos..b].copy_from_slice(&current.bytes()[pos..b]);
+                        }
+                        w.update(
                             txn,
-                            prev: qs_types::Lsn::NULL,
-                            page: pid,
+                            Lsn::NULL,
+                            pid,
                             slot,
-                            offset: (s - obj_off) as u16,
-                            before: old[s..e].to_vec(),
-                            after: current.bytes()[s..e].to_vec(),
-                        });
+                            r.start as u16,
+                            &bc.data()[a..b],
+                            &current.bytes()[a..b],
+                        );
                     }
                 }
-                recs
+                w.records()
             }
-            (Copied::Blocks { .. }, other) => {
+            (Copied::Blocks(bc), LogGeneration::SubPageLog { .. }) => {
+                // No diffing: log every copied block wholesale, clipped to
+                // object boundaries (records cannot span objects). The
+                // bitmap yields maximal sorted runs directly — no per-page
+                // sort.
+                self.scratch.ranges.clear();
+                bc.append_ranges(&mut self.scratch.ranges);
+                let mut w = RecordWriter::new(&mut self.scratch.enc);
+                for (slot, obj_off, obj_len) in current.live_objects() {
+                    for &(s, e) in &self.scratch.ranges {
+                        let s = s.max(obj_off);
+                        let e = e.min(obj_off + obj_len);
+                        if s >= e {
+                            continue;
+                        }
+                        w.update(
+                            txn,
+                            Lsn::NULL,
+                            pid,
+                            slot,
+                            (s - obj_off) as u16,
+                            &bc.data()[s..e],
+                            &current.bytes()[s..e],
+                        );
+                    }
+                }
+                w.records()
+            }
+            (Copied::Blocks(_), other) => {
                 return Err(QsError::Protocol { detail: format!("block copies under {other:?}") });
             }
         };
+        self.rbuf.recycle(copied);
         let tracer = self.client.tracer();
         if tracer.is_enabled() {
-            let bytes: u64 = records.iter().map(|r| r.encoded_len() as u64).sum();
-            tracer.record("diff_record_bytes_per_page", bytes);
-            tracer.event(TraceCat::Diff, "page", pid.0 as u64, records.len() as u64);
+            tracer.record("diff_record_bytes_per_page", self.scratch.enc.len() as u64);
+            tracer.event(TraceCat::Diff, "page", pid.0 as u64, nrecords as u64);
         }
-        if records.is_empty() {
+        if nrecords == 0 {
             self.client.note_page_logged(pid)
         } else {
-            self.client.add_log_records(pid, records)
+            self.client.add_encoded_records(pid, &self.scratch.enc)
         }
-    }
-
-    /// Object-wise diff of a page (log records never span objects).
-    fn diff_records(
-        txn: TxnId,
-        pid: PageId,
-        old: &[u8; PAGE_SIZE],
-        current: &Page,
-    ) -> Vec<LogRecord> {
-        let mut recs = Vec::new();
-        for (slot, off, len) in current.live_objects() {
-            let before = &old[off..off + len];
-            let after = &current.bytes()[off..off + len];
-            for region in diff::diff_object(before, after) {
-                recs.push(LogRecord::Update {
-                    txn,
-                    prev: qs_types::Lsn::NULL,
-                    page: pid,
-                    slot,
-                    offset: region.start as u16,
-                    before: before[region.start..region.end].to_vec(),
-                    after: after[region.start..region.end].to_vec(),
-                });
-            }
-        }
-        recs
     }
 }

@@ -1,0 +1,101 @@
+//! Proves the acceptance criterion "zero heap allocations per update
+//! record on the steady-state commit path" with a counting global
+//! allocator: after one warmup pass sizes the scratch buffers, the
+//! diff → combine → RecordWriter pipeline must not allocate at all.
+//!
+//! This file holds exactly one test so no sibling test thread can
+//! pollute the process-wide allocation counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use qs_types::{Lsn, PageId, TxnId, LOG_HEADER_SIZE, PAGE_SIZE};
+use qs_wal::RecordWriter;
+use quickstore::diff::{append_modified_runs, combine_regions_into, Region};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One commit's worth of work: diff the page, combine runs under the
+/// header threshold, and serialize one update record per region into
+/// the shared batch buffer. Mirrors `store::flush_records_for`.
+fn commit_pass(
+    before: &[u8; PAGE_SIZE],
+    after: &[u8; PAGE_SIZE],
+    runs: &mut Vec<Region>,
+    regions: &mut Vec<Region>,
+    enc: &mut Vec<u8>,
+) -> usize {
+    runs.clear();
+    regions.clear();
+    enc.clear();
+    append_modified_runs(before, after, 0, runs);
+    combine_regions_into(runs, LOG_HEADER_SIZE, regions);
+    let mut w = RecordWriter::new(enc);
+    for r in regions.iter() {
+        w.update(
+            TxnId(7),
+            Lsn::NULL,
+            PageId(3),
+            0,
+            r.start as u16,
+            &before[r.start..r.end],
+            &after[r.start..r.end],
+        );
+    }
+    w.records()
+}
+
+#[test]
+fn steady_state_commit_path_is_allocation_free() {
+    let before = [0u8; PAGE_SIZE];
+    let mut after = before;
+    // Four 8-byte writes separated by >LOG_HEADER_SIZE/2-byte gaps, so the
+    // combine rule keeps them as four distinct update records.
+    for base in [0usize, 40, 80, 120] {
+        for b in &mut after[base..base + 8] {
+            *b = 0xA5;
+        }
+    }
+
+    let mut runs = Vec::new();
+    let mut regions = Vec::new();
+    let mut enc = Vec::new();
+
+    // Warmup: grows the scratch vectors to their high-water mark.
+    let records = commit_pass(&before, &after, &mut runs, &mut regions, &mut enc);
+    assert_eq!(records, 4, "gaps >25 bytes must stay separate records");
+
+    // Measured phase: no allocator traffic at all, regardless of how many
+    // records are produced per pass.
+    let start = ALLOC_CALLS.load(Ordering::SeqCst);
+    let mut total_records = 0usize;
+    for _ in 0..1_000 {
+        total_records += commit_pass(&before, &after, &mut runs, &mut regions, &mut enc);
+    }
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst) - start;
+    assert_eq!(total_records, 4_000);
+    assert_eq!(allocs, 0, "steady-state commit path allocated {allocs} times over 1000 passes");
+}

@@ -5,9 +5,10 @@
 //! the exact same cases replay on every run, with no external crates.
 
 use qs_prng::Prng;
-use qs_types::LOG_HEADER_SIZE;
+use qs_types::{LOG_HEADER_SIZE, PAGE_SIZE};
 use quickstore::diff::{
-    brute_force_min_log_bytes, combine_regions, diff_object, log_bytes, raw_modified_runs,
+    append_modified_runs, brute_force_min_log_bytes, combine_regions, diff_object, log_bytes,
+    raw_modified_runs, raw_modified_runs_scalar, Region,
 };
 
 /// An object up to 512 bytes plus a set of point mutations.
@@ -81,6 +82,126 @@ fn greedy_is_minimal() {
         );
     }
     assert!(checked >= 128, "only {checked} cases were brute-force comparable");
+}
+
+/// Run the word-parallel kernel against the scalar oracle on one pair of
+/// equally-sized slices and demand identical maximal runs.
+fn assert_kernel_matches(before: &[u8], after: &[u8], ctx: &str) {
+    let expect = raw_modified_runs_scalar(before, after);
+    // Exercise non-zero bases too: the kernel must just translate.
+    for base in [0usize, 7, 4096] {
+        let mut got: Vec<Region> = Vec::new();
+        append_modified_runs(before, after, base, &mut got);
+        let shifted: Vec<Region> =
+            expect.iter().map(|r| Region { start: r.start + base, end: r.end + base }).collect();
+        assert_eq!(got, shifted, "{ctx}, base {base}");
+    }
+}
+
+#[test]
+fn kernel_matches_scalar_on_random_pages() {
+    // Random lengths spanning 0..=PAGE_SIZE at every slice alignment 0..8,
+    // with mutation densities from "untouched" to "rewritten".
+    let mut rng = Prng::seed_from_u64(0x5EED_D1FF_0005);
+    for case in 0..400 {
+        let len = rng.gen_range(0..PAGE_SIZE + 1);
+        let align = rng.gen_range(0..8);
+        let backing_before = rng.bytes(len + align);
+        let mut backing_after = backing_before.clone();
+        let flips = match case % 4 {
+            0 => 0,
+            1 => rng.gen_range(0..8),
+            2 => rng.gen_range(0..len.max(1)),
+            _ => len, // rewrite everything (some bytes may land equal)
+        };
+        for _ in 0..flips {
+            if len == 0 {
+                break;
+            }
+            let i = align + rng.gen_range(0..len);
+            backing_after[i] = (rng.next_u32() & 0xFF) as u8;
+        }
+        assert_kernel_matches(
+            &backing_before[align..],
+            &backing_after[align..],
+            &format!("case {case} len {len} align {align}"),
+        );
+    }
+}
+
+#[test]
+fn kernel_matches_scalar_adversarial() {
+    // Deterministic worst cases aimed at the word-boundary logic.
+    let mut rng = Prng::seed_from_u64(0x5EED_D1FF_0006);
+    for &len in &[0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 255, 256, PAGE_SIZE] {
+        for align in 0..8 {
+            let backing = rng.bytes(len + align);
+            let before = &backing[align..];
+
+            // All bytes equal: must produce no runs.
+            assert_kernel_matches(before, before, &format!("all-equal len {len} align {align}"));
+
+            // Every byte differs: one maximal run covering the slice.
+            let mut inv = backing.clone();
+            for b in &mut inv[align..] {
+                *b = !*b;
+            }
+            assert_kernel_matches(
+                before,
+                &inv[align..],
+                &format!("all-diff len {len} align {align}"),
+            );
+
+            // Single-byte flips at and around every u64 word boundary.
+            for word in 0..=(len / 8) {
+                for delta in [0isize, -1, 1] {
+                    let Some(i) = (word * 8).checked_add_signed(delta) else { continue };
+                    if i >= len {
+                        continue;
+                    }
+                    let mut one = backing.clone();
+                    one[align + i] ^= 0x80;
+                    assert_kernel_matches(
+                        before,
+                        &one[align..],
+                        &format!("flip {i} len {len} align {align}"),
+                    );
+                }
+            }
+
+            // Runs straddling the unaligned head and tail: modify a window
+            // crossing the first and last word boundaries.
+            if len > 12 {
+                for (s, e) in [(0usize, 12usize), (len - 12, len), (5, len - 5)] {
+                    let mut w = backing.clone();
+                    for b in &mut w[align + s..align + e] {
+                        *b ^= 0xFF;
+                    }
+                    assert_kernel_matches(
+                        before,
+                        &w[align..],
+                        &format!("window {s}..{e} len {len} align {align}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_matches_scalar_sparse_word_patterns() {
+    // Alternating equal/unequal bytes inside single words defeat bulk-skip
+    // shortcuts; sweep a handful of fixed masks across a full page.
+    for mask in [0xAAu8, 0x11, 0x01, 0x80, 0xFF] {
+        let before = vec![0u8; PAGE_SIZE];
+        let mut after = before.clone();
+        for (i, b) in after.iter_mut().enumerate() {
+            if mask & (1 << (i % 8)) != 0 {
+                *b = 1;
+            }
+        }
+        assert_kernel_matches(&before, &after, &format!("mask {mask:#x}"));
+    }
 }
 
 #[test]

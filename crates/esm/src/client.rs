@@ -20,7 +20,7 @@ use qs_sim::Meter;
 use qs_storage::Page;
 use qs_trace::{TraceCat, Tracer};
 use qs_types::{ClientId, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
-use qs_wal::LogRecord;
+use qs_wal::{record, LogRecord};
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -32,9 +32,11 @@ pub struct ClientConn {
     pool: BufferPool,
     meter: Arc<Meter>,
     txn: Option<TxnId>,
-    /// Outgoing log-record buffer (ESM/REDO flavors).
-    log_buf: Vec<LogRecord>,
-    log_buf_bytes: usize,
+    /// Outgoing log buffer (ESM/REDO flavors): already-encoded record
+    /// frames, built in place by the QuickStore commit path and shipped
+    /// page-at-a-time. Reused across transactions, so steady-state
+    /// commits never allocate here.
+    log_buf: Vec<u8>,
     /// Pages this transaction has generated (or declared) log records for.
     pages_logged: HashSet<PageId>,
     /// Shared with the server: a traced server's clients trace too.
@@ -52,7 +54,6 @@ impl ClientConn {
             meter,
             txn: None,
             log_buf: Vec::new(),
-            log_buf_bytes: 0,
             pages_logged: HashSet::new(),
             tracer,
         }
@@ -213,29 +214,45 @@ impl ClientConn {
 
     // -- log-record shipping (ESM / REDO flavors) ---------------------------
 
-    /// Queue log records describing updates to `pid`. Ships full pages of
-    /// records as the buffer fills.
-    pub fn add_log_records(&mut self, pid: PageId, records: Vec<LogRecord>) -> QsResult<()> {
+    /// Queue a batch of already-encoded log records describing updates to
+    /// `pid` (the allocation-free path: the QuickStore commit path builds
+    /// `batch` with `qs_wal::RecordWriter` in a reused scratch buffer).
+    /// Ships full pages of records as the buffer fills.
+    pub fn add_encoded_records(&mut self, pid: PageId, batch: &[u8]) -> QsResult<()> {
         let txn = self.txn()?;
         if self.flavor() == RecoveryFlavor::Wpl {
             return Err(QsError::Protocol { detail: "WPL generates no client log records".into() });
         }
         self.pages_logged.insert(pid);
         self.server.note_page_logged(txn, pid)?;
-        for r in records {
+        let mut at = 0usize;
+        while at < batch.len() {
+            let len = record::frame_len(&batch[at..])?;
+            let frame = &batch[at..at + len];
             self.meter.log_records_generated.fetch_add(1, Ordering::Relaxed);
-            if let LogRecord::Update { before, after, .. } = &r {
+            if record::frame_tag(frame) == 1 {
                 self.meter
                     .log_image_bytes
-                    .fetch_add((before.len() + after.len()) as u64, Ordering::Relaxed);
+                    .fetch_add(record::frame_update_image_bytes(frame), Ordering::Relaxed);
             }
-            self.log_buf_bytes += r.encoded_len();
-            self.log_buf.push(r);
-            if self.log_buf_bytes >= PAGE_SIZE {
+            self.log_buf.extend_from_slice(frame);
+            if self.log_buf.len() >= PAGE_SIZE {
                 self.ship_log_page(false)?;
             }
+            at += len;
         }
         Ok(())
+    }
+
+    /// Queue log records describing updates to `pid` (struct-level
+    /// convenience over [`ClientConn::add_encoded_records`]; tests and
+    /// non-hot-path callers).
+    pub fn add_log_records(&mut self, pid: PageId, records: Vec<LogRecord>) -> QsResult<()> {
+        let mut enc = Vec::new();
+        for r in &records {
+            enc.extend_from_slice(&r.encode());
+        }
+        self.add_encoded_records(pid, &enc)
     }
 
     fn ship_log_page(&mut self, partial: bool) -> QsResult<()> {
@@ -243,13 +260,12 @@ impl ClientConn {
         if self.log_buf.is_empty() {
             return Ok(());
         }
-        // Take records summing to ≤ one page (at least one record). Count
-        // first, then drain the prefix in one pass — draining one-by-one
-        // from the front is quadratic in the buffered record count.
+        // Take record frames summing to ≤ one page (at least one record),
+        // then ship that prefix and drain it in one pass.
         let mut count = 0usize;
         let mut bytes = 0usize;
-        for r in &self.log_buf {
-            let rl = r.encoded_len();
+        while bytes < self.log_buf.len() {
+            let rl = record::frame_len(&self.log_buf[bytes..])?;
             if count > 0 && bytes + rl > PAGE_SIZE {
                 break;
             }
@@ -259,8 +275,6 @@ impl ClientConn {
                 break;
             }
         }
-        let batch: Vec<_> = self.log_buf.drain(..count).collect();
-        self.log_buf_bytes -= bytes.min(self.log_buf_bytes);
         if partial && bytes < PAGE_SIZE {
             net::partial_upload(&self.meter, bytes as u64);
         } else {
@@ -268,13 +282,14 @@ impl ClientConn {
         }
         self.meter.log_record_pages_shipped.fetch_add(1, Ordering::Relaxed);
         self.tracer.event(TraceCat::Ship, "log_page", txn.0, bytes as u64);
-        self.server.receive_log_records(txn, batch)?;
+        self.server.receive_log_bytes(txn, &self.log_buf[..bytes])?;
+        self.log_buf.drain(..bytes);
         Ok(())
     }
 
     /// Flush every buffered log record (ships the final partial page).
     pub fn flush_log(&mut self) -> QsResult<()> {
-        while self.log_buf_bytes >= PAGE_SIZE {
+        while self.log_buf.len() >= PAGE_SIZE {
             self.ship_log_page(false)?;
         }
         if !self.log_buf.is_empty() {
@@ -363,7 +378,6 @@ impl ClientConn {
     pub fn abort(&mut self) -> QsResult<()> {
         let txn = self.txn()?;
         self.log_buf.clear();
-        self.log_buf_bytes = 0;
         for pid in self.pool.dirty_pages() {
             self.pool.remove(pid);
         }

@@ -50,7 +50,7 @@ use qs_storage::{MemDisk, Page, StableMedia, Volume};
 use qs_trace::{FlightRecording, PhaseStat, RestartReport, TraceCat, TracedMutex, Tracer};
 use qs_types::sync::Mutex;
 use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
-use qs_wal::{CheckpointBody, LogManager, LogRecord};
+use qs_wal::{record, CheckpointBody, LogManager, LogRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -663,6 +663,54 @@ impl Server {
                     self.apply_redo_hot(&rec, lsn)?;
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Byte-frame twin of [`Server::receive_log_records`]: the client ships
+    /// already-encoded records (built by `qs_wal::RecordWriter`), and the
+    /// backward chain is patched *in place* on append
+    /// ([`qs_wal::LogManager::append_rechained`]) — the hot path never
+    /// decodes or re-encodes a record. Semantics and WAL bytes are
+    /// identical to the record-struct path.
+    pub fn receive_log_bytes(&self, txn: TxnId, batch: &[u8]) -> QsResult<()> {
+        if self.cfg.flavor == RecoveryFlavor::Wpl {
+            return Err(QsError::Protocol {
+                detail: "WPL clients do not generate log records".into(),
+            });
+        }
+        self.txns.lock(&self.tracer).active_mut(txn)?;
+        let mut at = 0usize;
+        while at < batch.len() {
+            let len = record::frame_len(&batch[at..])?;
+            let frame = &batch[at..at + len];
+            if record::frame_txn(frame) != txn {
+                return Err(QsError::Protocol {
+                    detail: format!("record for {} shipped by {txn}", record::frame_txn(frame)),
+                });
+            }
+            let mut txns = self.txns.lock(&self.tracer);
+            // Mirror `rechain`: only update/whole-page/page-alloc records
+            // get the transaction's backward chain; any other tag keeps
+            // the prev it was shipped with.
+            let prev = match record::frame_tag(frame) {
+                1..=3 => txns.get(txn)?.last_lsn,
+                _ => record::frame_prev(frame),
+            };
+            let lsn = self.log.wal().append_rechained(frame, prev)?;
+            txns.active_mut(txn)?.note_logged(lsn);
+            if let Some(pid) = record::frame_page(frame) {
+                txns.active_mut(txn)?.pages_logged.insert(pid);
+                drop(txns);
+                self.dpt.lock(&self.tracer).entry(pid).or_insert(lsn);
+                if self.cfg.flavor == RecoveryFlavor::RedoAtServer {
+                    // Redo application is off the allocation-free path by
+                    // design; decoding per record is fine here.
+                    let rec = LogRecord::decode(frame)?;
+                    self.apply_redo_hot(&rec, lsn)?;
+                }
+            }
+            at += len;
         }
         Ok(())
     }

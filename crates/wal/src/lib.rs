@@ -20,7 +20,9 @@
 pub mod group;
 pub mod log;
 pub mod record;
+pub mod writer;
 
 pub use group::{GroupCommitter, GroupOutcome};
 pub use log::{ForceStats, LogManager};
 pub use record::{CheckpointBody, LogRecord, WplCheckpointEntry};
+pub use writer::RecordWriter;

@@ -181,6 +181,25 @@ impl LogManager {
         Ok(lsn)
     }
 
+    /// Append one already-encoded record, rewriting its `prev` LSN in
+    /// place (clients ship records with `prev = NULL`; the server chains
+    /// them here without re-encoding). Returns the record's LSN.
+    pub fn append_rechained(&self, rec: &[u8], prev: Lsn) -> QsResult<Lsn> {
+        let mut st = self.state.lock();
+        let used = (st.tail.0 - st.start.0) as usize;
+        if used + rec.len() > self.body_capacity {
+            return Err(QsError::LogFull { capacity: self.body_capacity, need: rec.len() });
+        }
+        let lsn = st.tail;
+        let at = st.buffer.len();
+        st.buffer.extend_from_slice(rec);
+        crate::record::frame_set_prev(&mut st.buffer[at..at + rec.len()], prev);
+        st.tail = st.tail.advance(rec.len());
+        drop(st);
+        self.tracer.event(TraceCat::WalAppend, "append", lsn.0, rec.len() as u64);
+        Ok(lsn)
+    }
+
     /// Make everything up to **and including** the record starting at
     /// `upto` durable. (Forcing `tail_lsn()` forces the whole buffer.)
     /// This is the WAL hook: stealing a page with pageLSN `l` calls
@@ -422,6 +441,24 @@ mod tests {
             before: vec![0; 8],
             after: vec![val; 8],
         }
+    }
+
+    #[test]
+    fn append_rechained_equals_append_with_prev_set() {
+        let (_m, a) = fresh(1 << 16);
+        let (_m2, b) = fresh(1 << 16);
+        // Path A: encode with prev=NULL (as a client would), rechain on append.
+        let client_bytes = update(1, 10, 7).encode();
+        let la = a.append_rechained(&client_bytes, Lsn(123)).unwrap();
+        // Path B: the old route — build the record with prev already set.
+        let mut rec = update(1, 10, 7);
+        if let LogRecord::Update { prev, .. } = &mut rec {
+            *prev = Lsn(123);
+        }
+        let lb = b.append(&rec).unwrap();
+        assert_eq!(la, lb);
+        assert_eq!(a.read_record(la).unwrap(), b.read_record(lb).unwrap());
+        assert_eq!(a.read_record(la).unwrap().0.prev(), Lsn(123));
     }
 
     #[test]

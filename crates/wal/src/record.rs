@@ -19,9 +19,11 @@
 use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, LOG_HEADER_SIZE, PAGE_SIZE};
 
 /// Fixed bytes before the body: len(4) + cksum(4) + tag(1) + txn(8) + prev(8).
-const PREFIX: usize = 25;
+pub(crate) const PREFIX: usize = 25;
 /// Trailer bytes: the repeated length.
-const TRAILER: usize = 4;
+pub(crate) const TRAILER: usize = 4;
+/// Byte range of the `prev` LSN within an encoded record.
+pub(crate) const PREV_RANGE: std::ops::Range<usize> = 17..25;
 
 /// FNV-1a, used as a lightweight corruption check on log records.
 pub fn fnv1a(bytes: &[u8]) -> u32 {
@@ -203,6 +205,28 @@ impl LogRecord {
         b
     }
 
+    /// Body length in bytes, computed arithmetically — must agree with
+    /// `body_bytes().len()` for every variant (asserted by tests). Keeping
+    /// this allocation-free matters: the commit path calls
+    /// [`LogRecord::encoded_len`] per record per page.
+    fn body_len(&self) -> usize {
+        match self {
+            LogRecord::Update { before, after, .. } => 12 + before.len() + after.len(),
+            LogRecord::WholePage { .. } => 4 + PAGE_SIZE,
+            LogRecord::PageAlloc { .. } => 4,
+            LogRecord::Commit { .. } | LogRecord::Abort { .. } => 0,
+            LogRecord::Clr { after, .. } => 18 + after.len(),
+            LogRecord::Checkpoint { body } => {
+                4 + 16 * body.active_txns.len()
+                    + 4
+                    + 12 * body.dirty_pages.len()
+                    + 4
+                    + 21 * body.wpl_entries.len()
+                    + 8
+            }
+        }
+    }
+
     /// The record's "variable payload" for the paper's accounting model:
     /// before/after images for updates, the full page for whole-page
     /// records, the table entries for checkpoints.
@@ -211,15 +235,16 @@ impl LogRecord {
             LogRecord::Update { before, after, .. } => before.len() + after.len(),
             LogRecord::WholePage { .. } => PAGE_SIZE,
             LogRecord::Clr { after, .. } => after.len() + 8,
-            LogRecord::Checkpoint { .. } => self.body_bytes().len(),
+            LogRecord::Checkpoint { .. } => self.body_len(),
             _ => 0,
         }
     }
 
     /// Encoded size: exactly `LOG_HEADER_SIZE + variable payload` (§3.2.2's
-    /// model), never smaller than the wire fields require.
+    /// model), never smaller than the wire fields require. Pure arithmetic
+    /// — no temporary encode, no allocation.
     pub fn encoded_len(&self) -> usize {
-        let wire = PREFIX + self.body_bytes().len() + TRAILER;
+        let wire = PREFIX + self.body_len() + TRAILER;
         wire.max(LOG_HEADER_SIZE + self.variable_payload())
     }
 
@@ -315,6 +340,77 @@ impl LogRecord {
         };
         Ok(rec)
     }
+}
+
+// ---------------------------------------------------------------------
+// Frame helpers: operate on *encoded* records without decoding them.
+// The client batches encoded records back-to-back in one scratch buffer
+// and the server re-chains `prev` in place; neither side materializes a
+// `LogRecord` on the steady-state commit path.
+// ---------------------------------------------------------------------
+
+/// Length of the encoded record starting at `bytes[0]`, validated to lie
+/// fully within `bytes`.
+pub fn frame_len(bytes: &[u8]) -> QsResult<usize> {
+    if bytes.len() < PREFIX + TRAILER {
+        return Err(QsError::LogCorrupt { detail: "frame shorter than fixed header".into() });
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    if len < PREFIX + TRAILER || len > bytes.len() {
+        return Err(QsError::LogCorrupt {
+            detail: format!("frame length {len} outside buffer of {}", bytes.len()),
+        });
+    }
+    Ok(len)
+}
+
+/// Transaction id of the encoded record starting at `bytes[0]`.
+pub fn frame_txn(bytes: &[u8]) -> TxnId {
+    TxnId(u64::from_le_bytes(bytes[9..17].try_into().unwrap()))
+}
+
+/// Record tag of the encoded record starting at `bytes[0]`.
+pub fn frame_tag(bytes: &[u8]) -> u8 {
+    bytes[8]
+}
+
+/// The `prev` LSN of the encoded record starting at `bytes[0]`.
+pub fn frame_prev(bytes: &[u8]) -> Lsn {
+    Lsn(u64::from_le_bytes(bytes[PREV_RANGE].try_into().unwrap()))
+}
+
+/// The page an encoded record touches, if any (tags with a leading page
+/// field in the body: update, whole-page, page-alloc, CLR).
+pub fn frame_page(bytes: &[u8]) -> Option<PageId> {
+    match bytes[8] {
+        1 | 2 | 3 | 6 => {
+            Some(PageId(u32::from_le_bytes(bytes[PREFIX..PREFIX + 4].try_into().unwrap())))
+        }
+        _ => None,
+    }
+}
+
+/// For an encoded update record, `before.len() + after.len()` (the
+/// paper's log-image bytes); 0 for every other tag.
+pub fn frame_update_image_bytes(bytes: &[u8]) -> u64 {
+    if bytes[8] != 1 {
+        return 0;
+    }
+    let blen = u16::from_le_bytes(bytes[PREFIX + 8..PREFIX + 10].try_into().unwrap()) as u64;
+    let alen = u16::from_le_bytes(bytes[PREFIX + 10..PREFIX + 12].try_into().unwrap()) as u64;
+    blen + alen
+}
+
+/// Rewrite the `prev` LSN of one encoded record in place and fix its
+/// checksum. Clients encode records with `prev = NULL` (they cannot know
+/// the transaction's backward chain); the server patches the real value
+/// here — the result is byte-identical to encoding with `prev` set.
+pub fn frame_set_prev(bytes: &mut [u8], prev: Lsn) {
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    debug_assert_eq!(len, bytes.len(), "frame_set_prev wants exactly one record");
+    bytes[PREV_RANGE].copy_from_slice(&prev.0.to_le_bytes());
+    let ck = fnv1a(&bytes[8..len - TRAILER]);
+    bytes[4..8].copy_from_slice(&ck.to_le_bytes());
 }
 
 /// Minimal cursor over a byte slice.
@@ -464,6 +560,127 @@ mod tests {
         enc[4..8].copy_from_slice(&ck.to_le_bytes());
         let err = LogRecord::decode(&enc).unwrap_err();
         assert!(err.to_string().contains("unknown record tag"));
+    }
+
+    fn every_variant() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Update {
+                txn: TxnId(7),
+                prev: Lsn(100),
+                page: PageId(3),
+                slot: 2,
+                offset: 16,
+                before: vec![1; 7],
+                after: vec![2; 7],
+            },
+            LogRecord::Update {
+                txn: TxnId(7),
+                prev: Lsn::NULL,
+                page: PageId(3),
+                slot: 0,
+                offset: 0,
+                before: vec![],
+                after: vec![],
+            },
+            LogRecord::WholePage {
+                txn: TxnId(1),
+                prev: Lsn(9),
+                page: PageId(9),
+                image: vec![3; PAGE_SIZE],
+            },
+            LogRecord::PageAlloc { txn: TxnId(5), prev: Lsn(44), page: PageId(77) },
+            LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) },
+            LogRecord::Abort { txn: TxnId(5), prev: Lsn(44) },
+            LogRecord::Clr {
+                txn: TxnId(5),
+                prev: Lsn(44),
+                page: PageId(8),
+                slot: 0,
+                offset: 4,
+                after: vec![9; 16],
+                undo_next: Lsn(12),
+            },
+            LogRecord::Checkpoint { body: CheckpointBody::default() },
+            LogRecord::Checkpoint {
+                body: CheckpointBody {
+                    active_txns: vec![(TxnId(1), Lsn(10))],
+                    dirty_pages: vec![(PageId(5), Lsn(8)), (PageId(6), Lsn(9))],
+                    wpl_entries: vec![WplCheckpointEntry {
+                        page: PageId(3),
+                        lsn: Lsn(99),
+                        txn: TxnId(1),
+                        committed: true,
+                    }],
+                    allocated_pages: 1234,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn encoded_len_is_pure_arithmetic_for_every_variant() {
+        // encoded_len must never encode; it and encode() are maintained
+        // in parallel, so pin their agreement across all variants
+        // (including the per-record tracer call site in store.rs).
+        for r in every_variant() {
+            assert_eq!(r.encoded_len(), r.encode().len(), "{r:?}");
+            assert_eq!(r.body_len(), r.body_bytes().len(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn frame_helpers_agree_with_decode() {
+        for r in every_variant() {
+            let enc = r.encode();
+            assert_eq!(frame_len(&enc).unwrap(), enc.len(), "{r:?}");
+            assert_eq!(frame_txn(&enc), r.txn(), "{r:?}");
+            assert_eq!(frame_page(&enc), r.page(), "{r:?}");
+            let expect = match &r {
+                LogRecord::Update { before, after, .. } => (before.len() + after.len()) as u64,
+                _ => 0,
+            };
+            assert_eq!(frame_update_image_bytes(&enc), expect, "{r:?}");
+        }
+        assert!(frame_len(&[0u8; 4]).is_err());
+        // A length prefix past the buffer is rejected.
+        let mut enc = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) }.encode();
+        let bogus = (enc.len() as u32 + 1).to_le_bytes();
+        enc[0..4].copy_from_slice(&bogus);
+        assert!(frame_len(&enc).is_err());
+    }
+
+    #[test]
+    fn frame_set_prev_matches_reencoding() {
+        for r in every_variant() {
+            if matches!(r, LogRecord::Checkpoint { .. }) {
+                continue; // checkpoints have no prev
+            }
+            let mut enc = r.encode();
+            frame_set_prev(&mut enc, Lsn(0xFEED));
+            let want = Self_with_prev(&r, Lsn(0xFEED)).encode();
+            assert_eq!(enc, want, "{r:?}");
+            assert_eq!(LogRecord::decode(&enc).unwrap().prev(), Lsn(0xFEED));
+        }
+    }
+
+    /// Rebuild `r` with `prev` replaced (mirror of the server's rechain).
+    #[allow(non_snake_case)]
+    fn Self_with_prev(r: &LogRecord, prev: Lsn) -> LogRecord {
+        match r.clone() {
+            LogRecord::Update { txn, page, slot, offset, before, after, .. } => {
+                LogRecord::Update { txn, prev, page, slot, offset, before, after }
+            }
+            LogRecord::WholePage { txn, page, image, .. } => {
+                LogRecord::WholePage { txn, prev, page, image }
+            }
+            LogRecord::PageAlloc { txn, page, .. } => LogRecord::PageAlloc { txn, prev, page },
+            LogRecord::Commit { txn, .. } => LogRecord::Commit { txn, prev },
+            LogRecord::Abort { txn, .. } => LogRecord::Abort { txn, prev },
+            LogRecord::Clr { txn, page, slot, offset, after, undo_next, .. } => {
+                LogRecord::Clr { txn, prev, page, slot, offset, after, undo_next }
+            }
+            c @ LogRecord::Checkpoint { .. } => c,
+        }
     }
 
     #[test]

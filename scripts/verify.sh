@@ -52,8 +52,8 @@ fi
 [ "$audit_failed" -eq 0 ] || exit 1
 echo "dependency audit: OK (all dependencies are internal path deps)"
 
-echo "== clippy (esm + wal), warnings are errors =="
-cargo clippy -q --offline -p qs-esm -p qs-wal -- -D warnings
+echo "== clippy (core + storage + esm + wal), warnings are errors =="
+cargo clippy -q --offline -p quickstore -p qs-storage -p qs-esm -p qs-wal -- -D warnings
 
 echo "== concurrency tests under a deadlock watchdog =="
 # The multi-client / group-commit / shard-independence tests exercise the
@@ -69,5 +69,15 @@ done
 
 echo "== trace binary smoke run =="
 cargo run --release --offline -p qs-bench --bin trace > /dev/null
+
+echo "== micro benchmark smoke run =="
+# --smoke shrinks the batches so this is a harness/JSON regression check,
+# not a measurement; --validate asserts BENCH_micro.json parses and covers
+# every expected benchmark name.
+micro_dir=$(mktemp -d)
+(cd "$micro_dir" && "$OLDPWD/target/release/micro" --smoke > /dev/null)
+cargo run --release --offline -p qs-bench --bin micro -- \
+    --validate "$micro_dir/BENCH_micro.json"
+rm -rf "$micro_dir"
 
 echo "== verify: all green =="
