@@ -1,7 +1,19 @@
 //! Regenerates every table and figure of the paper in one run, writing
 //! each to stdout and to `results/<name>.txt`.
+//!
+//! All jobs always run: a failure no longer aborts the remaining figures —
+//! failures are collected, reported together at the end, and the process
+//! exits non-zero once. Output and `results/` files are emitted in the
+//! canonical job order regardless of completion order, so the committed
+//! artifacts are byte-identical for any `--jobs` value.
+//!
+//! Flags:
+//!   --jobs N    run up to N figure jobs concurrently (default 1: the
+//!               serial order the committed results/ were produced with)
 
 use std::fs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 type FigureFn = fn() -> qs_types::QsResult<String>;
@@ -20,19 +32,58 @@ fn main() {
         ("fig15_16", qs_bench::figures::fig15_16),
         ("fig17_18", qs_bench::figures::fig17_18),
     ];
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = match args.iter().position(|a| a == "--jobs") {
+        Some(pos) => match args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n.min(jobs.len()),
+            _ => {
+                eprintln!("usage: all_figures [--jobs N]");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+
     fs::create_dir_all("results").ok();
-    for (name, f) in jobs {
-        let t0 = Instant::now();
-        match f() {
+
+    // Work-stealing over the job list; each slot collects one job's
+    // outcome so results can be emitted in canonical order afterwards.
+    type Outcome = (qs_types::QsResult<String>, f64);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Outcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, f)) = jobs.get(i) else { break };
+                let t0 = Instant::now();
+                let out = f();
+                *slots[i].lock().unwrap() = Some((out, t0.elapsed().as_secs_f64()));
+            });
+        }
+    });
+
+    let mut failures: Vec<(&str, String)> = Vec::new();
+    for ((name, _), slot) in jobs.iter().zip(&slots) {
+        let (out, secs) = slot.lock().unwrap().take().expect("every job ran");
+        match out {
             Ok(s) => {
                 println!("{s}");
-                println!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+                println!("[{name} done in {secs:.1}s]\n");
                 fs::write(format!("results/{name}.txt"), &s).ok();
             }
             Err(e) => {
-                eprintln!("{name} failed: {e}");
-                std::process::exit(1);
+                eprintln!("{name} failed after {secs:.1}s: {e}");
+                failures.push((name, e.to_string()));
             }
         }
+    }
+    if !failures.is_empty() {
+        eprintln!("{} of {} figure jobs failed:", failures.len(), jobs.len());
+        for (name, e) in &failures {
+            eprintln!("  {name}: {e}");
+        }
+        std::process::exit(1);
     }
 }

@@ -354,159 +354,13 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// `--validate`: a minimal JSON syntax check (the workspace is hermetic, so
-// no parser crate exists) plus coverage of EXPECTED_NAMES.
-
-/// Validate that `text` is a syntactically well-formed JSON value.
-/// Recursive-descent over the RFC 8259 grammar; returns the byte offset
-/// where parsing failed.
-fn check_json(text: &str) -> Result<(), usize> {
-    let b = text.as_bytes();
-    let mut i = 0usize;
-    skip_ws(b, &mut i);
-    check_value(b, &mut i)?;
-    skip_ws(b, &mut i);
-    if i == b.len() {
-        Ok(())
-    } else {
-        Err(i)
-    }
-}
-
-fn skip_ws(b: &[u8], i: &mut usize) {
-    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
-        *i += 1;
-    }
-}
-
-fn check_value(b: &[u8], i: &mut usize) -> Result<(), usize> {
-    match b.get(*i) {
-        Some(b'{') => {
-            *i += 1;
-            skip_ws(b, i);
-            if b.get(*i) == Some(&b'}') {
-                *i += 1;
-                return Ok(());
-            }
-            loop {
-                skip_ws(b, i);
-                check_string(b, i)?;
-                skip_ws(b, i);
-                if b.get(*i) != Some(&b':') {
-                    return Err(*i);
-                }
-                *i += 1;
-                skip_ws(b, i);
-                check_value(b, i)?;
-                skip_ws(b, i);
-                match b.get(*i) {
-                    Some(b',') => *i += 1,
-                    Some(b'}') => {
-                        *i += 1;
-                        return Ok(());
-                    }
-                    _ => return Err(*i),
-                }
-            }
-        }
-        Some(b'[') => {
-            *i += 1;
-            skip_ws(b, i);
-            if b.get(*i) == Some(&b']') {
-                *i += 1;
-                return Ok(());
-            }
-            loop {
-                skip_ws(b, i);
-                check_value(b, i)?;
-                skip_ws(b, i);
-                match b.get(*i) {
-                    Some(b',') => *i += 1,
-                    Some(b']') => {
-                        *i += 1;
-                        return Ok(());
-                    }
-                    _ => return Err(*i),
-                }
-            }
-        }
-        Some(b'"') => check_string(b, i),
-        Some(b't') => check_lit(b, i, b"true"),
-        Some(b'f') => check_lit(b, i, b"false"),
-        Some(b'n') => check_lit(b, i, b"null"),
-        Some(c) if *c == b'-' || c.is_ascii_digit() => {
-            let start = *i;
-            if b.get(*i) == Some(&b'-') {
-                *i += 1;
-            }
-            let digits0 = *i;
-            while *i < b.len() && b[*i].is_ascii_digit() {
-                *i += 1;
-            }
-            if *i == digits0 {
-                return Err(start);
-            }
-            if b.get(*i) == Some(&b'.') {
-                *i += 1;
-                let frac0 = *i;
-                while *i < b.len() && b[*i].is_ascii_digit() {
-                    *i += 1;
-                }
-                if *i == frac0 {
-                    return Err(*i);
-                }
-            }
-            if matches!(b.get(*i), Some(b'e') | Some(b'E')) {
-                *i += 1;
-                if matches!(b.get(*i), Some(b'+') | Some(b'-')) {
-                    *i += 1;
-                }
-                let exp0 = *i;
-                while *i < b.len() && b[*i].is_ascii_digit() {
-                    *i += 1;
-                }
-                if *i == exp0 {
-                    return Err(*i);
-                }
-            }
-            Ok(())
-        }
-        _ => Err(*i),
-    }
-}
-
-fn check_string(b: &[u8], i: &mut usize) -> Result<(), usize> {
-    if b.get(*i) != Some(&b'"') {
-        return Err(*i);
-    }
-    *i += 1;
-    while let Some(&c) = b.get(*i) {
-        match c {
-            b'"' => {
-                *i += 1;
-                return Ok(());
-            }
-            b'\\' => {
-                *i += 2;
-            }
-            _ => *i += 1,
-        }
-    }
-    Err(*i)
-}
-
-fn check_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
-    if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
-        *i += lit.len();
-        Ok(())
-    } else {
-        Err(*i)
-    }
-}
+// `--validate`: JSON well-formedness (shared checker in
+// `qs_bench::jsoncheck`) plus coverage of EXPECTED_NAMES.
 
 fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    check_json(&text).map_err(|at| format!("{path}: malformed JSON at byte {at}"))?;
+    qs_bench::jsoncheck::check_json(&text)
+        .map_err(|at| format!("{path}: malformed JSON at byte {at}"))?;
     let mut missing = Vec::new();
     for name in EXPECTED_NAMES {
         // The writer escapes nothing in these names (no quotes/backslashes),

@@ -1,0 +1,292 @@
+//! Restart (crash-recovery) wall-clock benchmark: how long does the
+//! server take to come back after a crash, and how much does the parallel
+//! restart engine (`RestartConfig::redo_workers`) buy?
+//!
+//! For each recovery scheme (PD-ESM, PD-REDO, WPL): bulk-load a scaled
+//! OO7 database, run committed T2 update traversals until the log holds a
+//! target volume of recovery work, crash (dropping every piece of
+//! volatile state), then repeatedly restart from the same frozen media
+//! images with `redo_workers` ∈ {1, 2, 4, 8}, timing each restart
+//! end-to-end with a wall clock. `redo_workers = 1` runs the original
+//! serial recovery code, so the `workers_1` row *is* the pre-existing
+//! baseline, measured in the same binary.
+//!
+//! Every restart's per-phase work counts are asserted identical to the
+//! serial run — the speedup must come with identical recovery (the full
+//! bit-equivalence check lives in `tests/restart_equivalence.rs`).
+//!
+//! Results are written to `BENCH_restart.json` in the same shape as
+//! `BENCH_micro.json` (see EXPERIMENTS.md).
+//!
+//! Flags:
+//!   --smoke            tiny log target and fewer iterations: exercises
+//!                      the harness and JSON output only, the numbers are
+//!                      not meaningful
+//!   --validate <path>  parse a previously written BENCH_restart.json and
+//!                      assert it covers every scheme × worker count;
+//!                      exits non-zero on malformed or incomplete files
+
+use qs_esm::{ClientConn, Server, ServerConfig, StableParts};
+use qs_oo7::{generate, t2, Oo7Params, T2Mode};
+use qs_sim::{JsonWriter, Meter};
+use qs_storage::{MemDisk, StableMedia};
+use qs_types::ClientId;
+use quickstore::{Store, SystemConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker counts timed for every scheme. 1 is the serial engine.
+const WORKER_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// OO7 scaled for restart benchmarking: one module, big enough that T2
+/// traversals dirty dozens of pages, small enough that building the crash
+/// image is a fraction of the time spent restarting from it.
+fn bench_params() -> Oo7Params {
+    Oo7Params {
+        num_atomic_per_comp: 10,
+        num_conn_per_atomic: 3,
+        document_size: 500,
+        manual_size: 4096,
+        num_comp_per_module: 50,
+        num_assm_per_assm: 3,
+        num_assm_levels: 4,
+        num_comp_per_assm: 3,
+        num_modules: 1,
+    }
+}
+
+fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
+    let mut s =
+        ServerConfig::new(cfg.flavor).with_pool_mb(8.0).with_volume_pages(4096).with_log_mb(48.0);
+    // The bench wants the whole workload's log present at the crash, so
+    // restart has a large scan to chew through: keep watermark
+    // maintenance (checkpoint + truncate) from firing mid-run.
+    s.log_high_watermark = 0.95;
+    s
+}
+
+/// Byte image of a stable medium.
+fn image(media: &Arc<dyn StableMedia>) -> Vec<u8> {
+    let mut buf = vec![0u8; media.len()];
+    media.read_at(0, &mut buf).unwrap();
+    buf
+}
+
+/// A fresh medium holding the given image.
+fn disk_from(bytes: &[u8]) -> Arc<dyn StableMedia> {
+    let d = MemDisk::new(bytes.len());
+    d.write_at(0, bytes).unwrap();
+    Arc::new(d)
+}
+
+/// Frozen media images of a crashed server plus workload provenance.
+struct CrashImage {
+    data: Vec<u8>,
+    log: Vec<u8>,
+    log_used: usize,
+    rounds: usize,
+}
+
+/// Load OO7, then run committed T2 traversals (alternating the sparse A
+/// and dense B variants) until at least `target_log_bytes` of log exists,
+/// and crash.
+fn build_crash_image(
+    cfg: &SystemConfig,
+    scfg: &ServerConfig,
+    target_log_bytes: usize,
+) -> CrashImage {
+    let meter = Meter::new();
+    let server = Arc::new(Server::format(scfg.clone(), Arc::clone(&meter)).unwrap());
+    let db = generate(&server, &bench_params(), 11).unwrap();
+    let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    let mut store = Store::new(client, cfg.clone()).unwrap();
+    let mut rounds = 0usize;
+    while server.log_used_bytes() < target_log_bytes && rounds < 4000 {
+        store.begin().unwrap();
+        let mode = if rounds.is_multiple_of(2) { T2Mode::A } else { T2Mode::B };
+        t2(&mut store, &db.modules[0], mode).unwrap();
+        store.commit().unwrap();
+        rounds += 1;
+    }
+    let log_used = server.log_used_bytes();
+    drop(store);
+    let parts = Arc::try_unwrap(server).ok().expect("sole owner").crash();
+    CrashImage { data: image(&parts.data_media), log: image(&parts.log_media), log_used, rounds }
+}
+
+/// One phase's raw work counts: (name, records, log pages read, data
+/// reads, data writes) — the counts-identical assertion's unit.
+type PhaseCounts = (String, u64, u64, u64, u64);
+
+/// One timed restart: wall-clock nanoseconds plus the restart report's
+/// raw work counts (for the counts-identical assertion).
+fn timed_restart(img: &CrashImage, scfg: &ServerConfig, workers: usize) -> (f64, Vec<PhaseCounts>) {
+    let parts = StableParts {
+        data_media: disk_from(&img.data),
+        log_media: disk_from(&img.log),
+        flight: None,
+    };
+    let scfg = scfg.clone().with_redo_workers(workers);
+    let t0 = Instant::now();
+    let server = Server::restart(parts, scfg, Meter::new()).unwrap();
+    let ns = t0.elapsed().as_nanos() as f64;
+    let report = server.restart_report().expect("restart leaves a report");
+    let counts = report
+        .phases
+        .iter()
+        .map(|p| (p.name.to_string(), p.records, p.pages_read, p.data_reads, p.data_writes))
+        .collect();
+    (ns, counts)
+}
+
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn ns(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} µs", v / 1e3)
+    } else {
+        format!("{v:.1} ns")
+    }
+}
+
+fn render_json(results: &[BenchResult], smoke: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("benchmark", "restart")
+        .field_str("build", if cfg!(debug_assertions) { "debug" } else { "release" })
+        .key("smoke")
+        .bool(smoke)
+        .key("results")
+        .begin_array();
+    for r in results {
+        w.begin_object()
+            .field_str("name", &r.name)
+            .field_f64("median_ns", r.median_ns)
+            .field_f64("min_ns", r.min_ns)
+            .field_f64("max_ns", r.max_ns)
+            .end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+fn schemes() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::pd_esm().with_memory(8.0, 2.0),
+        SystemConfig::pd_redo().with_memory(8.0, 2.0),
+        SystemConfig::wpl().with_memory(8.0, 2.0),
+    ]
+}
+
+/// Every result name the harness emits, for `--validate`.
+fn expected_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for cfg in schemes() {
+        for &w in WORKER_COUNTS {
+            names.push(format!("restart/{}/workers_{w}", cfg.name()));
+        }
+    }
+    names
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    qs_bench::jsoncheck::check_json(&text)
+        .map_err(|at| format!("{path}: malformed JSON at byte {at}"))?;
+    let names = expected_names();
+    let missing: Vec<&String> =
+        names.iter().filter(|name| !text.contains(&format!("\"name\":\"{name}\""))).collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{path}: missing benchmark results: {missing:?}"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("usage: restart_bench --validate <BENCH_restart.json>");
+            std::process::exit(2);
+        };
+        match validate(path) {
+            Ok(()) => {
+                println!("{path}: ok ({} results covered)", expected_names().len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (target_log_bytes, iters) = if smoke { (192 << 10, 2) } else { (10 << 20, 5) };
+    println!(
+        "restart_bench: {} iterations per worker count (build: {}{})",
+        iters,
+        if cfg!(debug_assertions) { "DEBUG — use --release for real numbers" } else { "release" },
+        if smoke { ", SMOKE — numbers not meaningful" } else { "" }
+    );
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    for cfg in schemes() {
+        let name = cfg.name();
+        let scfg = server_cfg(&cfg);
+        let img = build_crash_image(&cfg, &scfg, target_log_bytes);
+        println!(
+            "-- {name}: crashed holding {:.1} MB of log after {} committed traversals --",
+            img.log_used as f64 / (1 << 20) as f64,
+            img.rounds
+        );
+
+        let mut baseline_counts: Option<Vec<PhaseCounts>> = None;
+        let mut medians: Vec<(usize, f64)> = Vec::new();
+        for &workers in WORKER_COUNTS {
+            let _ = timed_restart(&img, &scfg, workers); // warmup
+            let mut samples: Vec<f64> = Vec::with_capacity(iters);
+            for _ in 0..iters {
+                let (t, counts) = timed_restart(&img, &scfg, workers);
+                match &baseline_counts {
+                    None => baseline_counts = Some(counts),
+                    Some(base) => assert_eq!(
+                        &counts, base,
+                        "{name}: workers={workers} changed the restart phase counts"
+                    ),
+                }
+                samples.push(t);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = samples[samples.len() / 2];
+            let (min, max) = (samples[0], samples[samples.len() - 1]);
+            let rname = format!("restart/{name}/workers_{workers}");
+            println!(
+                "{rname:<36} median {:>12}  min {:>12}  max {:>12}",
+                ns(median),
+                ns(min),
+                ns(max)
+            );
+            medians.push((workers, median));
+            results.push(BenchResult { name: rname, median_ns: median, min_ns: min, max_ns: max });
+        }
+        let base = medians.iter().find(|&&(w, _)| w == 1).unwrap().1;
+        for &(w, m) in &medians {
+            if w != 1 {
+                println!("   workers_{w} vs workers_1: {:.2}x", base / m);
+            }
+        }
+    }
+    let json = render_json(&results, smoke);
+    std::fs::write("BENCH_restart.json", &json).expect("write BENCH_restart.json");
+    println!("wrote BENCH_restart.json ({} results)", results.len());
+}

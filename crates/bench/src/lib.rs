@@ -18,6 +18,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod jsoncheck;
 pub mod report;
 pub mod tracerun;
 

@@ -7,26 +7,50 @@
 //! redo is naturally idempotent; the pageLSN test merely avoids wasted
 //! work. Whole-page records (ESM's treatment of newly created pages) redo
 //! by image replacement.
+//!
+//! This module is the serial engine; `restart_par` runs the same
+//! algorithm with streamed log reads and page-partitioned redo workers
+//! when `RestartConfig::redo_workers > 1`, sharing [`Analysis`],
+//! [`apply_redo`], and [`undo_and_finish`] so the two paths cannot drift.
 
 use crate::server::Server;
 use crate::txn::TxnTable;
 use qs_storage::Page;
 use qs_trace::PhaseStat;
 use qs_types::{Lsn, PageId, QsResult, TxnId, PAGE_SIZE};
-use qs_wal::LogRecord;
-use std::collections::{HashMap, HashSet};
+use qs_wal::{LogReadCache, LogRecord};
+use std::collections::HashMap;
 
 /// What analysis learned from the log.
 #[derive(Debug, Default)]
-struct Analysis {
+pub(crate) struct Analysis {
     /// Loser candidates: txn → last LSN seen.
-    att: HashMap<TxnId, Lsn>,
+    pub(crate) att: HashMap<TxnId, Lsn>,
     /// Dirty-page table: page → recovery LSN.
-    dpt: HashMap<PageId, Lsn>,
+    pub(crate) dpt: HashMap<PageId, Lsn>,
     /// Highest transaction id seen (id assignment resumes above it).
-    max_txn: TxnId,
+    pub(crate) max_txn: TxnId,
     /// Highest page id + 1 implied by allocation records.
-    max_alloc: u64,
+    pub(crate) max_alloc: u64,
+}
+
+/// Apply one redoable record to a page image and stamp the pageLSN.
+/// Shared by the serial redo loop and the parallel redo workers.
+pub(crate) fn apply_redo(page: &mut Page, pid: PageId, rec: &LogRecord, lsn: Lsn) -> QsResult<()> {
+    match rec {
+        LogRecord::Update { slot, offset, after, .. }
+        | LogRecord::Clr { slot, offset, after, .. } => {
+            let obj = page.object_mut(pid, *slot)?;
+            let off = *offset as usize;
+            obj[off..off + after.len()].copy_from_slice(after);
+        }
+        LogRecord::WholePage { image, .. } => {
+            *page = Page::from_bytes(image)?;
+        }
+        _ => {}
+    }
+    page.set_lsn(lsn);
+    Ok(())
 }
 
 /// Run restart recovery. Called by [`Server::restart`] with a freshly
@@ -44,7 +68,6 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
             inner.log.tail_lsn().0.saturating_sub(scan_from.0).div_ceil(PAGE_SIZE as u64);
 
         let mut a = Analysis { max_txn: TxnId::INVALID, ..Analysis::default() };
-        let mut committed: HashSet<TxnId> = HashSet::new();
 
         // Seed from the checkpoint record (sharp checkpoints leave the DPT
         // empty, but the code stays general).
@@ -73,11 +96,7 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
                     a.max_txn = txn;
                 }
                 match &rec {
-                    LogRecord::Commit { .. } => {
-                        committed.insert(txn);
-                        a.att.remove(&txn);
-                    }
-                    LogRecord::Abort { .. } => {
+                    LogRecord::Commit { .. } | LogRecord::Abort { .. } => {
                         a.att.remove(&txn);
                     }
                     _ => {
@@ -123,23 +142,7 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
                 continue; // effect already on disk image
             }
             ph_redo.records += 1;
-            match &rec {
-                LogRecord::Update { slot, offset, after, .. } => {
-                    let obj = page.object_mut(pid, *slot)?;
-                    let off = *offset as usize;
-                    obj[off..off + after.len()].copy_from_slice(after);
-                }
-                LogRecord::Clr { slot, offset, after, .. } => {
-                    let obj = page.object_mut(pid, *slot)?;
-                    let off = *offset as usize;
-                    obj[off..off + after.len()].copy_from_slice(after);
-                }
-                LogRecord::WholePage { image, .. } => {
-                    *page = Page::from_bytes(image)?;
-                }
-                _ => {}
-            }
-            page.set_lsn(lsn);
+            apply_redo(page, pid, &rec, lsn)?;
         }
         // Install redone pages into the pool as dirty so undo sees them and
         // the post-restart checkpoint flushes them.
@@ -159,9 +162,21 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
         Ok(())
     })?;
 
-    // Undo pass: roll back losers with CLRs, then mark them aborted.
+    undo_and_finish(server, analysis.att, analysis.max_txn, &mut ph_undo)?;
+    Ok(vec![ph_analysis, ph_redo, ph_undo])
+}
+
+/// Undo pass plus restart epilogue, shared by the serial and parallel
+/// engines: roll back losers with CLRs, resume txn-id assignment, make the
+/// recovered state durable and truncate the log.
+pub(crate) fn undo_and_finish(
+    server: &Server,
+    att: HashMap<TxnId, Lsn>,
+    max_txn: TxnId,
+    ph_undo: &mut PhaseStat,
+) -> QsResult<()> {
     let losers: Vec<(TxnId, Lsn)> = {
-        let mut l: Vec<_> = analysis.att.into_iter().collect();
+        let mut l: Vec<_> = att.into_iter().collect();
         // Undo in reverse order of recency, mirroring ARIES' single
         // backward pass over all losers.
         l.sort_by_key(|&(_, lsn)| std::cmp::Reverse(lsn));
@@ -173,29 +188,31 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
         }
         Ok(())
     })?;
+    // One page cache across every loser chain: the random chain reads stop
+    // re-hitting the log disk per record, and the report counts distinct
+    // log pages actually fetched rather than one page per record undone.
+    let mut cache = LogReadCache::new();
     for (txn, last) in losers {
         server.with_quiesced(|inner| -> QsResult<()> {
-            let undone = server.undo_chain(inner, txn, last)?;
-            // Each undo re-reads the record (random log read) and applies a
-            // before-image; the report treats one record as one log read.
+            let undone = server.undo_chain(inner, txn, last, &mut cache)?;
             ph_undo.records += undone;
-            ph_undo.pages_read += undone;
             let prev = inner.txns.get(txn)?.last_lsn;
             inner.log.append(&LogRecord::Abort { txn, prev })?;
             inner.txns.remove(txn);
             Ok(())
         })?;
     }
+    ph_undo.pages_read = cache.pages_fetched();
 
     // Resume id assignment above everything seen, then make the recovered
     // state durable and truncate the log.
     server.with_quiesced(|inner| {
-        let resumed = TxnTable::resuming_after(analysis.max_txn);
+        let resumed = TxnTable::resuming_after(max_txn);
         // Preserve whichever is higher (restore() may already have bumped).
         if inner.txns.is_empty() {
             *inner.txns = resumed;
         }
     });
     server.checkpoint()?;
-    Ok(vec![ph_analysis, ph_redo, ph_undo])
+    Ok(())
 }

@@ -421,6 +421,7 @@ mod tests {
             log_low_watermark: 0.3,
             pool_shards: 1,
             group_commit: false,
+            restart: crate::server::RestartConfig::default(),
         };
         let meter = Meter::new();
         let server = Arc::new(Server::format(cfg, Arc::clone(&meter)).unwrap());
@@ -497,6 +498,7 @@ mod tests {
             log_low_watermark: 0.3,
             pool_shards: 1,
             group_commit: false,
+            restart: crate::server::RestartConfig::default(),
         };
         let s2 = Server::restart(server, cfg, Meter::new()).unwrap();
         let page = s2.read_page_for_test(pid).unwrap();

@@ -31,6 +31,7 @@ pub mod client;
 pub mod gate;
 pub mod lock;
 pub mod net;
+pub mod restart_par;
 pub mod server;
 pub mod shard;
 pub mod tower;
@@ -41,6 +42,6 @@ pub use buffer::{BufferPool, Evicted};
 pub use client::ClientConn;
 pub use gate::VolumeGate;
 pub use lock::{LockManager, LockMode};
-pub use server::{RecoveryFlavor, Server, ServerConfig, StableParts};
+pub use server::{RecoveryFlavor, RestartConfig, Server, ServerConfig, StableParts};
 pub use shard::ShardedPool;
 pub use tower::LogTower;

@@ -1,0 +1,516 @@
+//! Parallel, pipelined restart: the engine behind
+//! `RestartConfig::redo_workers > 1`.
+//!
+//! Both ARIES restart and the WPL backward-scan restart partition their
+//! per-page work by page id, using the same Fibonacci hash as the sharded
+//! buffer pool: every record touching a given page is routed to exactly
+//! one worker, so each worker applies its pages' records in LSN order
+//! with no cross-worker coordination. That invariant is all after-image
+//! redo needs — records for *different* pages commute, and within one
+//! page the worker sees log order (see DESIGN.md "Parallel restart
+//! pipeline").
+//!
+//! The pipeline has three stages, connected by bounded channels:
+//!
+//! 1. a reader thread streams the log in large aligned chunks
+//!    ([`qs_wal::stream_chunks`]), replacing the per-record
+//!    `scan_forward` — one lock acquisition and one media pass per chunk;
+//! 2. the router (the restart thread itself) walks each chunk's frames
+//!    using the cheap frame accessors — no decoding — and fans the
+//!    page-bearing frames out to workers;
+//! 3. N workers apply their frames straight out of the shared chunk
+//!    buffer to privately-owned page images, with no `LogRecord`
+//!    materialization and no per-record allocation.
+//!
+//! Each frame is checksum-verified exactly once per restart (the serial
+//! path verifies twice, once per scan): small frames during analysis,
+//! whole-page frames at the point of use — ARIES redo verifies the ones
+//! it applies, and the WPL merge verifies the images that win their page
+//! (every image the scan walks past gets its framing checked, but only
+//! installed images pay the 8 KB checksum).
+//!
+//! Workers return their resident sets and [`PhaseStat`] tallies, merged
+//! in worker-index order (and page-sorted for pool installation), so the
+//! recovered volume image, the restart report counts, and everything
+//! downstream are byte-identical for any worker count — `redo_workers = 1`
+//! runs the original serial modules instead, pinning the baseline.
+
+use crate::aries::{self, Analysis};
+use crate::server::{InnerView, Server};
+use crate::shard::shard_index;
+use crate::txn::TxnTable;
+use qs_storage::{Page, Volume};
+use qs_trace::PhaseStat;
+use qs_types::{Lsn, PageId, QsResult, TxnId, PAGE_SIZE};
+use qs_wal::record::{self, tag};
+use qs_wal::{stream_chunks, CheckpointBody, FrameRef, LogRecord};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+
+/// Bounded depth of the chunk and per-worker channels: deep enough to
+/// overlap reading, routing, and applying; shallow enough to cap memory
+/// at a few chunks per stage.
+const DEPTH: usize = 4;
+
+/// One batch of routed work: frames for one worker, all within `buf`.
+type WorkBatch = (Arc<Vec<u8>>, Vec<FrameRef>);
+
+/// Parallel ARIES restart (ESM / REDO flavors): streamed analysis,
+/// page-partitioned redo, then the shared undo pass. Phase counts and all
+/// recovered state match [`crate::aries::restart`] exactly.
+pub(crate) fn aries_restart(server: &Server, workers: usize) -> QsResult<Vec<PhaseStat>> {
+    let mut ph_analysis = PhaseStat { name: "analysis", ..PhaseStat::default() };
+    let mut ph_redo = PhaseStat { name: "redo", ..PhaseStat::default() };
+    let mut ph_undo = PhaseStat { name: "undo", ..PhaseStat::default() };
+    let chunk_bytes = server.config().restart.chunk_bytes;
+
+    let analysis =
+        server.with_quiesced(|view| streamed_analysis(view, chunk_bytes, &mut ph_analysis))?;
+    server
+        .with_quiesced(|view| parallel_redo(view, &analysis, workers, chunk_bytes, &mut ph_redo))?;
+    aries::undo_and_finish(server, analysis.att, analysis.max_txn, &mut ph_undo)?;
+    Ok(vec![ph_analysis, ph_redo, ph_undo])
+}
+
+/// Analysis over streamed chunks: same bookkeeping as the serial pass,
+/// but reading whole chunks and using the frame accessors instead of
+/// decoding every record. Whole-page frames (8 KB bodies) skip the
+/// checksum here — the redo workers decode every one of them (each lands
+/// in the DPT via its own page entry), so corruption still surfaces.
+fn streamed_analysis(
+    view: &mut InnerView<'_>,
+    chunk_bytes: usize,
+    ph: &mut PhaseStat,
+) -> QsResult<Analysis> {
+    let ck = view.log.checkpoint_lsn();
+    let scan_from = if ck.is_null() { view.log.start_lsn() } else { ck };
+    let end = view.log.tail_lsn();
+    ph.pages_read = end.0.saturating_sub(scan_from.0).div_ceil(PAGE_SIZE as u64);
+
+    let mut a = Analysis { max_txn: TxnId::INVALID, ..Analysis::default() };
+    if !ck.is_null() {
+        let (LogRecord::Checkpoint { body }, _) = view.log.read_record(ck)? else {
+            return Err(qs_types::QsError::RecoveryFailed {
+                detail: format!("no checkpoint record at {ck}"),
+            });
+        };
+        for (t, l) in body.active_txns {
+            a.att.insert(t, l);
+        }
+        for (p, l) in body.dirty_pages {
+            a.dpt.insert(p, l);
+        }
+        a.max_alloc = body.allocated_pages;
+    }
+
+    let log = view.log;
+    std::thread::scope(|s| -> QsResult<()> {
+        for chunk in stream_chunks(s, log, scan_from, end, chunk_bytes, DEPTH) {
+            let chunk = chunk?;
+            for r in &chunk.frames {
+                let bytes = chunk.frame(r);
+                let t = record::frame_tag(bytes);
+                if t != tag::WHOLE_PAGE {
+                    record::frame_verify(bytes)?;
+                }
+                ph.records += 1;
+                let txn = record::frame_txn(bytes);
+                if txn != TxnId::INVALID {
+                    if a.max_txn == TxnId::INVALID || txn.0 > a.max_txn.0 {
+                        a.max_txn = txn;
+                    }
+                    match t {
+                        tag::COMMIT | tag::ABORT => {
+                            a.att.remove(&txn);
+                        }
+                        _ => {
+                            a.att.insert(txn, r.lsn);
+                        }
+                    }
+                }
+                if let Some(page) = record::frame_page(bytes) {
+                    a.dpt.entry(page).or_insert(r.lsn);
+                    a.max_alloc = a.max_alloc.max(page.0 as u64 + 1);
+                }
+            }
+        }
+        Ok(())
+    })?;
+    view.volume.ensure_allocated(a.max_alloc as usize)?;
+    Ok(a)
+}
+
+/// What one redo worker produced: its phase tallies and its partition's
+/// redone pages, sorted by page id.
+struct RedoOutcome {
+    stats: PhaseStat,
+    resident: Vec<(PageId, Page)>,
+}
+
+/// Page-partitioned redo: route every page-bearing frame in
+/// `[redo_from, tail)` to `shard_index(page, workers)`, let each worker
+/// repeat history on its own pages, then install the merged resident set
+/// into the pool exactly as the serial loop does.
+fn parallel_redo(
+    view: &mut InnerView<'_>,
+    analysis: &Analysis,
+    workers: usize,
+    chunk_bytes: usize,
+    ph: &mut PhaseStat,
+) -> QsResult<()> {
+    let Some(&redo_from) = analysis.dpt.values().min() else {
+        return Ok(());
+    };
+    let end = view.log.tail_lsn();
+    ph.pages_read = end.0.saturating_sub(redo_from.0).div_ceil(PAGE_SIZE as u64);
+
+    let log = view.log;
+    let volume = view.volume;
+    let dpt = &analysis.dpt;
+    let outcomes = std::thread::scope(|s| -> QsResult<Vec<RedoOutcome>> {
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = sync_channel::<WorkBatch>(DEPTH);
+            txs.push(tx);
+            handles.push(s.spawn(move || redo_worker(rx, dpt, volume)));
+        }
+        let mut routed: Vec<Vec<FrameRef>> = vec![Vec::new(); workers];
+        let mut route_err = None;
+        'chunks: for chunk in stream_chunks(s, log, redo_from, end, chunk_bytes, DEPTH) {
+            let chunk = match chunk {
+                Ok(c) => c,
+                Err(e) => {
+                    route_err = Some(e);
+                    break;
+                }
+            };
+            for r in &chunk.frames {
+                if let Some(pid) = record::frame_page(chunk.frame(r)) {
+                    routed[shard_index(pid, workers)].push(*r);
+                }
+            }
+            for (w, refs) in routed.iter_mut().enumerate() {
+                if refs.is_empty() {
+                    continue;
+                }
+                if txs[w].send((Arc::clone(&chunk.buf), std::mem::take(refs))).is_err() {
+                    break 'chunks; // worker bailed with an error; join below
+                }
+            }
+        }
+        drop(txs);
+        let mut outs = Vec::with_capacity(workers);
+        for h in handles {
+            outs.push(h.join().expect("redo worker panicked")?);
+        }
+        match route_err {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    })?;
+
+    // Merge in worker-index order; install page-sorted so pool state and
+    // eviction write-backs are identical for every worker count.
+    let mut resident: Vec<(PageId, Page)> = Vec::new();
+    for o in outcomes {
+        ph.absorb(&o.stats);
+        resident.extend(o.resident);
+    }
+    resident.sort_by_key(|&(pid, _)| pid.0);
+    for (pid, page) in resident {
+        let ev = view.pool.insert(pid, page, true)?;
+        if let Some(ev) = ev {
+            if ev.dirty {
+                view.volume.write_page(ev.page_id, &ev.page)?;
+                ph.data_writes += 1;
+            }
+        }
+        view.dpt.insert(pid, redo_from);
+    }
+    Ok(())
+}
+
+/// One redo worker: repeat history on this partition's pages with the
+/// same DPT / recLSN / pageLSN filters as the serial loop, applying
+/// after-images straight from the shared chunk buffer — no `LogRecord`
+/// materialization, no per-record allocation. Small frames were already
+/// checksum-verified by the streamed analysis pass; whole-page frames
+/// (which analysis skips) are verified here, so every frame is verified
+/// exactly once per restart.
+fn redo_worker(
+    rx: Receiver<WorkBatch>,
+    dpt: &HashMap<PageId, Lsn>,
+    volume: &Volume,
+) -> QsResult<RedoOutcome> {
+    let mut stats = PhaseStat { name: "redo", ..PhaseStat::default() };
+    let mut resident: HashMap<PageId, Page> = HashMap::new();
+    for (buf, refs) in rx {
+        for r in refs {
+            let bytes = &buf[r.offset as usize..(r.offset + r.len) as usize];
+            let pid = record::frame_page(bytes).expect("router only sends page-bearing frames");
+            let Some(&rec_lsn) = dpt.get(&pid) else { continue };
+            if r.lsn < rec_lsn {
+                continue;
+            }
+            let page = match resident.entry(pid) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    stats.data_reads += 1;
+                    e.insert(volume.read_page(pid)?)
+                }
+            };
+            if page.lsn() >= r.lsn {
+                continue; // effect already on disk image
+            }
+            stats.records += 1;
+            if record::frame_tag(bytes) == tag::WHOLE_PAGE {
+                record::frame_verify(bytes)?;
+                *page = Page::from_bytes(record::frame_whole_page_image(bytes)?)?;
+            } else if let Some((slot, offset, after)) = record::frame_redo_slice(bytes)? {
+                let obj = page.object_mut(pid, slot)?;
+                let off = offset as usize;
+                obj[off..off + after.len()].copy_from_slice(after);
+            }
+            page.set_lsn(r.lsn);
+        }
+    }
+    let mut resident: Vec<(PageId, Page)> = resident.into_iter().collect();
+    resident.sort_by_key(|&(pid, _)| pid.0);
+    Ok(RedoOutcome { stats, resident })
+}
+
+/// One whole-page image sighting: where it is (a shared chunk buffer
+/// keeps the frame bytes alive) and who wrote it. Checksum verification
+/// is deferred until the candidate actually wins its page — see
+/// [`wpl_restart`].
+struct ImageCandidate {
+    pid: PageId,
+    lsn: Lsn,
+    txn: TxnId,
+    buf: Arc<Vec<u8>>,
+    offset: u32,
+    len: u32,
+}
+
+impl ImageCandidate {
+    fn bytes(&self) -> &[u8] {
+        &self.buf[self.offset as usize..(self.offset + self.len) as usize]
+    }
+}
+
+/// What one WPL image worker produced: its partition's image candidates
+/// plus the id high-water marks it observed.
+struct WplOutcome {
+    images: Vec<ImageCandidate>,
+    max_txn: TxnId,
+    max_page: Option<u32>,
+}
+
+/// Parallel WPL restart (§3.4.3): one *forward* streamed pass over
+/// `[checkpoint, durable)` replaces the serial backward scan. The router
+/// collects the committed-transactions list and the oldest in-range
+/// checkpoint body; workers report image candidates, and the merge
+/// checksums only the winners (see the module docs). "Newest committed
+/// image wins" is decided per page at merge time — which is exactly what
+/// the backward scan's first-wins rule computes, because a transaction's
+/// commit record always follows its page images in the log.
+pub(crate) fn wpl_restart(server: &Server, workers: usize) -> QsResult<Vec<PhaseStat>> {
+    let mut scan = PhaseStat { name: "backward_scan", ..PhaseStat::default() };
+    let mut rebuild = PhaseStat { name: "table_rebuild", ..PhaseStat::default() };
+    let chunk_bytes = server.config().restart.chunk_bytes;
+    server.with_quiesced(|view| -> QsResult<()> {
+        let end = view.log.durable_lsn();
+        let ck = view.log.checkpoint_lsn();
+        let stop = if ck.is_null() { view.log.start_lsn() } else { ck };
+        scan.pages_read = end.0.saturating_sub(stop.0).div_ceil(PAGE_SIZE as u64);
+
+        let mut ctl: HashSet<TxnId> = HashSet::new();
+        let mut max_txn = TxnId::INVALID;
+        let mut max_page: Option<u32> = None;
+        // The serial backward scan ends on the *oldest* in-range
+        // checkpoint (each visit overwrites); forward order makes that
+        // first-wins.
+        let mut checkpoint_body: Option<CheckpointBody> = None;
+
+        let log = view.log;
+        let outcomes = std::thread::scope(|s| -> QsResult<Vec<WplOutcome>> {
+            let mut txs = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = sync_channel::<WorkBatch>(DEPTH);
+                txs.push(tx);
+                handles.push(s.spawn(move || image_worker(rx)));
+            }
+            let mut routed: Vec<Vec<FrameRef>> = vec![Vec::new(); workers];
+            let mut route_err = None;
+            'chunks: for chunk in stream_chunks(s, log, stop, end, chunk_bytes, DEPTH) {
+                let chunk = match chunk {
+                    Ok(c) => c,
+                    Err(e) => {
+                        route_err = Some(e);
+                        break;
+                    }
+                };
+                for r in &chunk.frames {
+                    let bytes = chunk.frame(r);
+                    scan.records += 1;
+                    if record::frame_tag(bytes) == tag::WHOLE_PAGE {
+                        let pid = record::frame_page(bytes).expect("whole-page frame");
+                        routed[shard_index(pid, workers)].push(*r);
+                        continue;
+                    }
+                    match record::frame_verify(bytes).and_then(|()| {
+                        let txn = record::frame_txn(bytes);
+                        if txn != TxnId::INVALID && (max_txn == TxnId::INVALID || txn.0 > max_txn.0)
+                        {
+                            max_txn = txn;
+                        }
+                        match record::frame_tag(bytes) {
+                            tag::COMMIT => {
+                                ctl.insert(txn);
+                            }
+                            tag::CHECKPOINT if checkpoint_body.is_none() => {
+                                if let LogRecord::Checkpoint { body } = LogRecord::decode(bytes)? {
+                                    checkpoint_body = Some(body);
+                                }
+                            }
+                            _ => {}
+                        }
+                        Ok(())
+                    }) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            route_err = Some(e);
+                            break 'chunks;
+                        }
+                    }
+                }
+                for (w, refs) in routed.iter_mut().enumerate() {
+                    if refs.is_empty() {
+                        continue;
+                    }
+                    if txs[w].send((Arc::clone(&chunk.buf), std::mem::take(refs))).is_err() {
+                        break 'chunks; // worker bailed with an error; join below
+                    }
+                }
+            }
+            drop(txs);
+            let mut outs = Vec::with_capacity(workers);
+            for h in handles {
+                outs.push(h.join().expect("image worker panicked")?);
+            }
+            match route_err {
+                Some(e) => Err(e),
+                None => Ok(outs),
+            }
+        })?;
+
+        // The serial scan's random backward record reads each billed one
+        // log-page read to the meter; bill the same total at once.
+        server.meter().log_pages_read.fetch_add(scan.records, Ordering::Relaxed);
+
+        // Merge: newest committed image per page. Only the winners get
+        // their 8 KB checksums verified — on a scan where pages were
+        // re-imaged many times, that skips the dominant cost of the
+        // serial scan (which decodes, and therefore checksums, every
+        // image it walks past) while still verifying everything restart
+        // actually installs.
+        let mut newest: HashMap<PageId, ImageCandidate> = HashMap::new();
+        for o in outcomes {
+            if o.max_txn != TxnId::INVALID && (max_txn == TxnId::INVALID || o.max_txn.0 > max_txn.0)
+            {
+                max_txn = o.max_txn;
+            }
+            if let Some(mp) = o.max_page {
+                max_page = Some(max_page.unwrap_or(0).max(mp));
+            }
+            for cand in o.images {
+                if !ctl.contains(&cand.txn) {
+                    continue;
+                }
+                match newest.entry(cand.pid) {
+                    Entry::Vacant(e) => {
+                        e.insert(cand);
+                    }
+                    Entry::Occupied(mut e) => {
+                        if cand.lsn > e.get().lsn {
+                            e.insert(cand);
+                        }
+                    }
+                }
+            }
+        }
+        let mut claimed: HashSet<PageId> = HashSet::new();
+        let mut restored: Vec<ImageCandidate> = newest.into_values().collect();
+        restored.sort_by_key(|c| c.pid.0);
+        for c in restored {
+            record::frame_verify(c.bytes())?;
+            claimed.insert(c.pid);
+            view.wpl.insert_restored(c.pid, c.lsn, c.txn);
+        }
+
+        // The checkpoint record sits exactly at `stop` when one exists.
+        if !ck.is_null() && checkpoint_body.is_none() {
+            if let LogRecord::Checkpoint { body } = view.log.read_record(ck)?.0 {
+                server.meter().log_pages_read.fetch_add(1, Ordering::Relaxed);
+                rebuild.pages_read += 1;
+                checkpoint_body = Some(body);
+            }
+        }
+        if let Some(body) = checkpoint_body {
+            for e in &body.wpl_entries {
+                if (e.committed || ctl.contains(&e.txn)) && claimed.insert(e.page) {
+                    view.wpl.insert_restored(e.page, e.lsn, e.txn);
+                }
+                rebuild.records += 1;
+                max_page = Some(max_page.unwrap_or(0).max(e.page.0 + 1));
+            }
+            view.volume.ensure_allocated(body.allocated_pages as usize)?;
+        }
+        if let Some(mp) = max_page {
+            view.volume.ensure_allocated(mp as usize)?;
+        }
+        *view.txns = TxnTable::resuming_after(max_txn);
+        Ok(())
+    })?;
+    Ok(vec![scan, rebuild])
+}
+
+/// One WPL image worker: check each routed whole-page frame's framing
+/// (length prefix vs trailer echo — catches torn frames) and report it as
+/// an [`ImageCandidate`] without materializing or checksumming the 8 KB
+/// body; the merge verifies the winners. Restored pages are served
+/// straight from the log by the WPL table, exactly as in normal running.
+fn image_worker(rx: Receiver<WorkBatch>) -> QsResult<WplOutcome> {
+    let mut out = WplOutcome { images: Vec::new(), max_txn: TxnId::INVALID, max_page: None };
+    for (buf, refs) in rx {
+        for r in refs {
+            let bytes = &buf[r.offset as usize..(r.offset + r.len) as usize];
+            let len = bytes.len();
+            if bytes[len - 4..] != bytes[0..4] {
+                return Err(qs_types::QsError::LogCorrupt {
+                    detail: "whole-page frame trailer mismatch".into(),
+                });
+            }
+            let pid = record::frame_page(bytes).expect("whole-page frame");
+            let txn = record::frame_txn(bytes);
+            if txn != TxnId::INVALID && (out.max_txn == TxnId::INVALID || txn.0 > out.max_txn.0) {
+                out.max_txn = txn;
+            }
+            out.max_page = Some(out.max_page.unwrap_or(0).max(pid.0 + 1));
+            out.images.push(ImageCandidate {
+                pid,
+                lsn: r.lsn,
+                txn,
+                buf: Arc::clone(&buf),
+                offset: r.offset,
+                len: r.len,
+            });
+        }
+    }
+    Ok(out)
+}

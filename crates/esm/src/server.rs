@@ -101,6 +101,29 @@ pub struct ServerConfig {
     /// default: the figure runs are single-client and must stay
     /// byte-identical.
     pub group_commit: bool,
+    /// Restart-engine knobs (see [`RestartConfig`]).
+    pub restart: RestartConfig,
+}
+
+/// Restart-engine configuration.
+///
+/// `redo_workers = 1` (the default) runs the original serial restart
+/// algorithms verbatim; any higher count runs the streamed,
+/// page-partitioned engine in [`crate::restart_par`], which recovers a
+/// byte-identical volume image and reports identical phase counts for any
+/// worker count (`tests/restart_equivalence.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartConfig {
+    /// Worker threads for ARIES redo and the WPL image scan.
+    pub redo_workers: usize,
+    /// Bytes per streamed log read (clamped up to at least one frame).
+    pub chunk_bytes: usize,
+}
+
+impl Default for RestartConfig {
+    fn default() -> RestartConfig {
+        RestartConfig { redo_workers: 1, chunk_bytes: 64 * PAGE_SIZE }
+    }
 }
 
 impl ServerConfig {
@@ -114,6 +137,7 @@ impl ServerConfig {
             log_low_watermark: 0.30,
             pool_shards: 1,
             group_commit: false,
+            restart: RestartConfig::default(),
         }
     }
 
@@ -139,6 +163,11 @@ impl ServerConfig {
 
     pub fn with_group_commit(mut self, on: bool) -> ServerConfig {
         self.group_commit = on;
+        self
+    }
+
+    pub fn with_redo_workers(mut self, workers: usize) -> ServerConfig {
+        self.restart.redo_workers = workers.max(1);
         self
     }
 }
@@ -322,9 +351,14 @@ impl Server {
             restart_report: Mutex::new(None),
             cfg,
         };
-        let phases = match server.cfg.flavor {
-            RecoveryFlavor::Wpl => server.wpl_restart()?,
-            _ => crate::aries::restart(&server)?,
+        // One worker runs the original serial algorithms verbatim (the
+        // bit-exact baseline); more run the streamed parallel engine.
+        let workers = server.cfg.restart.redo_workers.max(1);
+        let phases = match (server.cfg.flavor, workers) {
+            (RecoveryFlavor::Wpl, 1) => server.wpl_restart()?,
+            (RecoveryFlavor::Wpl, _) => crate::restart_par::wpl_restart(&server, workers)?,
+            (_, 1) => crate::aries::restart(&server)?,
+            (_, _) => crate::restart_par::aries_restart(&server, workers)?,
         };
         // Price the raw phase counts on the same hardware the tracer's
         // clock uses (the paper's testbed when no clock is installed).
@@ -876,7 +910,8 @@ impl Server {
                 }
                 _ => {
                     let last = view.txns.get(txn)?.last_lsn;
-                    self.undo_chain(view, txn, last)?;
+                    let mut cache = qs_wal::LogReadCache::default();
+                    self.undo_chain(view, txn, last, &mut cache)?;
                     let prev = view.txns.get(txn)?.last_lsn;
                     view.log.append(&LogRecord::Abort { txn, prev })?;
                 }
@@ -891,17 +926,21 @@ impl Server {
 
     /// Walk a transaction's backward chain applying before-images, writing
     /// CLRs. Used by abort and by restart undo. Returns the number of
-    /// update records undone (restart-report input).
+    /// update records undone (restart-report input). Chain reads go through
+    /// `cache`, a log-page cache: the backward walk revisits the same log
+    /// pages constantly, and the cache turns those into one log-disk fetch
+    /// per distinct page (its hit counter also feeds the restart report).
     pub(crate) fn undo_chain(
         &self,
         view: &mut InnerView<'_>,
         txn: TxnId,
         from: Lsn,
+        cache: &mut qs_wal::LogReadCache,
     ) -> QsResult<u64> {
         let mut undone = 0u64;
         let mut at = from;
         while !at.is_null() {
-            let (rec, _) = view.log.read_record(at)?;
+            let (rec, _) = cache.read_record(view.log, at)?;
             match rec {
                 LogRecord::Update { page: pid, slot, offset, before, prev, .. } => {
                     if !view.pool.contains(pid) {
@@ -1237,6 +1276,7 @@ mod tests {
             log_low_watermark: 0.3,
             pool_shards: 1,
             group_commit: false,
+            restart: RestartConfig::default(),
         }
     }
 
@@ -1415,6 +1455,48 @@ mod tests {
             );
             assert_eq!(server2.active_txns(), 0);
         }
+    }
+
+    /// Restart undo reads its chain through the log-page cache, and the
+    /// report's `pages_read` counts *distinct* log pages fetched — not one
+    /// page per record undone (100 undone records here span only a few
+    /// 8 KB log pages).
+    #[test]
+    fn undo_counts_distinct_log_pages_not_records() {
+        let (server, pids) = loaded_server(RecoveryFlavor::EsmAries);
+        let pid = pids[0];
+        let txn = server.begin();
+        server.lock_page(txn, pid, LockMode::X).unwrap();
+        let rec = |i: u8| LogRecord::Update {
+            txn,
+            prev: Lsn::NULL,
+            page: pid,
+            slot: 0,
+            offset: 0,
+            before: vec![0u8; 64],
+            after: vec![i; 64],
+        };
+        let rec_len = rec(0).encoded_len() as u64;
+        server.receive_log_records(txn, (0..100).map(|i| rec(i as u8)).collect()).unwrap();
+        // Checkpoint: forces the records durable and records the loser in
+        // the checkpoint's active-transaction table.
+        server.checkpoint().unwrap();
+        let cfg = server.config().clone();
+        let server2 = Server::restart(server.crash(), cfg, Meter::new()).unwrap();
+        let report = server2.restart_report().unwrap();
+        let undo = &report.phases[2];
+        assert_eq!(undo.name, "undo");
+        assert_eq!(undo.records, 100, "all 100 updates undone");
+        // The chain starts at the log origin (nothing logged before it);
+        // its 100 records span exactly these log pages.
+        let first = PAGE_SIZE as u64;
+        let distinct: std::collections::HashSet<u64> =
+            (0..100u64).map(|i| (first + i * rec_len) / PAGE_SIZE as u64).collect();
+        assert!(distinct.len() < 10, "sanity: records pack many per page");
+        assert_eq!(undo.pages_read, distinct.len() as u64, "distinct log pages, not records");
+        // And the rollback took: the page shows its before-image.
+        let page = server2.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), &[0u8; 64][..]);
     }
 
     #[test]

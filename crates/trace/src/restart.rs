@@ -33,6 +33,18 @@ impl PhaseStat {
         self
     }
 
+    /// Fold another phase's raw counts into this one. The parallel
+    /// restart engine tallies per-worker stats and merges them in worker-
+    /// index order, so the summed counts are deterministic; `sim_s` is
+    /// intentionally not summed — the merged phase is priced once,
+    /// afterwards, exactly like a serially-tallied phase.
+    pub fn absorb(&mut self, other: &PhaseStat) {
+        self.records += other.records;
+        self.pages_read += other.pages_read;
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+    }
+
     fn write_json(&self, w: &mut JsonWriter) {
         w.begin_object();
         w.field_str("phase", self.name);
@@ -184,6 +196,32 @@ mod tests {
                 }],
             },
         }
+    }
+
+    #[test]
+    fn absorb_merges_worker_counts_then_prices_once() {
+        let hw = HardwareModel::paper_1995();
+        // Four workers' local tallies, merged in worker-index order…
+        let mut merged = PhaseStat { name: "redo", ..Default::default() };
+        for w in 0..4u64 {
+            merged.absorb(&PhaseStat {
+                name: "redo",
+                records: 10 + w,
+                data_reads: 2,
+                data_writes: w % 2,
+                ..Default::default()
+            });
+        }
+        // …must equal one serial tally of the same totals.
+        let serial = PhaseStat {
+            name: "redo",
+            records: 46,
+            data_reads: 8,
+            data_writes: 2,
+            ..Default::default()
+        };
+        assert_eq!(merged, serial);
+        assert!((merged.priced(&hw).sim_s - serial.priced(&hw).sim_s).abs() < 1e-15);
     }
 
     #[test]

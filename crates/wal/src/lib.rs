@@ -15,14 +15,18 @@
 //!   and space reclamation via `truncate_to`.
 //!
 //! Plus [`group`] — a leader/follower [`GroupCommitter`] that coalesces
-//! concurrent commit forces into one disk sync per batch.
+//! concurrent commit forces into one disk sync per batch — and [`stream`]
+//! — the chunked log scanner, bounded-channel chunk producer, and undo
+//! log-page cache that feed the parallel restart engine.
 
 pub mod group;
 pub mod log;
 pub mod record;
+pub mod stream;
 pub mod writer;
 
 pub use group::{GroupCommitter, GroupOutcome};
 pub use log::{ForceStats, LogManager};
 pub use record::{CheckpointBody, LogRecord, WplCheckpointEntry};
+pub use stream::{stream_chunks, ChunkedScanner, FrameChunk, FrameRef, LogReadCache};
 pub use writer::RecordWriter;

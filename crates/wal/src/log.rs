@@ -332,6 +332,64 @@ impl LogManager {
         Ok((rec, start))
     }
 
+    /// Copy the raw encoded bytes of the span `[from, from + buf.len())`
+    /// out of the log, splicing the durable body and the volatile tail
+    /// buffer as needed. One lock acquisition regardless of span size —
+    /// the restart streamer's bulk read.
+    pub fn read_bytes(&self, from: Lsn, buf: &mut [u8]) -> QsResult<()> {
+        let st = self.state.lock();
+        self.read_span_locked(&st, from, buf)
+    }
+
+    /// [`LogManager::read_bytes`] with the state lock already held.
+    fn read_span_locked(&self, st: &LogState, from: Lsn, buf: &mut [u8]) -> QsResult<()> {
+        let end = from.advance(buf.len());
+        if from < st.start || end > st.tail {
+            return Err(QsError::LogCorrupt {
+                detail: format!(
+                    "raw read [{from}, {end}) outside log window [{}, {})",
+                    st.start, st.tail
+                ),
+            });
+        }
+        // Durable part straight from the medium…
+        let media_end = end.min(st.durable);
+        if from < media_end {
+            let n = (media_end.0 - from.0) as usize;
+            self.read_body(from, &mut buf[..n])?;
+        }
+        // …and the rest from the tail buffer.
+        if end > st.durable && end > from {
+            let b_from = from.max(st.durable);
+            let src = (b_from.0 - st.durable.0) as usize;
+            let dst = (b_from.0 - from.0) as usize;
+            let n = (end.0 - b_from.0) as usize;
+            buf[dst..dst + n].copy_from_slice(&st.buffer[src..src + n]);
+        }
+        Ok(())
+    }
+
+    /// Fill `buf` with logical log page `index` (the byte range
+    /// `[index·PAGE_SIZE, (index+1)·PAGE_SIZE)`) clipped to the live
+    /// window; returns the valid `(from, to)` byte offsets within the
+    /// page. The undo-phase record cache fetches whole log pages through
+    /// this, which is also what lets the restart report count *distinct*
+    /// log pages touched.
+    pub fn read_log_page(&self, index: u64, buf: &mut [u8; PAGE_SIZE]) -> QsResult<(usize, usize)> {
+        let st = self.state.lock();
+        let base = index * PAGE_SIZE as u64;
+        let lo = base.max(st.start.0);
+        let hi = (base + PAGE_SIZE as u64).min(st.tail.0);
+        if lo >= hi {
+            return Err(QsError::LogCorrupt {
+                detail: format!("log page {index} outside log window [{}, {})", st.start, st.tail),
+            });
+        }
+        let (from, to) = ((lo - base) as usize, (hi - base) as usize);
+        self.read_span_locked(&st, Lsn(lo), &mut buf[from..to])?;
+        Ok((from, to))
+    }
+
     /// Release log space: records before `lsn` are no longer needed.
     pub fn truncate_to(&self, lsn: Lsn) -> QsResult<()> {
         let mut st = self.state.lock();

@@ -25,6 +25,18 @@ pub(crate) const TRAILER: usize = 4;
 /// Byte range of the `prev` LSN within an encoded record.
 pub(crate) const PREV_RANGE: std::ops::Range<usize> = 17..25;
 
+/// Encoded record tags (byte 8 of a frame), for code that routes or
+/// filters frames without decoding them.
+pub mod tag {
+    pub const UPDATE: u8 = 1;
+    pub const WHOLE_PAGE: u8 = 2;
+    pub const PAGE_ALLOC: u8 = 3;
+    pub const COMMIT: u8 = 4;
+    pub const ABORT: u8 = 5;
+    pub const CLR: u8 = 6;
+    pub const CHECKPOINT: u8 = 7;
+}
+
 /// FNV-1a, used as a lightweight corruption check on log records.
 pub fn fnv1a(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
@@ -364,6 +376,30 @@ pub fn frame_len(bytes: &[u8]) -> QsResult<usize> {
     Ok(len)
 }
 
+/// Validate one encoded record's framing without decoding it: length
+/// prefix matching the slice, trailer echo, FNV-1a checksum. Same
+/// corruption coverage as [`LogRecord::decode`]; the streamed restart
+/// scanner uses this for frames whose bodies it never materializes.
+pub fn frame_verify(bytes: &[u8]) -> QsResult<()> {
+    let corrupt = |d: String| QsError::LogCorrupt { detail: d };
+    if bytes.len() < PREFIX + TRAILER {
+        return Err(corrupt("frame shorter than fixed header".into()));
+    }
+    let total = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    if total != bytes.len() {
+        return Err(corrupt(format!("length prefix {total} != {} bytes given", bytes.len())));
+    }
+    let trailer = u32::from_le_bytes(bytes[total - 4..].try_into().unwrap()) as usize;
+    if trailer != total {
+        return Err(corrupt("trailer length mismatch".into()));
+    }
+    let ck = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if ck != fnv1a(&bytes[8..total - 4]) {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    Ok(())
+}
+
 /// Transaction id of the encoded record starting at `bytes[0]`.
 pub fn frame_txn(bytes: &[u8]) -> TxnId {
     TxnId(u64::from_le_bytes(bytes[9..17].try_into().unwrap()))
@@ -399,6 +435,47 @@ pub fn frame_update_image_bytes(bytes: &[u8]) -> u64 {
     let blen = u16::from_le_bytes(bytes[PREFIX + 8..PREFIX + 10].try_into().unwrap()) as u64;
     let alen = u16::from_le_bytes(bytes[PREFIX + 10..PREFIX + 12].try_into().unwrap()) as u64;
     blen + alen
+}
+
+/// Zero-copy view of an encoded update or CLR record's redo fields:
+/// `(slot, offset, after-image)`, straight out of the frame. `None` for
+/// every other tag. Restart redo uses this to repeat history without
+/// materializing a `LogRecord` (two image allocations per record).
+pub fn frame_redo_slice(bytes: &[u8]) -> QsResult<Option<(u16, u16, &[u8])>> {
+    let truncated = || QsError::LogCorrupt { detail: "redo body truncated".into() };
+    let u16_at = |at: usize| -> QsResult<u16> {
+        Ok(u16::from_le_bytes(bytes.get(at..at + 2).ok_or_else(truncated)?.try_into().unwrap()))
+    };
+    match bytes[8] {
+        // Update: page u32 | slot u16 | offset u16 | blen u16 | alen u16
+        //         | before | after
+        1 => {
+            let slot = u16_at(PREFIX + 4)?;
+            let offset = u16_at(PREFIX + 6)?;
+            let blen = u16_at(PREFIX + 8)? as usize;
+            let alen = u16_at(PREFIX + 10)? as usize;
+            let at = PREFIX + 12 + blen;
+            let after = bytes.get(at..at + alen).ok_or_else(truncated)?;
+            Ok(Some((slot, offset, after)))
+        }
+        // CLR: page u32 | slot u16 | offset u16 | alen u16 | after | undo_next
+        6 => {
+            let slot = u16_at(PREFIX + 4)?;
+            let offset = u16_at(PREFIX + 6)?;
+            let alen = u16_at(PREFIX + 8)? as usize;
+            let after = bytes.get(PREFIX + 10..PREFIX + 10 + alen).ok_or_else(truncated)?;
+            Ok(Some((slot, offset, after)))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Zero-copy view of an encoded whole-page record's image.
+pub fn frame_whole_page_image(bytes: &[u8]) -> QsResult<&[u8]> {
+    debug_assert_eq!(bytes[8], 2, "not a whole-page frame");
+    bytes
+        .get(PREFIX + 4..PREFIX + 4 + PAGE_SIZE)
+        .ok_or_else(|| QsError::LogCorrupt { detail: "whole-page body truncated".into() })
 }
 
 /// Rewrite the `prev` LSN of one encoded record in place and fix its
@@ -477,6 +554,54 @@ mod tests {
         let comb: usize = LOG_HEADER_SIZE + 12 + 12;
         assert_eq!(sep, 116);
         assert_eq!(comb, 74);
+    }
+
+    #[test]
+    fn frame_redo_slices_agree_with_decode() {
+        let upd = LogRecord::Update {
+            txn: TxnId(7),
+            prev: Lsn(100),
+            page: PageId(3),
+            slot: 2,
+            offset: 16,
+            before: vec![1, 2, 3, 4, 5],
+            after: vec![6, 7, 8, 9, 10],
+        };
+        let enc = upd.encode();
+        let (slot, offset, after) = frame_redo_slice(&enc).unwrap().unwrap();
+        assert_eq!((slot, offset), (2, 16));
+        assert_eq!(after, &[6, 7, 8, 9, 10]);
+
+        let clr = LogRecord::Clr {
+            txn: TxnId(5),
+            prev: Lsn(44),
+            page: PageId(8),
+            slot: 1,
+            offset: 4,
+            after: vec![9; 16],
+            undo_next: Lsn(12),
+        };
+        let enc = clr.encode();
+        let (slot, offset, after) = frame_redo_slice(&enc).unwrap().unwrap();
+        assert_eq!((slot, offset), (1, 4));
+        assert_eq!(after, &[9u8; 16][..]);
+
+        let wp = LogRecord::WholePage {
+            txn: TxnId(1),
+            prev: Lsn::NULL,
+            page: PageId(9),
+            image: (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect(),
+        };
+        let enc = wp.encode();
+        assert_eq!(frame_redo_slice(&enc).unwrap(), None);
+        let LogRecord::WholePage { image, .. } = LogRecord::decode(&enc).unwrap() else {
+            panic!("decoded to a different variant");
+        };
+        assert_eq!(frame_whole_page_image(&enc).unwrap(), &image[..]);
+
+        // No redo payload on control records.
+        let commit = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) }.encode();
+        assert_eq!(frame_redo_slice(&commit).unwrap(), None);
     }
 
     #[test]

@@ -52,14 +52,15 @@ fi
 [ "$audit_failed" -eq 0 ] || exit 1
 echo "dependency audit: OK (all dependencies are internal path deps)"
 
-echo "== clippy (core + storage + esm + wal), warnings are errors =="
-cargo clippy -q --offline -p quickstore -p qs-storage -p qs-esm -p qs-wal -- -D warnings
+echo "== clippy (whole workspace), warnings are errors =="
+cargo clippy -q --offline --workspace -- -D warnings
 
 echo "== concurrency tests under a deadlock watchdog =="
-# The multi-client / group-commit / shard-independence tests exercise the
-# decomposed server's locking across real threads; a lock-order bug shows
-# up as a hang, not a failure. `timeout` turns a hang into a hard FAIL.
-for t in multi_client group_commit shard_independence; do
+# The multi-client / group-commit / shard-independence / parallel-restart
+# tests exercise the decomposed server's locking across real threads; a
+# lock-order bug shows up as a hang, not a failure. `timeout` turns a
+# hang into a hard FAIL.
+for t in multi_client group_commit shard_independence restart_equivalence; do
     if ! timeout 120 cargo test -q --offline --test "$t"; then
         echo "FAIL: --test $t did not finish within 120s (possible deadlock)" \
              "or failed; see output above"
@@ -79,5 +80,15 @@ micro_dir=$(mktemp -d)
 cargo run --release --offline -p qs-bench --bin micro -- \
     --validate "$micro_dir/BENCH_micro.json"
 rm -rf "$micro_dir"
+
+echo "== restart benchmark smoke run =="
+# Crashes a small OO7 workload and restarts it at every worker count with
+# the phase-count cross-check enabled; --validate asserts the JSON covers
+# every scheme × worker count.
+restart_dir=$(mktemp -d)
+(cd "$restart_dir" && "$OLDPWD/target/release/restart_bench" --smoke > /dev/null)
+cargo run --release --offline -p qs-bench --bin restart_bench -- \
+    --validate "$restart_dir/BENCH_restart.json"
+rm -rf "$restart_dir"
 
 echo "== verify: all green =="

@@ -1,0 +1,254 @@
+//! Serial-vs-parallel restart equivalence: for every recovery scheme,
+//! crash the same server mid-burst, then restart the same media image
+//! with `redo_workers` ∈ {1, 2, 4, 8} (and pathological chunk sizes).
+//! The recovered volume, the log, the restart report's phase counts, and
+//! every post-restart read must be byte-identical to the serial
+//! (`redo_workers = 1`) baseline — the parallel engine is an
+//! optimization, never an observable behavior change.
+
+use qs_repro::core::{Store, SystemConfig};
+use qs_repro::esm::{ClientConn, RecoveryFlavor, Server, ServerConfig, StableParts};
+use qs_repro::sim::Meter;
+use qs_repro::storage::{MemDisk, Page, StableMedia};
+use qs_repro::types::{ClientId, Lsn, Oid};
+use qs_repro::wal::LogRecord;
+use std::sync::Arc;
+
+fn server_cfg(cfg: &SystemConfig) -> ServerConfig {
+    ServerConfig::new(cfg.flavor).with_pool_mb(1.0).with_volume_pages(256).with_log_mb(8.0)
+}
+
+/// Byte image of a stable medium.
+fn image(media: &Arc<dyn StableMedia>) -> Vec<u8> {
+    let mut buf = vec![0u8; media.len()];
+    media.read_at(0, &mut buf).unwrap();
+    buf
+}
+
+/// A fresh medium holding the given image.
+fn disk_from(bytes: &[u8]) -> Arc<dyn StableMedia> {
+    let d = MemDisk::new(bytes.len());
+    d.write_at(0, bytes).unwrap();
+    Arc::new(d)
+}
+
+fn value_at(server: &Server, oid: Oid) -> Vec<u8> {
+    server.read_page_for_test(oid.page).unwrap().object(oid.page, oid.slot).unwrap().to_vec()
+}
+
+/// Build a server with 10 pages × 4 objects and run a crash scenario with
+/// work in every restart phase: a committed burst, an *uncommitted* loser
+/// made durable by a checkpoint, a second committed burst after the
+/// checkpoint (analysis + redo work), and an in-flight transaction at
+/// crash time. Returns the crashed media images and all object ids.
+fn crashed_images(cfg: &SystemConfig) -> (Vec<u8>, Vec<u8>, Vec<Oid>) {
+    let meter = Meter::new();
+    let server = Arc::new(Server::format(server_cfg(cfg), Arc::clone(&meter)).unwrap());
+    let pids = server.bulk_allocate(10).unwrap();
+    let mut oids = Vec::new();
+    for &pid in &pids {
+        let mut p = Page::new();
+        for _ in 0..4 {
+            oids.push(Oid::new(pid, p.insert(pid, &[0u8; 100]).unwrap()));
+        }
+        server.bulk_write(pid, &p).unwrap();
+    }
+    server.bulk_sync().unwrap();
+
+    // Burst A: committed work before the checkpoint.
+    let client = ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+    let mut store = Store::new(client, cfg.clone()).unwrap();
+    for round in 1..=6u8 {
+        store.begin().unwrap();
+        store.modify(oids[round as usize], 0, &[round; 32]).unwrap();
+        store.modify(oids[0], 40, &[round; 32]).unwrap();
+        store.commit().unwrap();
+    }
+    drop(store);
+
+    // The loser: an uncommitted transaction on pages the bursts avoid
+    // (pages 6..9 — bursts touch only oids on pages 0..5), shipped to the
+    // server and made durable by the checkpoint below. Restart must undo
+    // it (ARIES) or skip its uncommitted images (WPL).
+    let loser = server.begin();
+    for &pid in &pids[6..9] {
+        server.lock_page(loser, pid, qs_repro::esm::LockMode::X).unwrap();
+    }
+    match cfg.flavor {
+        RecoveryFlavor::Wpl => {
+            for &pid in &pids[6..9] {
+                let mut p = server.read_page_for_test(pid).unwrap();
+                p.object_mut(pid, 0).unwrap()[..16].copy_from_slice(&[0xEE; 16]);
+                server.receive_dirty_page(loser, pid, p).unwrap();
+            }
+        }
+        _ => {
+            let recs: Vec<LogRecord> = pids[6..9]
+                .iter()
+                .flat_map(|&pid| {
+                    (0..10u8).map(move |i| LogRecord::Update {
+                        txn: loser,
+                        prev: Lsn::NULL,
+                        page: pid,
+                        slot: (i % 4) as u16,
+                        offset: (i as u16 % 3) * 20,
+                        before: vec![0u8; 20],
+                        after: vec![0xE0 + i; 20],
+                    })
+                })
+                .collect();
+            server.receive_log_records(loser, recs).unwrap();
+        }
+    }
+    // Checkpoint: forces the loser's records durable and seeds the
+    // checkpoint's transaction table / WPL table snapshot with them.
+    server.checkpoint().unwrap();
+
+    // Burst B: committed work *after* the checkpoint — this is what
+    // analysis scans and redo repeats.
+    let client =
+        ClientConn::new(ClientId(1), Arc::clone(&server), cfg.client_pool_pages(), Meter::new());
+    let mut store = Store::new(client, cfg.clone()).unwrap();
+    for round in 7..=12u8 {
+        store.begin().unwrap();
+        store.modify(oids[(round as usize) % 20], 0, &[round; 32]).unwrap();
+        store.modify(oids[(round as usize) % 20 + 1], 36, &[round; 24]).unwrap();
+        store.commit().unwrap();
+    }
+    // In flight at crash time (its unforced tail is lost with the crash).
+    store.begin().unwrap();
+    store.modify(oids[2], 0, &[0xDD; 16]).unwrap();
+
+    drop(store);
+    let parts = Arc::try_unwrap(server).ok().expect("sole owner").crash();
+    (image(&parts.data_media), image(&parts.log_media), oids)
+}
+
+/// Everything observable about one restart, for comparison across
+/// worker counts.
+#[derive(PartialEq, Debug)]
+struct Observed {
+    phases: Vec<(&'static str, u64, u64, u64, u64)>,
+    values: Vec<Vec<u8>>,
+    active_txns: usize,
+    wpl_entries: usize,
+    data_image: Vec<u8>,
+    log_image: Vec<u8>,
+}
+
+fn restart_observed(
+    data: &[u8],
+    log: &[u8],
+    oids: &[Oid],
+    mut scfg: ServerConfig,
+    workers: usize,
+    chunk_bytes: Option<usize>,
+) -> Observed {
+    scfg = scfg.with_redo_workers(workers);
+    if let Some(cb) = chunk_bytes {
+        scfg.restart.chunk_bytes = cb;
+    }
+    let parts =
+        StableParts { data_media: disk_from(data), log_media: disk_from(log), flight: None };
+    let server = Server::restart(parts, scfg, Meter::new()).unwrap();
+    let report = server.restart_report().unwrap();
+    let phases = report
+        .phases
+        .iter()
+        .map(|p| (p.name, p.records, p.pages_read, p.data_reads, p.data_writes))
+        .collect();
+    let values = oids.iter().map(|&o| value_at(&server, o)).collect();
+    let active_txns = server.active_txns();
+    let wpl_entries = server.wpl_table_len();
+    // Quiesce drains the WPL table to permanent locations (and flushes
+    // ARIES dirty pages), so the media comparison covers the restored
+    // table state too.
+    server.quiesce().unwrap();
+    let parts = server.crash();
+    Observed {
+        phases,
+        values,
+        active_txns,
+        wpl_entries,
+        data_image: image(&parts.data_media),
+        log_image: image(&parts.log_media),
+    }
+}
+
+#[test]
+fn parallel_restart_is_bit_equivalent_to_serial() {
+    for cfg in [
+        SystemConfig::pd_esm().with_memory(1.0, 0.25),
+        SystemConfig::pd_redo().with_memory(1.0, 0.25),
+        SystemConfig::wpl().with_memory(1.0, 0.25),
+    ] {
+        let name = cfg.name();
+        let (data, log, oids) = crashed_images(&cfg);
+        let scfg = server_cfg(&cfg);
+        let baseline = restart_observed(&data, &log, &oids, scfg.clone(), 1, None);
+
+        // The scenario must exercise the engine: scan/analysis work
+        // always, undo work for the ARIES flavors.
+        assert!(baseline.phases[0].1 > 0, "{name}: no scan work");
+        if cfg.flavor != RecoveryFlavor::Wpl {
+            assert_eq!(baseline.phases[2].1, 30, "{name}: the loser's 30 updates must be undone");
+            assert!(baseline.phases[1].1 > 0, "{name}: no redo work");
+        } else {
+            assert!(baseline.wpl_entries > 0, "{name}: no WPL entries restored");
+        }
+        assert_eq!(baseline.active_txns, 0, "{name}: loser still active");
+
+        for (workers, chunk) in [(2, None), (4, None), (8, None), (4, Some(8192)), (3, Some(29))] {
+            let got = restart_observed(&data, &log, &oids, scfg.clone(), workers, chunk);
+            assert_eq!(
+                got, baseline,
+                "{name}: workers={workers} chunk={chunk:?} diverged from serial"
+            );
+        }
+    }
+}
+
+/// Same comparison for a crash with *no* checkpoint and with whole-page
+/// records in the ARIES log (freshly allocated pages), covering the
+/// null-checkpoint scan window and whole-page redo routing.
+#[test]
+fn parallel_restart_equivalence_without_checkpoint() {
+    for cfg in
+        [SystemConfig::pd_esm().with_memory(1.0, 0.25), SystemConfig::wpl().with_memory(1.0, 0.25)]
+    {
+        let name = cfg.name();
+        let meter = Meter::new();
+        let server = Arc::new(Server::format(server_cfg(&cfg), Arc::clone(&meter)).unwrap());
+        let pids = server.bulk_allocate(4).unwrap();
+        let mut oids = Vec::new();
+        for &pid in &pids {
+            let mut p = Page::new();
+            oids.push(Oid::new(pid, p.insert(pid, &[0u8; 100]).unwrap()));
+            server.bulk_write(pid, &p).unwrap();
+        }
+        server.bulk_sync().unwrap();
+        let client =
+            ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+        let mut store = Store::new(client, cfg.clone()).unwrap();
+        for round in 1..=8u8 {
+            store.begin().unwrap();
+            for &oid in &oids {
+                store.modify(oid, 0, &[round; 48]).unwrap();
+            }
+            // Allocating objects touches fresh pages → whole-page /
+            // page-alloc records in the log.
+            store.allocate(&[round; 64]).unwrap();
+            store.commit().unwrap();
+        }
+        drop(store);
+        let parts = Arc::try_unwrap(server).ok().expect("sole owner").crash();
+        let (data, log) = (image(&parts.data_media), image(&parts.log_media));
+
+        let scfg = server_cfg(&cfg);
+        let baseline = restart_observed(&data, &log, &oids, scfg.clone(), 1, None);
+        for workers in [2, 4, 8] {
+            let got = restart_observed(&data, &log, &oids, scfg.clone(), workers, None);
+            assert_eq!(got, baseline, "{name}: workers={workers} diverged from serial");
+        }
+    }
+}
