@@ -1,145 +1,326 @@
-//! `scale`: multi-client wall-clock scaling of the decomposed server.
+//! `scale`: wall-clock client scaling of the event-driven server runtime.
 //!
 //! Unlike the figure binaries (simulated 1995 time), this measures *real*
-//! elapsed time on the host: 4 clients with disjoint working sets run the
-//! same update workload against
+//! elapsed time on the host. For each client count in 16/64/256/1024 the
+//! same disjoint-working-set update workload runs three ways against a
+//! fresh server whose log disk carries a real per-sync latency:
 //!
-//! 1. the single-lock baseline — one shard, group commit off, and one
-//!    global mutex wrapped around every server call, which is exactly the
-//!    pre-decomposition server's concurrency behavior (`Mutex<Inner>` held
-//!    across everything, including the commit-path log sync); and
-//! 2. the decomposed server — 8 pool shards, group commit on, subsystem
-//!    locks, with lock-hold tracing enabled.
+//! * `threads` — thread-per-connection, direct server calls, group
+//!   commit off: the paper-era baseline, one OS thread per client and
+//!   one log sync per commit.
+//! * `threads_gc` — thread-per-connection with leader/follower group
+//!   commit: the decomposed server at its best.
+//! * `reactor` — the event-driven runtime: 8 reactor workers, a small
+//!   admission budget (so the 256/1024-client points exercise shedding),
+//!   batched commit forces from the committer thread, and a handful of
+//!   driver threads multiplexing every simulated client.
 //!
-//! The log medium carries a real per-sync latency, as a log disk does, so
-//! holding a global lock across commit forces is as expensive as it was in
-//! life. Reports the speedup (acceptance target: > 1.5x), the mean group-
-//! commit batch size, and per-subsystem lock-hold tails. Prints to stdout
-//! only — this binary never writes `results/`.
+//! The old 4-client decomposition comparison (global-mutex single-lock
+//! server vs decomposed subsystems) is kept as two `legacy4` rows driven
+//! by the same shared harness (`qs_bench::driver`).
+//!
+//! Results are written to `BENCH_scale.json` (see EXPERIMENTS.md):
+//! throughput, mean commit-force batch, shed counts, and queue/lock wait
+//! p99s per row.
+//!
+//! Flags:
+//!   --smoke            tiny transaction counts and near-zero sync
+//!                      latency: exercises the harness and JSON output
+//!                      only, the numbers are not meaningful
+//!   --validate <path>  parse a previously written BENCH_scale.json and
+//!                      assert it covers every client count × mode;
+//!                      exits non-zero on malformed or incomplete files
 
-use qs_esm::{LockMode, RecoveryFlavor, Server, ServerConfig, StableParts};
-use qs_sim::{HardwareModel, Meter};
-use qs_storage::{MemDisk, Page, Volume};
+use qs_bench::driver::{
+    assert_workload_applied, build_scale_server, drive_reactor, drive_threads, ScaleWorkload,
+};
+use qs_esm::{Reactor, RecoveryFlavor, RuntimeConfig, ServerConfig};
+use qs_sim::{HardwareModel, JsonWriter, Meter};
 use qs_trace::Tracer;
 use qs_types::sync::Mutex;
-use qs_types::{Lsn, PageId};
-use qs_wal::{LogManager, LogRecord};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-const CLIENTS: usize = 4;
-const TXNS_PER_CLIENT: usize = 40;
-const PAGES_PER_CLIENT: usize = 8;
-/// What one log-disk sync costs in real time (a fast-for-1995 ~0.5 ms).
-const SYNC_LATENCY: Duration = Duration::from_micros(500);
+/// The sweep.
+const CLIENT_COUNTS: &[usize] = &[16, 64, 256, 1024];
+/// Reactor worker threads for every reactor row.
+const REACTOR_WORKERS: usize = 8;
+/// Driver threads multiplexing the simulated clients in reactor mode.
+const DRIVER_THREADS: usize = 8;
+/// Admission budget for the reactor rows — small enough that the
+/// 256/1024-client points shed (exercising backpressure), large enough
+/// that 16 clients never do.
+const INFLIGHT_BUDGET: usize = 128;
+/// Pool shards for every mode (the PR-3 decomposition).
+const SHARDS: usize = 8;
 
-fn build_server(
-    shards: usize,
-    group: bool,
-    tracer: Arc<Tracer>,
-) -> (Arc<Server>, Vec<Vec<PageId>>) {
-    let cfg = ServerConfig::new(RecoveryFlavor::EsmAries)
-        .with_pool_mb(4.0)
-        .with_volume_pages(1024)
+struct ModeResult {
+    name: String,
+    clients: usize,
+    txns: u64,
+    wall: Duration,
+    commit_batch_mean: f64,
+    shed_budget: u64,
+    shed_queue: u64,
+    queue_wait_p99_ns: u64,
+    lock_wait_p99_ns: u64,
+}
+
+impl ModeResult {
+    fn throughput_tps(&self) -> f64 {
+        self.txns as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn server_cfg(w: &ScaleWorkload, group_commit: bool) -> ServerConfig {
+    ServerConfig::new(RecoveryFlavor::EsmAries)
+        .with_pool_mb(32.0)
+        .with_volume_pages((w.clients * w.pages_per_client * 2).max(1024))
         .with_log_mb(64.0)
-        .with_pool_shards(shards)
-        .with_group_commit(group);
-    let parts = StableParts {
-        data_media: Arc::new(MemDisk::new(Volume::required_bytes(cfg.volume_pages))),
-        log_media: Arc::new(MemDisk::with_sync_latency(
-            LogManager::required_bytes(cfg.log_bytes),
-            SYNC_LATENCY,
-        )),
-        flight: None,
-    };
-    let server = Arc::new(Server::format_on_traced(parts, cfg, Meter::new(), tracer).unwrap());
-    let pids = server.bulk_allocate(CLIENTS * PAGES_PER_CLIENT).unwrap();
-    for &pid in &pids {
-        let mut p = Page::new();
-        p.insert(pid, &[0u8; 64]).unwrap();
-        server.bulk_write(pid, &p).unwrap();
-    }
-    server.bulk_sync().unwrap();
-    let sets = pids.chunks(PAGES_PER_CLIENT).map(|c| c.to_vec()).collect();
-    (server, sets)
+        .with_pool_shards(SHARDS)
+        .with_group_commit(group_commit)
 }
 
-/// One update transaction over `set`, optionally with every server call
-/// under a global mutex (the single-lock baseline).
-fn one_txn(server: &Server, set: &[PageId], val: u8, global: Option<&Mutex<()>>) {
-    macro_rules! call {
-        ($e:expr) => {{
-            let _g = global.map(|m| m.lock());
-            $e
-        }};
-    }
-    let txn = call!(server.begin());
-    for &pid in set {
-        call!(server.lock_page(txn, pid, LockMode::X).unwrap());
-        let mut page = call!(server.fetch_page(txn, pid).unwrap());
-        page.object_mut(pid, 0).unwrap().fill(val);
-        let rec = LogRecord::Update {
-            txn,
-            prev: Lsn::NULL,
-            page: pid,
-            slot: 0,
-            offset: 0,
-            before: vec![0u8; 64],
-            after: vec![val; 64],
-        };
-        call!(server.receive_log_records(txn, vec![rec]).unwrap());
-        call!(server.receive_dirty_page(txn, pid, page).unwrap());
-    }
-    call!(server.commit(txn).unwrap());
+fn bench_tracer() -> Arc<Tracer> {
+    let tracer = Tracer::flight(Meter::new(), HardwareModel::paper_1995(), 256);
+    tracer.set_lock_stats(true);
+    tracer
 }
 
-fn drive(server: &Arc<Server>, sets: &[Vec<PageId>], global: Option<&Arc<Mutex<()>>>) -> Duration {
-    let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for (i, set) in sets.iter().enumerate() {
-            let server = Arc::clone(server);
-            let set = set.clone();
-            let global = global.cloned();
-            s.spawn(move || {
-                for t in 0..TXNS_PER_CLIENT {
-                    let val = ((i * 31 + t) % 251 + 1) as u8;
-                    one_txn(&server, &set, val, global.as_deref());
-                }
-            });
-        }
+/// p99 of one histogram, 0 when it was never recorded into.
+fn p99(tracer: &Tracer, name: &str) -> u64 {
+    tracer.histogram(name).map(|h| h.summary().p99).unwrap_or(0)
+}
+
+/// Worst subsystem-mutex wait tail (`lock_wait:*` histograms).
+fn lock_wait_p99(tracer: &Tracer) -> u64 {
+    tracer
+        .summaries()
+        .iter()
+        .filter(|(name, _)| name.starts_with("lock_wait:"))
+        .map(|(_, s)| s.p99)
+        .max()
+        .unwrap_or(0)
+}
+
+/// One thread-per-connection row.
+fn run_threads(w: &ScaleWorkload, group_commit: bool, name: String) -> ModeResult {
+    let tracer = bench_tracer();
+    let (server, sets) = build_scale_server(server_cfg(w, group_commit), w, Arc::clone(&tracer));
+    let wall = drive_threads(&server, &sets, w.txns_per_client, None);
+    assert_workload_applied(&server, &sets, w.txns_per_client);
+    let (gc_calls, gc_forces) = server.group_commit_stats();
+    ModeResult {
+        name,
+        clients: w.clients,
+        txns: w.total_txns() as u64,
+        wall,
+        commit_batch_mean: if group_commit && gc_forces > 0 {
+            gc_calls as f64 / gc_forces as f64
+        } else {
+            1.0
+        },
+        shed_budget: 0,
+        shed_queue: 0,
+        queue_wait_p99_ns: 0,
+        lock_wait_p99_ns: lock_wait_p99(&tracer),
+    }
+}
+
+/// One event-driven-runtime row.
+fn run_reactor(w: &ScaleWorkload, name: String) -> ModeResult {
+    let tracer = bench_tracer();
+    let cfg = server_cfg(w, false).with_runtime(RuntimeConfig {
+        workers: REACTOR_WORKERS,
+        inflight_budget: INFLIGHT_BUDGET,
+        queue_depth_max: 4096,
+        mailbox_depth: 16,
     });
-    t0.elapsed()
+    let (server, sets) = build_scale_server(cfg, w, Arc::clone(&tracer));
+    let reactor = Reactor::start(&server);
+    let wall = drive_reactor(&reactor, &sets, w.txns_per_client, DRIVER_THREADS);
+    let stats = reactor.stats();
+    reactor.stop();
+    assert_workload_applied(&server, &sets, w.txns_per_client);
+    assert_eq!(
+        stats.commit_calls,
+        w.total_txns() as u64,
+        "every transaction must commit exactly once"
+    );
+    ModeResult {
+        name,
+        clients: w.clients,
+        txns: w.total_txns() as u64,
+        wall,
+        commit_batch_mean: stats.commit_calls as f64 / stats.commit_forces.max(1) as f64,
+        shed_budget: stats.shed_budget,
+        shed_queue: stats.shed_queue,
+        queue_wait_p99_ns: p99(&tracer, "runtime_queue_wait_ns"),
+        lock_wait_p99_ns: lock_wait_p99(&tracer),
+    }
+}
+
+/// The old 4-client decomposition comparison, now on the shared driver:
+/// single-lock server (global mutex around every call) vs the decomposed
+/// server.
+fn run_legacy4(smoke: bool) -> Vec<ModeResult> {
+    let w = ScaleWorkload {
+        clients: 4,
+        txns_per_client: if smoke { 8 } else { 40 },
+        pages_per_client: 8,
+        sync_latency: if smoke { Duration::from_micros(20) } else { Duration::from_micros(500) },
+    };
+    let mut out = Vec::new();
+
+    let tracer = Tracer::disabled();
+    let mut cfg = server_cfg(&w, false);
+    cfg.pool_shards = 1;
+    let (server, sets) = build_scale_server(cfg, &w, tracer);
+    let global = Arc::new(Mutex::new(()));
+    let wall = drive_threads(&server, &sets, w.txns_per_client, Some(&global));
+    assert_workload_applied(&server, &sets, w.txns_per_client);
+    out.push(ModeResult {
+        name: "scale/legacy4/global_mutex".into(),
+        clients: w.clients,
+        txns: w.total_txns() as u64,
+        wall,
+        commit_batch_mean: 1.0,
+        shed_budget: 0,
+        shed_queue: 0,
+        queue_wait_p99_ns: 0,
+        lock_wait_p99_ns: 0,
+    });
+
+    out.push(run_threads(&w, true, "scale/legacy4/decomposed".into()));
+    out
+}
+
+fn sweep_workload(clients: usize, smoke: bool) -> ScaleWorkload {
+    let total = if smoke { 128 } else { 4096 };
+    ScaleWorkload {
+        clients,
+        txns_per_client: (total / clients).max(2),
+        pages_per_client: 2,
+        sync_latency: if smoke { Duration::from_micros(20) } else { Duration::from_micros(300) },
+    }
+}
+
+/// Every result name the harness emits, for `--validate`.
+fn expected_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for &c in CLIENT_COUNTS {
+        for mode in ["threads", "threads_gc", "reactor"] {
+            names.push(format!("scale/c{c}/{mode}"));
+        }
+    }
+    names.push("scale/legacy4/global_mutex".into());
+    names.push("scale/legacy4/decomposed".into());
+    names
+}
+
+fn render_json(results: &[ModeResult], smoke: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("benchmark", "scale")
+        .field_str("build", if cfg!(debug_assertions) { "debug" } else { "release" })
+        .key("smoke")
+        .bool(smoke)
+        .key("results")
+        .begin_array();
+    for r in results {
+        w.begin_object()
+            .field_str("name", &r.name)
+            .field_u64("clients", r.clients as u64)
+            .field_u64("txns", r.txns)
+            .field_u64("wall_ns", r.wall.as_nanos() as u64)
+            .field_f64("throughput_tps", r.throughput_tps())
+            .field_f64("commit_batch_mean", r.commit_batch_mean)
+            .field_u64("shed_budget", r.shed_budget)
+            .field_u64("shed_queue", r.shed_queue)
+            .field_u64("queue_wait_p99_ns", r.queue_wait_p99_ns)
+            .field_u64("lock_wait_p99_ns", r.lock_wait_p99_ns)
+            .end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    qs_bench::jsoncheck::check_json(&text)
+        .map_err(|at| format!("{path}: malformed JSON at byte {at}"))?;
+    let names = expected_names();
+    let missing: Vec<&String> =
+        names.iter().filter(|name| !text.contains(&format!("\"name\":\"{name}\""))).collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{path}: missing benchmark results: {missing:?}"))
+    }
+}
+
+fn print_row(r: &ModeResult) {
+    println!(
+        "{:<26} {:>9.1} tps  wall {:>9.1?}  batch {:>6.2}  shed {:>6}  q_p99 {:>9}ns",
+        r.name,
+        r.throughput_tps(),
+        r.wall,
+        r.commit_batch_mean,
+        r.shed_budget + r.shed_queue,
+        r.queue_wait_p99_ns,
+    );
 }
 
 fn main() {
-    println!("qs-scale: multi-client wall-clock scaling (real time, not simulated)");
-    println!(
-        "  {CLIENTS} clients x {TXNS_PER_CLIENT} txns x {PAGES_PER_CLIENT} disjoint pages, log sync {SYNC_LATENCY:?}"
-    );
-
-    let (server, sets) = build_server(1, false, Tracer::disabled());
-    let global = Arc::new(Mutex::new(()));
-    let base = drive(&server, &sets, Some(&global));
-    println!("  single-lock baseline : {:>10.1?}", base);
-
-    let tracer = Tracer::flight(Meter::new(), HardwareModel::paper_1995(), 256);
-    tracer.set_lock_stats(true);
-    let (server, sets) = build_server(8, true, Arc::clone(&tracer));
-    let dec = drive(&server, &sets, None);
-    println!("  decomposed server    : {:>10.1?}", dec);
-
-    let speedup = base.as_secs_f64() / dec.as_secs_f64();
-    println!("  speedup              : {speedup:.2}x  (acceptance target > 1.5x)");
-
-    let (calls, forces) = server.group_commit_stats();
-    println!(
-        "  group commit         : {calls} commit forces -> {forces} disk syncs (mean batch {:.2})",
-        calls as f64 / forces.max(1) as f64
-    );
-    println!("  per-subsystem lock holds:");
-    for (name, s) in tracer.summaries() {
-        if let Some(sub) = name.strip_prefix("lock_hold:") {
-            println!("    {:<12} n={:<7} p99={:>9}ns max={:>9}ns", sub, s.count, s.p99, s.max);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("usage: scale --validate <BENCH_scale.json>");
+            std::process::exit(2);
+        };
+        match validate(path) {
+            Ok(()) => {
+                println!("{path}: ok ({} results covered)", expected_names().len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
         }
     }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    println!(
+        "qs-scale: client-scaling wall clock (real time, not simulated; build: {}{})",
+        if cfg!(debug_assertions) { "DEBUG — use --release for real numbers" } else { "release" },
+        if smoke { ", SMOKE — numbers not meaningful" } else { "" }
+    );
+
+    let mut results: Vec<ModeResult> = Vec::new();
+    for &clients in CLIENT_COUNTS {
+        let w = sweep_workload(clients, smoke);
+        println!(
+            "-- {clients} clients x {} txns x {} pages, log sync {:?} --",
+            w.txns_per_client, w.pages_per_client, w.sync_latency
+        );
+        let threads = run_threads(&w, false, format!("scale/c{clients}/threads"));
+        print_row(&threads);
+        let threads_gc = run_threads(&w, true, format!("scale/c{clients}/threads_gc"));
+        print_row(&threads_gc);
+        let reactor = run_reactor(&w, format!("scale/c{clients}/reactor"));
+        print_row(&reactor);
+        let speedup = threads.wall.as_secs_f64() / reactor.wall.as_secs_f64();
+        println!("   reactor vs threads: {speedup:.2}x");
+        results.extend([threads, threads_gc, reactor]);
+    }
+
+    println!("-- legacy 4-client decomposition comparison --");
+    for r in run_legacy4(smoke) {
+        print_row(&r);
+        results.push(r);
+    }
+
+    let json = render_json(&results, smoke);
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("wrote BENCH_scale.json ({} results)", results.len());
 }

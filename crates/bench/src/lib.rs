@@ -16,6 +16,7 @@
 //! count is measured separately with that many clients interleaving
 //! against one server.
 
+pub mod driver;
 pub mod experiment;
 pub mod figures;
 pub mod jsoncheck;

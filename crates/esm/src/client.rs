@@ -15,6 +15,7 @@
 use crate::buffer::{BufferPool, Evicted};
 use crate::lock::LockMode;
 use crate::net;
+use crate::runtime::{ClientPort, Reactor, Request, Response};
 use crate::server::{RecoveryFlavor, Server};
 use qs_sim::Meter;
 use qs_storage::Page;
@@ -24,6 +25,16 @@ use qs_wal::{record, LogRecord};
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// How a [`ClientConn`] reaches the server: direct method calls on the
+/// caller's thread (the seed behavior, byte-identical figures), or typed
+/// messages through a [`Reactor`]'s run queues. The transport carries the
+/// same operations in the same order, so the client-side network metering
+/// below is identical in both modes.
+enum Wire {
+    Direct,
+    Reactor(ClientPort),
+}
 
 /// One client workstation's connection to the server.
 pub struct ClientConn {
@@ -41,6 +52,24 @@ pub struct ClientConn {
     pages_logged: HashSet<PageId>,
     /// Shared with the server: a traced server's clients trace too.
     tracer: Arc<Tracer>,
+    /// Transport to the server (direct calls or reactor messages).
+    wire: Wire,
+}
+
+/// Unwrap an unexpected reply: a typed error passes through, anything
+/// else is a protocol violation.
+fn reply_err(op: &str, resp: Response) -> QsError {
+    match resp {
+        Response::Err(e) => e,
+        other => QsError::Protocol { detail: format!("unexpected {} reply to {op}", other.kind()) },
+    }
+}
+
+fn expect_unit(op: &str, resp: Response) -> QsResult<()> {
+    match resp {
+        Response::Ok => Ok(()),
+        other => Err(reply_err(op, other)),
+    }
 }
 
 impl ClientConn {
@@ -56,6 +85,31 @@ impl ClientConn {
             log_buf: Vec::new(),
             pages_logged: HashSet::new(),
             tracer,
+            wire: Wire::Direct,
+        }
+    }
+
+    /// Like [`ClientConn::new`], but every server operation travels as a
+    /// typed message through the reactor's run queues instead of a direct
+    /// call on this thread.
+    pub fn via_reactor(
+        id: ClientId,
+        reactor: &Reactor,
+        pool_pages: usize,
+        meter: Arc<Meter>,
+    ) -> Self {
+        let server = Arc::clone(reactor.server());
+        let tracer = Arc::clone(server.tracer());
+        ClientConn {
+            id,
+            server,
+            pool: BufferPool::new(pool_pages),
+            meter,
+            txn: None,
+            log_buf: Vec::new(),
+            pages_logged: HashSet::new(),
+            tracer,
+            wire: Wire::Reactor(reactor.connect(id)),
         }
     }
 
@@ -90,7 +144,13 @@ impl ClientConn {
             return Err(QsError::Protocol { detail: "transaction already in progress".into() });
         }
         net::control_round_trip(&self.meter);
-        let t = self.server.begin();
+        let t = match &self.wire {
+            Wire::Direct => self.server.begin(),
+            Wire::Reactor(port) => match port.call(Request::Begin) {
+                Response::Began(t) => t,
+                other => return Err(reply_err("begin", other)),
+            },
+        };
         self.txn = Some(t);
         Ok(t)
     }
@@ -166,8 +226,18 @@ impl ClientConn {
             self.pool.len() < self.pool.capacity(),
             "fetch_page without room; call ensure_room first"
         );
-        self.server.lock_page(txn, pid, mode)?;
-        let page = self.server.fetch_page(txn, pid)?;
+        let page = match &self.wire {
+            Wire::Direct => {
+                self.server.lock_page(txn, pid, mode)?;
+                self.server.fetch_page(txn, pid)?
+            }
+            // One message does lock + fetch: the page-fault path is a
+            // single round trip in both modes.
+            Wire::Reactor(port) => match port.call(Request::FetchLocked { txn, pid, mode }) {
+                Response::Page(p) => *p,
+                other => return Err(reply_err("fetch", other)),
+            },
+        };
         net::page_fetch(&self.meter);
         self.meter.page_requests.fetch_add(1, Ordering::Relaxed);
         let ev = self.pool.insert(pid, page, false)?;
@@ -179,17 +249,22 @@ impl ClientConn {
     /// first-touch-per-transaction path: pages are cached across
     /// transactions, locks are not — §3.1). One control round trip.
     pub fn s_lock(&mut self, pid: PageId) -> QsResult<()> {
-        let txn = self.txn()?;
-        net::control_round_trip(&self.meter);
-        self.server.lock_page(txn, pid, LockMode::S)
+        self.lock_remote(pid, LockMode::S)
     }
 
     /// Upgrade to an exclusive lock (write-fault path; one control round
     /// trip to the server's lock manager).
     pub fn x_lock(&mut self, pid: PageId) -> QsResult<()> {
+        self.lock_remote(pid, LockMode::X)
+    }
+
+    fn lock_remote(&mut self, pid: PageId, mode: LockMode) -> QsResult<()> {
         let txn = self.txn()?;
         net::control_round_trip(&self.meter);
-        self.server.lock_page(txn, pid, LockMode::X)
+        match &self.wire {
+            Wire::Direct => self.server.lock_page(txn, pid, mode),
+            Wire::Reactor(port) => expect_unit("lock", port.call(Request::Lock { txn, pid, mode })),
+        }
     }
 
     /// Allocate a fresh page inside the current transaction (logged at the
@@ -198,7 +273,13 @@ impl ClientConn {
     pub fn allocate_page(&mut self) -> QsResult<PageId> {
         let txn = self.txn()?;
         net::control_round_trip(&self.meter);
-        self.server.allocate_page(txn)
+        match &self.wire {
+            Wire::Direct => self.server.allocate_page(txn),
+            Wire::Reactor(port) => match port.call(Request::Allocate { txn }) {
+                Response::Allocated(pid) => Ok(pid),
+                other => Err(reply_err("allocate", other)),
+            },
+        }
     }
 
     /// Install a locally created page image into the cache as dirty.
@@ -224,7 +305,7 @@ impl ClientConn {
             return Err(QsError::Protocol { detail: "WPL generates no client log records".into() });
         }
         self.pages_logged.insert(pid);
-        self.server.note_page_logged(txn, pid)?;
+        self.note_logged_remote(txn, pid)?;
         let mut at = 0usize;
         while at < batch.len() {
             let len = record::frame_len(&batch[at..])?;
@@ -282,7 +363,13 @@ impl ClientConn {
         }
         self.meter.log_record_pages_shipped.fetch_add(1, Ordering::Relaxed);
         self.tracer.event(TraceCat::Ship, "log_page", txn.0, bytes as u64);
-        self.server.receive_log_bytes(txn, &self.log_buf[..bytes])?;
+        match &self.wire {
+            Wire::Direct => self.server.receive_log_bytes(txn, &self.log_buf[..bytes])?,
+            Wire::Reactor(port) => expect_unit(
+                "log_bytes",
+                port.call(Request::LogBytes { txn, bytes: self.log_buf[..bytes].to_vec() }),
+            )?,
+        }
         self.log_buf.drain(..bytes);
         Ok(())
     }
@@ -303,7 +390,16 @@ impl ClientConn {
     pub fn note_page_logged(&mut self, pid: PageId) -> QsResult<()> {
         let txn = self.txn()?;
         self.pages_logged.insert(pid);
-        self.server.note_page_logged(txn, pid)
+        self.note_logged_remote(txn, pid)
+    }
+
+    fn note_logged_remote(&self, txn: TxnId, pid: PageId) -> QsResult<()> {
+        match &self.wire {
+            Wire::Direct => self.server.note_page_logged(txn, pid),
+            Wire::Reactor(port) => {
+                expect_unit("note_logged", port.call(Request::NoteLogged { txn, pid }))
+            }
+        }
     }
 
     // -- dirty-page shipping -------------------------------------------------
@@ -324,14 +420,24 @@ impl ClientConn {
                 net::page_upload(&self.meter);
                 self.meter.dirty_pages_shipped.fetch_add(1, Ordering::Relaxed);
                 self.tracer.event(TraceCat::Ship, "dirty_page", txn.0, pid.0 as u64);
-                self.server.receive_dirty_page(txn, pid, page)
+                self.ship_page_remote(txn, pid, page)
             }
             RecoveryFlavor::Wpl => {
                 net::page_upload(&self.meter);
                 self.meter.dirty_pages_shipped.fetch_add(1, Ordering::Relaxed);
                 self.tracer.event(TraceCat::Ship, "dirty_page", txn.0, pid.0 as u64);
-                self.server.receive_dirty_page(txn, pid, page)
+                self.ship_page_remote(txn, pid, page)
             }
+        }
+    }
+
+    fn ship_page_remote(&self, txn: TxnId, pid: PageId, page: Page) -> QsResult<()> {
+        match &self.wire {
+            Wire::Direct => self.server.receive_dirty_page(txn, pid, page),
+            Wire::Reactor(port) => expect_unit(
+                "dirty_page",
+                port.call(Request::DirtyPage { txn, pid, page: Box::new(page) }),
+            ),
         }
     }
 
@@ -360,7 +466,10 @@ impl ClientConn {
             "dirty pages remain at commit"
         );
         net::control_round_trip(&self.meter);
-        self.server.commit(txn)?;
+        match &self.wire {
+            Wire::Direct => self.server.commit(txn)?,
+            Wire::Reactor(port) => expect_unit("commit", port.call(Request::Commit { txn }))?,
+        }
         if self.flavor() == RecoveryFlavor::RedoAtServer {
             // Pages were never shipped; they are clean *locally* now in the
             // sense that recovery no longer depends on this copy.
@@ -382,7 +491,10 @@ impl ClientConn {
             self.pool.remove(pid);
         }
         net::control_round_trip(&self.meter);
-        self.server.abort(txn)?;
+        match &self.wire {
+            Wire::Direct => self.server.abort(txn)?,
+            Wire::Reactor(port) => expect_unit("abort", port.call(Request::Abort { txn }))?,
+        }
         self.txn = None;
         self.pages_logged.clear();
         Ok(())
@@ -422,6 +534,7 @@ mod tests {
             pool_shards: 1,
             group_commit: false,
             restart: crate::server::RestartConfig::default(),
+            runtime: crate::runtime::RuntimeConfig::default(),
         };
         let meter = Meter::new();
         let server = Arc::new(Server::format(cfg, Arc::clone(&meter)).unwrap());
@@ -499,6 +612,7 @@ mod tests {
             pool_shards: 1,
             group_commit: false,
             restart: crate::server::RestartConfig::default(),
+            runtime: crate::runtime::RuntimeConfig::default(),
         };
         let s2 = Server::restart(server, cfg, Meter::new()).unwrap();
         let page = s2.read_page_for_test(pid).unwrap();

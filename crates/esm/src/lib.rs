@@ -32,6 +32,7 @@ pub mod gate;
 pub mod lock;
 pub mod net;
 pub mod restart_par;
+pub mod runtime;
 pub mod server;
 pub mod shard;
 pub mod tower;
@@ -41,7 +42,8 @@ pub mod wpl;
 pub use buffer::{BufferPool, Evicted};
 pub use client::ClientConn;
 pub use gate::VolumeGate;
-pub use lock::{LockManager, LockMode};
+pub use lock::{AsyncLockOutcome, LockEvents, LockManager, LockMode};
+pub use runtime::{ClientPort, Reactor, Request, Response, RuntimeConfig, RuntimeStats};
 pub use server::{RecoveryFlavor, RestartConfig, Server, ServerConfig, StableParts};
 pub use shard::ShardedPool;
 pub use tower::LogTower;

@@ -15,6 +15,7 @@
 use qs_types::sync::{Condvar, Mutex};
 use qs_types::{PageId, QsError, QsResult, TxnId};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Lock modes. `S` for reads, `X` for updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,12 +30,49 @@ impl LockMode {
     }
 }
 
+/// Outcome of a non-blocking queued acquire ([`LockManager::lock_async`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncLockOutcome {
+    /// Granted immediately; the caller may proceed.
+    Granted,
+    /// Conflicts with a current holder: the request joined the FIFO wait
+    /// queue and the registered [`LockEvents`] sink will be told when it
+    /// resolves (grant or deadlock abort).
+    Queued,
+}
+
+/// Receiver for deferred async-lock resolutions. The reactor runtime
+/// registers one so a queued request parks a *message*, not a thread.
+/// Callbacks fire outside the lock-table mutex; a grant callback may
+/// re-enter the lock manager.
+pub trait LockEvents: Send + Sync {
+    /// `txn`'s queued request on `page` resolved: `Ok` means the lock is
+    /// now held, `Err(LockConflict)` means waiting would have deadlocked
+    /// and the request was aborted instead.
+    fn lock_done(&self, txn: TxnId, page: PageId, result: QsResult<()>);
+}
+
+/// How a queued waiter learns about its grant: a blocked thread on the
+/// condvar (`Sync`) or the registered [`LockEvents`] sink (`Async`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaiterKind {
+    Sync,
+    Async,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+    kind: WaiterKind,
+}
+
 #[derive(Debug, Default)]
 struct LockEntry {
     /// Current holders and their granted mode.
     holders: HashMap<TxnId, LockMode>,
     /// FIFO wait queue.
-    waiters: VecDeque<(TxnId, LockMode)>,
+    waiters: VecDeque<Waiter>,
 }
 
 impl LockEntry {
@@ -72,10 +110,16 @@ impl LockTables {
     }
 }
 
+/// One deferred resolution to deliver once the table mutex is dropped.
+type Resolution = (TxnId, PageId, QsResult<()>);
+
 /// The server's lock manager.
 pub struct LockManager {
     tables: Mutex<LockTables>,
     wakeup: Condvar,
+    /// Sink for async-waiter resolutions (reactor runtime). Behind its
+    /// own mutex, taken only after `tables` is released.
+    events: Mutex<Option<Arc<dyn LockEvents>>>,
 }
 
 impl Default for LockManager {
@@ -86,7 +130,153 @@ impl Default for LockManager {
 
 impl LockManager {
     pub fn new() -> LockManager {
-        LockManager { tables: Mutex::new(LockTables::default()), wakeup: Condvar::new() }
+        LockManager {
+            tables: Mutex::new(LockTables::default()),
+            wakeup: Condvar::new(),
+            events: Mutex::new(None),
+        }
+    }
+
+    /// Install (or clear) the sink notified when async waiters resolve.
+    pub fn set_events(&self, events: Option<Arc<dyn LockEvents>>) {
+        *self.events.lock() = events;
+    }
+
+    /// Deliver deferred resolutions to the registered sink. Must be
+    /// called with the table mutex already released: a grant callback may
+    /// call straight back into the lock manager.
+    fn deliver(&self, resolutions: Vec<Resolution>) {
+        if resolutions.is_empty() {
+            return;
+        }
+        let sink = self.events.lock().clone();
+        if let Some(sink) = sink {
+            for (txn, page, result) in resolutions {
+                sink.lock_done(txn, page, result);
+            }
+        }
+    }
+
+    /// Promote grantable *async* waiters at the head of `page`'s queue.
+    /// Stops at the first sync waiter (the condvar broadcast serves it —
+    /// FIFO order across both kinds is preserved) or the first async
+    /// waiter that still conflicts. A conflicting async head gets its
+    /// waits-for edges refreshed against the current holders and a cycle
+    /// check; a deadlocked one is aborted on the spot (it has no blocked
+    /// thread to run its own check).
+    fn promote_async(t: &mut LockTables, page: PageId, out: &mut Vec<Resolution>) {
+        loop {
+            let Some(entry) = t.locks.get_mut(&page) else { return };
+            let Some(&head) = entry.waiters.front() else {
+                if entry.holders.is_empty() {
+                    t.locks.remove(&page);
+                }
+                return;
+            };
+            if head.kind == WaiterKind::Sync {
+                return;
+            }
+            let grantable = match entry.holders.get(&head.txn) {
+                // Queued upgrade: grantable once co-holders are gone (or
+                // the request turned out to be satisfied already).
+                Some(&held) => {
+                    held == LockMode::X || head.mode == LockMode::S || entry.holders.len() == 1
+                }
+                None => entry.grantable(head.txn, head.mode),
+            };
+            if grantable {
+                entry.waiters.pop_front();
+                if head.mode == LockMode::X || !entry.holders.contains_key(&head.txn) {
+                    entry.holders.insert(head.txn, head.mode);
+                }
+                t.held.entry(head.txn).or_default().insert(page);
+                t.waits_for.remove(&head.txn);
+                out.push((head.txn, page, Ok(())));
+                continue;
+            }
+            // Still blocked: refresh this waiter's edges and re-check for
+            // a cycle (a sync waiter re-checks on every wakeup; an async
+            // waiter must be checked *for*).
+            let holders: Vec<TxnId> =
+                entry.holders.keys().copied().filter(|&h| h != head.txn).collect();
+            let e = t.waits_for.entry(head.txn).or_default();
+            e.clear();
+            e.extend(holders);
+            if t.would_deadlock(head.txn) {
+                t.waits_for.remove(&head.txn);
+                let entry = t.locks.get_mut(&page).expect("entry exists");
+                entry.waiters.pop_front();
+                let holder = entry.holders.keys().copied().next().unwrap_or(TxnId::INVALID);
+                out.push((
+                    head.txn,
+                    page,
+                    Err(QsError::LockConflict { page, holder, requester: head.txn }),
+                ));
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Acquire `mode` on `page` for `txn` without ever blocking: grants
+    /// that a blocking [`LockManager::lock`] would satisfy immediately
+    /// return [`AsyncLockOutcome::Granted`]; a conflict queues the request
+    /// FIFO (alongside blocked threads) and returns
+    /// [`AsyncLockOutcome::Queued`] — the resolution arrives later through
+    /// the [`LockEvents`] sink. `Err(LockConflict)` means queueing would
+    /// deadlock right now.
+    pub fn lock_async(
+        &self,
+        txn: TxnId,
+        page: PageId,
+        mode: LockMode,
+    ) -> QsResult<AsyncLockOutcome> {
+        let mut t = self.tables.lock();
+        let entry = t.locks.entry(page).or_default();
+        if let Some(&held) = entry.holders.get(&txn) {
+            if held == LockMode::X || mode == LockMode::S || entry.holders.len() == 1 {
+                if held == LockMode::S && mode == LockMode::X {
+                    entry.holders.insert(txn, LockMode::X);
+                }
+                return Ok(AsyncLockOutcome::Granted);
+            }
+        } else {
+            let may_pass = match entry.waiters.front() {
+                None => true,
+                Some(&head) => {
+                    head.txn == txn
+                        || mode == LockMode::S
+                            && entry.waiters.iter().all(|w| w.mode == LockMode::S)
+                }
+            };
+            if entry.grantable(txn, mode) && may_pass {
+                entry.holders.insert(txn, mode);
+                t.held.entry(txn).or_default().insert(page);
+                return Ok(AsyncLockOutcome::Granted);
+            }
+        }
+        // Conflict: queue (FIFO, same queue as blocked threads), record
+        // waits-for edges, and run the same eager cycle check the
+        // blocking path runs at block time.
+        t.locks.get_mut(&page).expect("entry exists").waiters.push_back(Waiter {
+            txn,
+            mode,
+            kind: WaiterKind::Async,
+        });
+        let holders: Vec<TxnId> =
+            t.locks[&page].holders.keys().copied().filter(|&h| h != txn).collect();
+        t.waits_for.entry(txn).or_default().extend(holders);
+        if t.would_deadlock(txn) {
+            t.waits_for.remove(&txn);
+            if let Some(e) = t.locks.get_mut(&page) {
+                e.waiters.retain(|w| w.txn != txn);
+            }
+            let holder = t.locks[&page].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
+            drop(t);
+            self.wakeup.notify_all();
+            return Err(QsError::LockConflict { page, holder, requester: txn });
+        }
+        Ok(AsyncLockOutcome::Queued)
     }
 
     /// Acquire `mode` on `page` for `txn`, blocking until granted.
@@ -118,27 +308,36 @@ impl LockManager {
                         entry.holders.insert(txn, LockMode::X);
                     }
                     if queued {
-                        entry.waiters.retain(|w| w.0 != txn);
+                        entry.waiters.retain(|w| w.txn != txn);
                     }
                     t.waits_for.remove(&txn);
+                    // Our departure from the queue may expose a runnable
+                    // async head (e.g. a reader queued behind this one).
+                    let resolutions = Self::drain_promotions(&mut t, page, queued);
+                    drop(t);
+                    self.deliver(resolutions);
                     return Ok(queued);
                 }
             } else {
                 let may_pass = match entry.waiters.front() {
                     None => true,
-                    Some(&(head, _)) => {
-                        head == txn
+                    Some(&head) => {
+                        head.txn == txn
                             || mode == LockMode::S
-                                && entry.waiters.iter().all(|w| w.1 == LockMode::S)
+                                && entry.waiters.iter().all(|w| w.mode == LockMode::S)
                     }
                 };
                 if entry.grantable(txn, mode) && may_pass {
                     if queued {
-                        entry.waiters.retain(|w| w.0 != txn);
+                        entry.waiters.retain(|w| w.txn != txn);
                     }
                     entry.holders.insert(txn, mode);
                     t.held.entry(txn).or_default().insert(page);
                     t.waits_for.remove(&txn);
+                    // A compatible async reader may sit right behind us.
+                    let resolutions = Self::drain_promotions(&mut t, page, queued);
+                    drop(t);
+                    self.deliver(resolutions);
                     return Ok(queued);
                 }
             }
@@ -146,7 +345,11 @@ impl LockManager {
             // Must wait. Queue up once, record waits-for edges, check for a
             // cycle; edges are rebuilt fresh on every wakeup.
             if !queued {
-                t.locks.entry(page).or_default().waiters.push_back((txn, mode));
+                t.locks.entry(page).or_default().waiters.push_back(Waiter {
+                    txn,
+                    mode,
+                    kind: WaiterKind::Sync,
+                });
                 queued = true;
             }
             let holders: Vec<TxnId> =
@@ -155,18 +358,32 @@ impl LockManager {
             if t.would_deadlock(txn) {
                 t.waits_for.remove(&txn);
                 if let Some(e) = t.locks.get_mut(&page) {
-                    e.waiters.retain(|w| w.0 != txn);
+                    e.waiters.retain(|w| w.txn != txn);
                 }
                 let holder =
                     t.locks[&page].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
+                // Our departure may have promoted a runnable new head —
+                // sync (condvar broadcast) or async (promotion walk).
+                let mut resolutions = Vec::new();
+                Self::promote_async(&mut t, page, &mut resolutions);
                 drop(t);
-                // Our departure may have promoted a runnable new head.
                 self.wakeup.notify_all();
+                self.deliver(resolutions);
                 return Err(QsError::LockConflict { page, holder, requester: txn });
             }
             self.wakeup.wait(&mut t);
             t.waits_for.remove(&txn);
         }
+    }
+
+    /// Run the async promotion walk over `page` if this thread's exit
+    /// from the wait queue could have changed its head (`was_queued`).
+    fn drain_promotions(t: &mut LockTables, page: PageId, was_queued: bool) -> Vec<Resolution> {
+        let mut resolutions = Vec::new();
+        if was_queued {
+            Self::promote_async(t, page, &mut resolutions);
+        }
+        resolutions
     }
 
     /// Non-blocking acquire; `Err(LockConflict)` on any conflict.
@@ -201,14 +418,20 @@ impl LockManager {
     }
 
     /// Release every lock `txn` holds (commit/abort — strict 2PL).
+    /// Blocked threads are woken through the condvar; queued async
+    /// waiters at a freed queue's head are granted (or deadlock-aborted)
+    /// here and notified through the [`LockEvents`] sink.
     pub fn release_all(&self, txn: TxnId) {
         let mut t = self.tables.lock();
+        let mut resolutions = Vec::new();
         if let Some(pages) = t.held.remove(&txn) {
             for page in pages {
                 if let Some(e) = t.locks.get_mut(&page) {
                     e.holders.remove(&txn);
                     if e.holders.is_empty() && e.waiters.is_empty() {
                         t.locks.remove(&page);
+                    } else {
+                        Self::promote_async(&mut t, page, &mut resolutions);
                     }
                 }
             }
@@ -216,6 +439,7 @@ impl LockManager {
         t.waits_for.remove(&txn);
         drop(t);
         self.wakeup.notify_all();
+        self.deliver(resolutions);
     }
 
     /// Number of pages currently locked by anyone (test hook).
@@ -303,6 +527,106 @@ mod tests {
         lm.release_all(TxnId(1));
         let r2 = h.join().unwrap();
         assert!(r1.is_err() || r2.is_err(), "deadlock must be detected on at least one side");
+    }
+
+    /// Records every async resolution it sees.
+    #[derive(Default)]
+    struct Collect {
+        got: std::sync::Mutex<Vec<(TxnId, PageId, bool)>>,
+    }
+
+    impl LockEvents for Collect {
+        fn lock_done(&self, txn: TxnId, page: PageId, result: QsResult<()>) {
+            self.got.lock().unwrap().push((txn, page, result.is_ok()));
+        }
+    }
+
+    #[test]
+    fn async_immediate_grant_and_upgrade() {
+        let lm = LockManager::new();
+        assert_eq!(lm.lock_async(TxnId(1), P, LockMode::S).unwrap(), AsyncLockOutcome::Granted);
+        // Sole-holder upgrade grants immediately too.
+        assert_eq!(lm.lock_async(TxnId(1), P, LockMode::X).unwrap(), AsyncLockOutcome::Granted);
+        assert!(lm.holds(TxnId(1), P, LockMode::X));
+    }
+
+    #[test]
+    fn async_waiter_granted_on_release() {
+        let lm = LockManager::new();
+        let sink = Arc::new(Collect::default());
+        lm.set_events(Some(sink.clone()));
+        lm.lock(TxnId(1), P, LockMode::X).unwrap();
+        assert_eq!(lm.lock_async(TxnId(2), P, LockMode::X).unwrap(), AsyncLockOutcome::Queued);
+        assert!(sink.got.lock().unwrap().is_empty(), "no grant while held");
+        lm.release_all(TxnId(1));
+        assert_eq!(*sink.got.lock().unwrap(), vec![(TxnId(2), P, true)]);
+        assert!(lm.holds(TxnId(2), P, LockMode::X));
+        lm.release_all(TxnId(2));
+        assert_eq!(lm.locked_pages(), 0);
+    }
+
+    #[test]
+    fn async_compatible_readers_promoted_together() {
+        let lm = LockManager::new();
+        let sink = Arc::new(Collect::default());
+        lm.set_events(Some(sink.clone()));
+        lm.lock(TxnId(1), P, LockMode::X).unwrap();
+        assert_eq!(lm.lock_async(TxnId(2), P, LockMode::S).unwrap(), AsyncLockOutcome::Queued);
+        assert_eq!(lm.lock_async(TxnId(3), P, LockMode::S).unwrap(), AsyncLockOutcome::Queued);
+        lm.release_all(TxnId(1));
+        assert_eq!(
+            *sink.got.lock().unwrap(),
+            vec![(TxnId(2), P, true), (TxnId(3), P, true)],
+            "both queued readers granted FIFO in one promotion walk"
+        );
+    }
+
+    #[test]
+    fn async_deadlock_detected_at_queue_time() {
+        let lm = LockManager::new();
+        let sink = Arc::new(Collect::default());
+        lm.set_events(Some(sink.clone()));
+        let (pa, pb) = (PageId(10), PageId(11));
+        lm.lock(TxnId(1), pa, LockMode::X).unwrap();
+        lm.lock(TxnId(2), pb, LockMode::X).unwrap();
+        // T1 queues on pb: edge T1 → T2.
+        assert_eq!(lm.lock_async(TxnId(1), pb, LockMode::X).unwrap(), AsyncLockOutcome::Queued);
+        // T2 → pa would close the cycle: refused synchronously.
+        assert!(matches!(
+            lm.lock_async(TxnId(2), pa, LockMode::X),
+            Err(QsError::LockConflict { .. })
+        ));
+        // T2 commits; T1's queued request is granted via the sink.
+        lm.release_all(TxnId(2));
+        assert_eq!(*sink.got.lock().unwrap(), vec![(TxnId(1), pb, true)]);
+    }
+
+    #[test]
+    fn async_waiter_survives_sync_side_deadlock_abort() {
+        // A parked async waiter is part of a cycle closed by a *blocked
+        // thread*: the thread's eager check aborts the sync side, and the
+        // async waiter must then be granted normally on release.
+        let lm = Arc::new(LockManager::new());
+        let sink = Arc::new(Collect::default());
+        lm.set_events(Some(sink.clone()));
+        let (pa, pb) = (PageId(20), PageId(21));
+        lm.lock(TxnId(3), pa, LockMode::X).unwrap();
+        lm.lock(TxnId(1), pb, LockMode::X).unwrap();
+        assert_eq!(lm.lock_async(TxnId(1), pa, LockMode::X).unwrap(), AsyncLockOutcome::Queued);
+        // T3 blocks on pb (held by T1) from a thread: edge T3 → T1; with
+        // T1 → T3 already present one side must abort. The sync side
+        // detects it at block time and departs; T1's queued request is
+        // then granted when T3 finally releases pa.
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || {
+            let r = lm2.lock(TxnId(3), pb, LockMode::X);
+            lm2.release_all(TxnId(3));
+            r
+        });
+        let r3 = h.join().unwrap();
+        assert!(matches!(r3, Err(QsError::LockConflict { .. })), "sync side sees the cycle");
+        assert_eq!(*sink.got.lock().unwrap(), vec![(TxnId(1), pa, true)]);
+        assert!(lm.holds(TxnId(1), pa, LockMode::X));
     }
 
     #[test]

@@ -9,10 +9,23 @@
 use qs_sim::Meter;
 use qs_types::PAGE_SIZE;
 
+/// Bytes of the full RPC message header: transport framing plus the
+/// request word (opcode, transaction id, page address, payload length).
+/// 64 bytes matches the mid-90s RPC stacks the paper's testbed ran — a
+/// control message is nothing *but* this header.
+pub const MSG_HEADER_BYTES: u64 = 64;
+
+/// Bytes of the reduced header on a *continuation* frame: the trailing
+/// partial page of a log-record batch rides the connection state set up by
+/// the preceding full frames, so it omits the page-address/request half of
+/// the header and keeps only transport framing plus the payload length.
+/// Asymmetric on purpose — see [`partial_upload`].
+pub const PARTIAL_MSG_HEADER_BYTES: u64 = 32;
+
 /// Bytes of a small control message (page request, lock request, ack…).
-pub const CONTROL_MSG_BYTES: u64 = 64;
+pub const CONTROL_MSG_BYTES: u64 = MSG_HEADER_BYTES;
 /// Bytes of a message carrying one 8 KB page (payload + framing).
-pub const PAGE_MSG_BYTES: u64 = PAGE_SIZE as u64 + 64;
+pub const PAGE_MSG_BYTES: u64 = PAGE_SIZE as u64 + MSG_HEADER_BYTES;
 
 /// Meter a control round trip (request + reply).
 pub fn control_round_trip(meter: &Meter) {
@@ -37,7 +50,7 @@ pub fn page_upload(meter: &Meter) {
 /// message: a partial upload can never cost more on the wire than shipping
 /// the whole page would.
 pub fn partial_upload(meter: &Meter, bytes: u64) {
-    meter.net((bytes + 32).min(PAGE_MSG_BYTES));
+    meter.net((bytes + PARTIAL_MSG_HEADER_BYTES).min(PAGE_MSG_BYTES));
     meter.net(CONTROL_MSG_BYTES);
 }
 

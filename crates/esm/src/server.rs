@@ -40,7 +40,8 @@
 //! ([`crate::aries::restart`] or the WPL backward scan in [`Server::wpl_restart`]).
 
 use crate::gate::VolumeGate;
-use crate::lock::{LockManager, LockMode};
+use crate::lock::{AsyncLockOutcome, LockManager, LockMode};
+use crate::runtime::RuntimeConfig;
 use crate::shard::{PoolView, ShardedPool};
 use crate::tower::LogTower;
 use crate::txn::{TxnStatus, TxnTable};
@@ -103,6 +104,12 @@ pub struct ServerConfig {
     pub group_commit: bool,
     /// Restart-engine knobs (see [`RestartConfig`]).
     pub restart: RestartConfig,
+    /// Event-driven runtime knobs (see [`RuntimeConfig`]). The default is
+    /// inert: clients built with `ClientConn::new` keep calling the
+    /// server directly on their own thread, so every committed figure
+    /// stays byte-identical. Only `crate::runtime::Reactor::start` reads
+    /// these.
+    pub runtime: RuntimeConfig,
 }
 
 /// Restart-engine configuration.
@@ -138,6 +145,7 @@ impl ServerConfig {
             pool_shards: 1,
             group_commit: false,
             restart: RestartConfig::default(),
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -168,6 +176,16 @@ impl ServerConfig {
 
     pub fn with_redo_workers(mut self, workers: usize) -> ServerConfig {
         self.restart.redo_workers = workers.max(1);
+        self
+    }
+
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> ServerConfig {
+        self.runtime = runtime;
+        self
+    }
+
+    pub fn with_runtime_workers(mut self, workers: usize) -> ServerConfig {
+        self.runtime.workers = workers.max(1);
         self
     }
 }
@@ -483,6 +501,37 @@ impl Server {
         }
         self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Non-blocking variant of [`Server::lock_page`] for reactor workers:
+    /// either the lock is granted now (metered exactly like a no-wait
+    /// `lock_page`) or the request parks and the grant arrives later via
+    /// the [`crate::lock::LockEvents`] sink — the worker thread never
+    /// blocks. Queue-time deadlocks surface as `Err(LockConflict)` here.
+    pub(crate) fn lock_page_async(
+        &self,
+        txn: TxnId,
+        pid: PageId,
+        mode: LockMode,
+    ) -> QsResult<AsyncLockOutcome> {
+        let outcome = self.locks.lock_async(txn, pid, mode)?;
+        if outcome == AsyncLockOutcome::Granted {
+            self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(outcome)
+    }
+
+    /// Meter a parked async lock request whose grant just arrived — the
+    /// same trace event and counter bump a blocking `lock_page` performs
+    /// when its wait ends.
+    pub(crate) fn note_async_lock_granted(&self, txn: TxnId, pid: PageId) {
+        self.tracer.event(TraceCat::LockWait, "granted", txn.0, pid.0 as u64);
+        self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The lock manager, for the reactor to install its grant sink.
+    pub(crate) fn locks(&self) -> &LockManager {
+        &self.locks
     }
 
     /// Allocate a page inside a transaction (logged, recoverable).
@@ -872,12 +921,39 @@ impl Server {
     /// committers can append their own commit records while this one's
     /// batch syncs — that window is what group commit batches over.
     pub fn commit(&self, txn: TxnId) -> QsResult<()> {
-        let mut txns = self.txns.lock(&self.tracer);
-        let prev = txns.active_mut(txn)?.last_lsn;
-        let lsn = self.log.wal().append(&LogRecord::Commit { txn, prev })?;
-        drop(txns);
+        let lsn = self.commit_append(txn)?;
         let stats = self.log.commit_force(lsn, &self.tracer)?;
         self.meter_force(stats);
+        self.commit_finish(txn)
+    }
+
+    /// First half of [`Server::commit`]: append the commit record and
+    /// return its LSN. The force and the post-force bookkeeping are left to
+    /// the caller so the reactor's committer can batch one force over many
+    /// appended commit records.
+    pub(crate) fn commit_append(&self, txn: TxnId) -> QsResult<Lsn> {
+        let mut txns = self.txns.lock(&self.tracer);
+        let prev = txns.active_mut(txn)?.last_lsn;
+        self.log.wal().append(&LogRecord::Commit { txn, prev })
+    }
+
+    /// Force the log through `max_lsn` on behalf of a batch of `batch`
+    /// appended commit records and meter it the way `batch` sequential
+    /// direct commits would have: one real force (or one no-op if the tail
+    /// is already durable) plus `batch - 1` no-op forces for the riders.
+    /// That keeps `log_forces + log_forces_noop == commits` — the same
+    /// invariant the group-commit leader/follower path maintains.
+    pub(crate) fn commit_force_batch(&self, max_lsn: Lsn, batch: usize) -> QsResult<()> {
+        let stats = self.log.commit_force(max_lsn, &self.tracer)?;
+        self.meter_force(stats);
+        for _ in 1..batch {
+            self.meter.log_forces_noop.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Second half of [`Server::commit`]: everything after the force.
+    pub(crate) fn commit_finish(&self, txn: TxnId) -> QsResult<()> {
         let mut txns = self.txns.lock(&self.tracer);
         if self.cfg.flavor == RecoveryFlavor::Wpl {
             let logged = std::mem::take(&mut txns.active_mut(txn)?.logged_pages);
@@ -1277,6 +1353,7 @@ mod tests {
             pool_shards: 1,
             group_commit: false,
             restart: RestartConfig::default(),
+            runtime: RuntimeConfig::default(),
         }
     }
 

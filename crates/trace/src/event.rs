@@ -27,6 +27,11 @@ pub enum TraceCat {
     Checkpoint,
     /// Restart-recovery phase marker (`a`/`b` phase-specific).
     Restart,
+    /// Reactor run-queue activity (`a` = worker, `b` = queue depth).
+    Queue,
+    /// Admission control shed a request (`a` = client, `b` = the load
+    /// figure that tripped the shed: in-flight count or queue depth).
+    Shed,
 }
 
 impl TraceCat {
@@ -43,6 +48,8 @@ impl TraceCat {
             TraceCat::WalForce => "wal_force",
             TraceCat::Checkpoint => "checkpoint",
             TraceCat::Restart => "restart",
+            TraceCat::Queue => "queue",
+            TraceCat::Shed => "shed",
         }
     }
 }

@@ -59,8 +59,10 @@ echo "== concurrency tests under a deadlock watchdog =="
 # The multi-client / group-commit / shard-independence / parallel-restart
 # tests exercise the decomposed server's locking across real threads; a
 # lock-order bug shows up as a hang, not a failure. `timeout` turns a
-# hang into a hard FAIL.
-for t in multi_client group_commit shard_independence restart_equivalence; do
+# hang into a hard FAIL. The runtime_* suites add the reactor: admission
+# sheds, park/resume lock waits, and direct-vs-reactor equivalence.
+for t in multi_client group_commit shard_independence restart_equivalence \
+         runtime_admission runtime_equivalence; do
     if ! timeout 120 cargo test -q --offline --test "$t"; then
         echo "FAIL: --test $t did not finish within 120s (possible deadlock)" \
              "or failed; see output above"
@@ -90,5 +92,16 @@ restart_dir=$(mktemp -d)
 cargo run --release --offline -p qs-bench --bin restart_bench -- \
     --validate "$restart_dir/BENCH_restart.json"
 rm -rf "$restart_dir"
+
+echo "== scale benchmark smoke run =="
+# Runs the full mode × client-count matrix (reactor included, up to 1024
+# simulated clients) at tiny sizes, with the workload-applied and
+# commit-count assertions live; --validate asserts the JSON covers every
+# mode at every client count.
+scale_dir=$(mktemp -d)
+(cd "$scale_dir" && "$OLDPWD/target/release/scale" --smoke > /dev/null)
+cargo run --release --offline -p qs-bench --bin scale -- \
+    --validate "$scale_dir/BENCH_scale.json"
+rm -rf "$scale_dir"
 
 echo "== verify: all green =="
