@@ -281,7 +281,7 @@ fn bench_locks(h: &mut Harness) {
     let mut i = 0u32;
     h.bench("lock_manager/uncontended_x_lock_release", 100_000, || {
         i += 1;
-        lm.lock(TxnId(1), PageId(i % 512), LockMode::X).unwrap();
+        lm.lock(TxnId(1), PageId(i % 512).into(), LockMode::X).unwrap();
         if i.is_multiple_of(512) {
             lm.release_all(TxnId(1));
         }

@@ -180,11 +180,16 @@ fn render_json(results: &[BenchResult], smoke: bool) -> String {
 }
 
 fn schemes() -> Vec<SystemConfig> {
-    vec![
-        SystemConfig::pd_esm().with_memory(8.0, 2.0),
-        SystemConfig::pd_redo().with_memory(8.0, 2.0),
-        SystemConfig::wpl().with_memory(8.0, 2.0),
-    ]
+    // The page-diffing variant of every recovery flavor plus WPL, drawn
+    // from the shared Table 3 list: new flavors get restart rows (and
+    // `--validate` coverage) automatically. The sub-page schemes differ
+    // only in how the client generates records, not in restart work.
+    SystemConfig::all_schemes()
+        .into_iter()
+        .map(|(cfg, _)| cfg)
+        .filter(|cfg| !cfg.log_gen.software_updates())
+        .map(|cfg| cfg.with_memory(8.0, 2.0))
+        .collect()
 }
 
 /// Every result name the harness emits, for `--validate`.

@@ -34,10 +34,11 @@
 use qs_bench::driver::{
     assert_workload_applied, build_scale_server, drive_reactor, drive_threads, ScaleWorkload,
 };
-use qs_esm::{Reactor, RecoveryFlavor, RuntimeConfig, ServerConfig};
+use qs_esm::{Reactor, RuntimeConfig, ServerConfig};
 use qs_sim::{HardwareModel, JsonWriter, Meter};
 use qs_trace::Tracer;
 use qs_types::sync::Mutex;
+use quickstore::SystemConfig;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -73,7 +74,10 @@ impl ModeResult {
 }
 
 fn server_cfg(w: &ScaleWorkload, group_commit: bool) -> ServerConfig {
-    ServerConfig::new(RecoveryFlavor::EsmAries)
+    // Scale measures the runtime, not recovery: every row runs the shared
+    // Table 3 list's lead scheme (PD-ESM) rather than a hand-copied flavor.
+    let flavor = SystemConfig::by_name("PD-ESM").expect("shared scheme list").flavor;
+    ServerConfig::new(flavor)
         .with_pool_mb(32.0)
         .with_volume_pages((w.clients * w.pages_per_client * 2).max(1024))
         .with_log_mb(64.0)

@@ -13,7 +13,7 @@ use qs_oo7::params::{DbSize, Oo7Params};
 use qs_oo7::{gen, T2Mode};
 use qs_sim::Meter;
 use qs_types::QsResult;
-use quickstore::SystemConfig;
+use quickstore::{LogGeneration, SystemConfig};
 
 fn quick() -> bool {
     std::env::var("QS_QUICK").map(|v| v == "1").unwrap_or(false)
@@ -36,30 +36,32 @@ fn opts(db: DbSize, mode: T2Mode) -> RunOpts {
     o
 }
 
+/// The shared Table 3 list (`SystemConfig::all_schemes`) at one memory
+/// split, reordered so WPL leads — the paper's figure legends start with
+/// it. `with_memory` zeroes the recovery buffer for WPL automatically.
+fn systems_with_memory(total_mb: f64, recovery_mb: f64) -> Vec<SystemConfig> {
+    let mut v: Vec<SystemConfig> = SystemConfig::all_schemes()
+        .into_iter()
+        .map(|(cfg, _)| cfg.with_memory(total_mb, recovery_mb))
+        .collect();
+    v.sort_by_key(|cfg| cfg.flavor != RecoveryFlavor::Wpl); // stable: WPL first, rest keep order
+    v
+}
+
 /// §5.1 systems: 12 MB per client; diffing schemes split 8 MB pool + 4 MB
 /// recovery buffer.
 fn unconstrained_systems() -> Vec<SystemConfig> {
-    vec![
-        SystemConfig::wpl().with_memory(12.0, 0.0),
-        SystemConfig::pd_esm().with_memory(12.0, 4.0),
-        SystemConfig::sd_esm().with_memory(12.0, 4.0),
-        SystemConfig::sl_esm().with_memory(12.0, 4.0),
-        SystemConfig::pd_redo().with_memory(12.0, 4.0),
-    ]
+    systems_with_memory(12.0, 4.0)
 }
 
 /// §5.2 systems: 8 MB per client; diffing schemes 7.5 + 0.5.
 fn constrained_systems() -> Vec<SystemConfig> {
-    vec![
-        SystemConfig::wpl().with_memory(8.0, 0.0),
-        SystemConfig::pd_esm().with_memory(8.0, 0.5),
-        SystemConfig::sd_esm().with_memory(8.0, 0.5),
-        SystemConfig::sl_esm().with_memory(8.0, 0.5),
-        SystemConfig::pd_redo().with_memory(8.0, 0.5),
-    ]
+    systems_with_memory(8.0, 0.5)
 }
 
-/// §5.3 systems: 12 MB per client; two pool/recovery-buffer splits.
+/// §5.3 systems: 12 MB per client; two pool/recovery-buffer splits. This
+/// set stays hand-curated (it compares memory splits of one scheme, not
+/// the scheme list), with one row per non-ESM flavor for reference.
 fn big_systems() -> Vec<SystemConfig> {
     vec![
         SystemConfig::wpl().with_memory(12.0, 0.0),
@@ -67,7 +69,19 @@ fn big_systems() -> Vec<SystemConfig> {
         SystemConfig::pd_esm().with_memory(12.0, 0.5).with_buffer_suffix(),
         SystemConfig::sd_esm().with_memory(12.0, 4.0).with_buffer_suffix(),
         SystemConfig::pd_redo().with_memory(12.0, 4.0).with_buffer_suffix(),
+        SystemConfig::pd_rlog().with_memory(12.0, 4.0).with_buffer_suffix(),
     ]
+}
+
+/// One system per underlying recovery flavor — the page-diffing variant
+/// where a choice exists — drawn from the shared list.
+fn per_flavor_systems(total_mb: f64, recovery_mb: f64) -> Vec<SystemConfig> {
+    SystemConfig::all_schemes()
+        .into_iter()
+        .map(|(cfg, _)| cfg)
+        .filter(|cfg| matches!(cfg.log_gen, LogGeneration::PageDiff | LogGeneration::WholePage))
+        .map(|cfg| cfg.with_memory(total_mb, recovery_mb))
+        .collect()
 }
 
 fn curves_for(systems: &[SystemConfig], o: &RunOpts) -> QsResult<Vec<Vec<ExperimentPoint>>> {
@@ -116,11 +130,7 @@ pub fn fig08() -> QsResult<String> {
 pub fn fig09() -> QsResult<String> {
     writes_figure(
         "Figure 9: client page writes per transaction (small, unconstrained)",
-        &[
-            SystemConfig::pd_esm().with_memory(12.0, 4.0),
-            SystemConfig::pd_redo().with_memory(12.0, 4.0),
-            SystemConfig::wpl().with_memory(12.0, 0.0),
-        ],
+        &per_flavor_systems(12.0, 4.0),
     )
 }
 
@@ -144,15 +154,14 @@ pub fn fig12_13() -> QsResult<String> {
 
 /// Figure 14: client writes per transaction, constrained cache.
 pub fn fig14() -> QsResult<String> {
-    writes_figure(
-        "Figure 14: client page writes per transaction (small, constrained)",
-        &[
-            SystemConfig::pd_esm().with_memory(8.0, 0.5),
-            SystemConfig::sd_esm().with_memory(8.0, 0.5),
-            SystemConfig::pd_redo().with_memory(8.0, 0.5),
-            SystemConfig::wpl().with_memory(8.0, 0.0),
-        ],
-    )
+    // Every scheme with distinct write behavior (SL writes like SD).
+    let systems: Vec<SystemConfig> = SystemConfig::all_schemes()
+        .into_iter()
+        .map(|(cfg, _)| cfg)
+        .filter(|cfg| !matches!(cfg.log_gen, LogGeneration::SubPageLog { .. }))
+        .map(|cfg| cfg.with_memory(8.0, 0.5))
+        .collect();
+    writes_figure("Figure 14: client page writes per transaction (small, constrained)", &systems)
 }
 
 fn writes_figure(title: &str, systems: &[SystemConfig]) -> QsResult<String> {
@@ -230,14 +239,7 @@ pub fn table1_2() -> QsResult<String> {
 pub fn table3() -> QsResult<String> {
     let mut out = String::new();
     out.push_str("== Table 3: software versions ==\n");
-    let rows = [
-        (SystemConfig::pd_esm(), "page diffing, ESM recovery"),
-        (SystemConfig::sd_esm(), "sub-page diffing, ESM recovery"),
-        (SystemConfig::sl_esm(), "sub-page logging (no diffing), ESM recovery"),
-        (SystemConfig::pd_redo(), "page diffing, REDO recovery"),
-        (SystemConfig::wpl(), "whole page logging"),
-    ];
-    for (cfg, desc) in rows {
+    for (cfg, desc) in SystemConfig::all_schemes() {
         out.push_str(&format!("{:<12}{desc}\n", cfg.name()));
     }
     out.push_str("Suffix = recovery-buffer MB when relevant, e.g. PD-ESM-4, PD-ESM-1/2.\n");

@@ -142,13 +142,8 @@ fn render_json(traces: &[SchemeTrace]) -> String {
 /// Run every scheme, write `results/restart_trace.json`, and return the
 /// human-readable report.
 pub fn run() -> QsResult<String> {
-    let configs = [
-        SystemConfig::pd_esm().with_memory(2.0, 0.5),
-        SystemConfig::sd_esm().with_memory(2.0, 0.5),
-        SystemConfig::sl_esm().with_memory(2.0, 0.5),
-        SystemConfig::pd_redo().with_memory(2.0, 0.5),
-        SystemConfig::wpl().with_memory(2.0, 0.0),
-    ];
+    let configs: Vec<SystemConfig> =
+        SystemConfig::all_schemes().into_iter().map(|(cfg, _)| cfg.with_memory(2.0, 0.5)).collect();
     let traces: Vec<SchemeTrace> = configs.iter().map(trace_one).collect::<QsResult<_>>()?;
     std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/restart_trace.json", render_json(&traces)))

@@ -99,6 +99,12 @@ impl SystemConfig {
         Self::build(LogGeneration::PageDiff, RecoveryFlavor::RedoAtServer)
     }
 
+    /// Page differencing over the REDO-only logical flavor (the
+    /// post-paper contender: no-steal, logical records, no undo phase).
+    pub fn pd_rlog() -> SystemConfig {
+        Self::build(LogGeneration::PageDiff, RecoveryFlavor::RedoLogical)
+    }
+
     pub fn wpl() -> SystemConfig {
         SystemConfig {
             log_gen: LogGeneration::WholePage,
@@ -107,6 +113,28 @@ impl SystemConfig {
             recovery_buffer_mb: 0.0,
             name_buffer_suffix: false,
         }
+    }
+
+    /// The canonical software-version list: paper Table 3 order with the
+    /// post-paper PD-RLOG contender inserted before WPL, each paired with
+    /// its one-line description. The figure drivers, the trace/restart
+    /// benches, and the cross-scheme equivalence tests all iterate this
+    /// one list, so a scheme added here gets figure, bench, and test
+    /// coverage automatically.
+    pub fn all_schemes() -> Vec<(SystemConfig, &'static str)> {
+        vec![
+            (Self::pd_esm(), "page diffing, ESM recovery"),
+            (Self::sd_esm(), "sub-page diffing, ESM recovery"),
+            (Self::sl_esm(), "sub-page logging (no diffing), ESM recovery"),
+            (Self::pd_redo(), "page diffing, REDO recovery"),
+            (Self::pd_rlog(), "page diffing, REDO-only logical recovery (no-steal)"),
+            (Self::wpl(), "whole page logging"),
+        ]
+    }
+
+    /// Look up a scheme by its Table 3 name (`"PD-ESM"`, …, `"WPL"`).
+    pub fn by_name(name: &str) -> Option<SystemConfig> {
+        Self::all_schemes().into_iter().map(|(c, _)| c).find(|c| c.name() == name)
     }
 
     fn build(log_gen: LogGeneration, flavor: RecoveryFlavor) -> SystemConfig {
@@ -206,7 +234,21 @@ mod tests {
         assert_eq!(SystemConfig::sd_esm().name(), "SD-ESM");
         assert_eq!(SystemConfig::sl_esm().name(), "SL-ESM");
         assert_eq!(SystemConfig::pd_redo().name(), "PD-REDO");
+        assert_eq!(SystemConfig::pd_rlog().name(), "PD-RLOG");
         assert_eq!(SystemConfig::wpl().name(), "WPL");
+    }
+
+    #[test]
+    fn shared_scheme_list_is_valid_and_named() {
+        let schemes = SystemConfig::all_schemes();
+        assert_eq!(schemes.len(), 6);
+        for (cfg, desc) in &schemes {
+            cfg.validate().unwrap();
+            assert!(!desc.is_empty());
+            let found = SystemConfig::by_name(&cfg.name()).expect("round-trips by name");
+            assert_eq!(found.name(), cfg.name());
+        }
+        assert!(SystemConfig::by_name("PD-NOPE").is_none());
     }
 
     #[test]

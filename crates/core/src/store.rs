@@ -28,7 +28,7 @@ use crate::config::{LogGeneration, SystemConfig};
 use crate::descriptor::DescriptorTable;
 use crate::diff;
 use crate::recovery_buffer::{Copied, RecoveryBuffer};
-use qs_esm::ClientConn;
+use qs_esm::{ClientConn, RecoveryFlavor};
 use qs_sim::Meter;
 use qs_storage::Page;
 use qs_trace::{TraceCat, Tracer};
@@ -610,6 +610,9 @@ impl Store {
             return Ok(()); // no client log records, ever
         }
         let txn = self.client.txn()?;
+        // RLOG ships REDO-only logical records: same slot/offset/after
+        // image as a physical update, no before image.
+        let logical = self.cfg.flavor == RecoveryFlavor::RedoLogical;
         self.scratch.enc.clear();
         if self.created.contains(&pid) {
             // Newly created page: whole-page image (ESM's own policy).
@@ -642,9 +645,10 @@ impl Store {
                         &mut self.scratch.regions,
                     );
                     for r in &self.scratch.regions {
-                        w.update(
+                        emit_update(
+                            &mut w,
+                            logical,
                             txn,
-                            Lsn::NULL,
                             pid,
                             slot,
                             r.start as u16,
@@ -708,9 +712,10 @@ impl Store {
                         if pos < b {
                             bc.data_mut()[pos..b].copy_from_slice(&current.bytes()[pos..b]);
                         }
-                        w.update(
+                        emit_update(
+                            &mut w,
+                            logical,
                             txn,
-                            Lsn::NULL,
                             pid,
                             slot,
                             r.start as u16,
@@ -736,9 +741,10 @@ impl Store {
                         if s >= e {
                             continue;
                         }
-                        w.update(
+                        emit_update(
+                            &mut w,
+                            logical,
                             txn,
-                            Lsn::NULL,
                             pid,
                             slot,
                             (s - obj_off) as u16,
@@ -764,5 +770,25 @@ impl Store {
         } else {
             self.client.add_encoded_records(pid, &self.scratch.enc)
         }
+    }
+}
+
+/// Serialize one update: a physical before/after record under the default
+/// flavors, a logical (REDO-only, after-image-only) record under `RLOG`.
+#[allow(clippy::too_many_arguments)]
+fn emit_update(
+    w: &mut RecordWriter<'_>,
+    logical: bool,
+    txn: TxnId,
+    pid: PageId,
+    slot: u16,
+    offset: u16,
+    before: &[u8],
+    after: &[u8],
+) {
+    if logical {
+        w.update_logical(txn, Lsn::NULL, pid, slot, offset, after);
+    } else {
+        w.update(txn, Lsn::NULL, pid, slot, offset, before, after);
     }
 }

@@ -39,7 +39,8 @@ pub(crate) struct Analysis {
 pub(crate) fn apply_redo(page: &mut Page, pid: PageId, rec: &LogRecord, lsn: Lsn) -> QsResult<()> {
     match rec {
         LogRecord::Update { slot, offset, after, .. }
-        | LogRecord::Clr { slot, offset, after, .. } => {
+        | LogRecord::Clr { slot, offset, after, .. }
+        | LogRecord::UpdateLogical { slot, offset, after, .. } => {
             let obj = page.object_mut(pid, *slot)?;
             let off = *offset as usize;
             obj[off..off + after.len()].copy_from_slice(after);
@@ -164,6 +165,144 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
 
     undo_and_finish(server, analysis.att, analysis.max_txn, &mut ph_undo)?;
     Ok(vec![ph_analysis, ph_redo, ph_undo])
+}
+
+/// What a `RedoLogical` analysis pass learned from the log: the
+/// committed-transactions set (only their records replay), the merged
+/// dirty-page table, and the id high-water marks. Shared by the serial
+/// and parallel engines.
+#[derive(Debug, Default)]
+pub(crate) struct RlogAnalysis {
+    pub(crate) committed: std::collections::HashSet<TxnId>,
+    pub(crate) dpt: HashMap<PageId, Lsn>,
+    pub(crate) max_txn: TxnId,
+    pub(crate) max_alloc: u64,
+}
+
+impl RlogAnalysis {
+    pub(crate) fn note_txn(&mut self, txn: TxnId) {
+        if txn != TxnId::INVALID && (self.max_txn == TxnId::INVALID || txn.0 > self.max_txn.0) {
+            self.max_txn = txn;
+        }
+    }
+
+    /// Merge one committed transaction's page → first-LSN map into the
+    /// global DPT, keeping the earliest recovery LSN per page.
+    pub(crate) fn merge_committed(&mut self, pages: HashMap<PageId, Lsn>) {
+        for (p, l) in pages {
+            let e = self.dpt.entry(p).or_insert(l);
+            if l < *e {
+                *e = l;
+            }
+        }
+    }
+}
+
+/// REDO-only restart for the `RedoLogical` flavor: analysis over the whole
+/// retained log (fuzzy checkpoints mean committed work may precede the
+/// checkpoint; the truncation rule `keep = min(ck, min active first-LSN,
+/// min DPT recLSN)` guarantees the retained log covers everything
+/// unapplied), then a forward redo of *committed* transactions' logical
+/// records. No-steal means no uncommitted data ever reached the volume, so
+/// there is no undo phase at all — losers are simply never replayed.
+pub fn rlog_restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
+    let mut ph_analysis = PhaseStat { name: "analysis", ..PhaseStat::default() };
+    let mut ph_redo = PhaseStat { name: "redo", ..PhaseStat::default() };
+
+    let analysis = server.with_quiesced(|inner| -> QsResult<RlogAnalysis> {
+        let scan_from = inner.log.start_lsn();
+        ph_analysis.pages_read =
+            inner.log.tail_lsn().0.saturating_sub(scan_from.0).div_ceil(PAGE_SIZE as u64);
+
+        let mut a = RlogAnalysis { max_txn: TxnId::INVALID, ..RlogAnalysis::default() };
+        // Loser candidates: txn → page → first LSN, merged into the DPT
+        // only if the commit record shows up.
+        let mut pending: HashMap<TxnId, HashMap<PageId, Lsn>> = HashMap::new();
+        for item in inner.log.scan_forward(scan_from) {
+            let (lsn, rec) = item?;
+            ph_analysis.records += 1;
+            a.note_txn(rec.txn());
+            match &rec {
+                LogRecord::Commit { txn, .. } => {
+                    a.committed.insert(*txn);
+                    if let Some(pages) = pending.remove(txn) {
+                        a.merge_committed(pages);
+                    }
+                }
+                LogRecord::Abort { txn, .. } => {
+                    pending.remove(txn);
+                }
+                LogRecord::Checkpoint { body } => {
+                    a.max_alloc = a.max_alloc.max(body.allocated_pages);
+                }
+                _ => {
+                    if let Some(page) = rec.page() {
+                        pending.entry(rec.txn()).or_default().entry(page).or_insert(lsn);
+                        a.max_alloc = a.max_alloc.max(page.0 as u64 + 1);
+                    }
+                }
+            }
+        }
+        inner.volume.ensure_allocated(a.max_alloc as usize)?;
+        Ok(a)
+    })?;
+
+    // Redo pass: repeat committed history only.
+    server.with_quiesced(|inner| -> QsResult<()> {
+        let Some(&redo_from) = analysis.dpt.values().min() else {
+            return Ok(());
+        };
+        ph_redo.pages_read =
+            inner.log.tail_lsn().0.saturating_sub(redo_from.0).div_ceil(PAGE_SIZE as u64);
+        let mut resident: HashMap<PageId, Page> = HashMap::new();
+        for item in inner.log.scan_forward(redo_from) {
+            let (lsn, rec) = item?;
+            let Some(pid) = rec.page() else { continue };
+            if !analysis.committed.contains(&rec.txn()) {
+                continue;
+            }
+            let Some(&rec_lsn) = analysis.dpt.get(&pid) else { continue };
+            if lsn < rec_lsn {
+                continue;
+            }
+            let page = match resident.entry(pid) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    ph_redo.data_reads += 1;
+                    e.insert(inner.volume.read_page(pid)?)
+                }
+            };
+            if page.lsn() >= lsn {
+                continue; // effect already on disk image
+            }
+            ph_redo.records += 1;
+            apply_redo(page, pid, &rec, lsn)?;
+        }
+        for (pid, page) in resident {
+            let ev = inner.pool.insert(pid, page, true)?;
+            if let Some(ev) = ev {
+                if ev.dirty {
+                    inner.volume.write_page(ev.page_id, &ev.page)?;
+                    ph_redo.data_writes += 1;
+                }
+            }
+            inner.dpt.insert(pid, redo_from);
+        }
+        Ok(())
+    })?;
+
+    rlog_finish(server, analysis.max_txn)?;
+    Ok(vec![ph_analysis, ph_redo])
+}
+
+/// Restart epilogue shared by the serial and parallel `RedoLogical`
+/// engines: resume txn-id assignment, make the recovered state durable
+/// and truncate the log. No undo — there are no losers to roll back.
+pub(crate) fn rlog_finish(server: &Server, max_txn: TxnId) -> QsResult<()> {
+    server.with_quiesced(|inner| {
+        *inner.txns = TxnTable::resuming_after(max_txn);
+    });
+    server.checkpoint()
 }
 
 /// Undo pass plus restart epilogue, shared by the serial and parallel

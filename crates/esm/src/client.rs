@@ -13,7 +13,7 @@
 //! must act *before* a dirty page can leave client memory.
 
 use crate::buffer::{BufferPool, Evicted};
-use crate::lock::LockMode;
+use crate::lock::{LockMode, Resource};
 use crate::net;
 use crate::runtime::{ClientPort, Reactor, Request, Response};
 use crate::server::{RecoveryFlavor, Server};
@@ -249,21 +249,36 @@ impl ClientConn {
     /// first-touch-per-transaction path: pages are cached across
     /// transactions, locks are not — §3.1). One control round trip.
     pub fn s_lock(&mut self, pid: PageId) -> QsResult<()> {
-        self.lock_remote(pid, LockMode::S)
+        self.lock_remote(Resource::Page(pid), LockMode::S)
     }
 
     /// Upgrade to an exclusive lock (write-fault path; one control round
     /// trip to the server's lock manager).
     pub fn x_lock(&mut self, pid: PageId) -> QsResult<()> {
-        self.lock_remote(pid, LockMode::X)
+        self.lock_remote(Resource::Page(pid), LockMode::X)
     }
 
-    fn lock_remote(&mut self, pid: PageId, mode: LockMode) -> QsResult<()> {
+    /// Record-granularity locks: lock one slot of a page instead of the
+    /// whole page. The server takes the page *intention* mode and then the
+    /// record lock, so two clients on distinct slots of one hot page no
+    /// longer serialize. Same single control round trip as a page lock.
+    pub fn s_lock_record(&mut self, pid: PageId, slot: u16) -> QsResult<()> {
+        self.lock_remote(Resource::Record(pid, slot), LockMode::S)
+    }
+
+    /// Exclusive record lock (see [`ClientConn::s_lock_record`]).
+    pub fn x_lock_record(&mut self, pid: PageId, slot: u16) -> QsResult<()> {
+        self.lock_remote(Resource::Record(pid, slot), LockMode::X)
+    }
+
+    fn lock_remote(&mut self, resource: Resource, mode: LockMode) -> QsResult<()> {
         let txn = self.txn()?;
         net::control_round_trip(&self.meter);
         match &self.wire {
-            Wire::Direct => self.server.lock_page(txn, pid, mode),
-            Wire::Reactor(port) => expect_unit("lock", port.call(Request::Lock { txn, pid, mode })),
+            Wire::Direct => self.server.lock_resource(txn, resource, mode),
+            Wire::Reactor(port) => {
+                expect_unit("lock", port.call(Request::Lock { txn, resource, mode }))
+            }
         }
     }
 
@@ -311,7 +326,7 @@ impl ClientConn {
             let len = record::frame_len(&batch[at..])?;
             let frame = &batch[at..at + len];
             self.meter.log_records_generated.fetch_add(1, Ordering::Relaxed);
-            if record::frame_tag(frame) == 1 {
+            if matches!(record::frame_tag(frame), 1 | 8) {
                 self.meter
                     .log_image_bytes
                     .fetch_add(record::frame_update_image_bytes(frame), Ordering::Relaxed);
@@ -410,7 +425,7 @@ impl ClientConn {
     pub fn ship_dirty_page(&mut self, pid: PageId, page: Page) -> QsResult<()> {
         let txn = self.txn()?;
         match self.flavor() {
-            RecoveryFlavor::RedoAtServer => {
+            RecoveryFlavor::RedoAtServer | RecoveryFlavor::RedoLogical => {
                 // Log records carry everything; the page itself stays home.
                 self.flush_log()?;
                 Ok(())
@@ -462,7 +477,11 @@ impl ClientConn {
         let txn = self.txn()?;
         self.flush_log()?;
         debug_assert!(
-            self.pool.dirty_pages().is_empty() || self.flavor() == RecoveryFlavor::RedoAtServer,
+            self.pool.dirty_pages().is_empty()
+                || matches!(
+                    self.flavor(),
+                    RecoveryFlavor::RedoAtServer | RecoveryFlavor::RedoLogical
+                ),
             "dirty pages remain at commit"
         );
         net::control_round_trip(&self.meter);
@@ -470,7 +489,7 @@ impl ClientConn {
             Wire::Direct => self.server.commit(txn)?,
             Wire::Reactor(port) => expect_unit("commit", port.call(Request::Commit { txn }))?,
         }
-        if self.flavor() == RecoveryFlavor::RedoAtServer {
+        if matches!(self.flavor(), RecoveryFlavor::RedoAtServer | RecoveryFlavor::RedoLogical) {
             // Pages were never shipped; they are clean *locally* now in the
             // sense that recovery no longer depends on this copy.
             for pid in self.pool.dirty_pages() {

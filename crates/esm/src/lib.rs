@@ -6,8 +6,9 @@
 //! * Clients fetch pages from the server over a (metered, simulated)
 //!   network, update objects locally, generate log records, and ship log
 //!   records *before* the pages they describe (the log-before-page rule).
-//! * The server manages a circular log (via `qs-wal`), page-level locks
-//!   ([`lock::LockManager`]), a STEAL/NO-FORCE buffer pool, and restart
+//! * The server manages a circular log (via `qs-wal`), hierarchical
+//!   page/record locks ([`lock::LockManager`]), a STEAL/NO-FORCE buffer
+//!   pool, and restart
 //!   recovery — ARIES-style for the ESM/REDO flavors ([`aries`]),
 //!   backward-scan reconstruction for whole-page logging ([`wpl`]).
 //! * Three server flavors ([`RecoveryFlavor`]) correspond to the paper's
@@ -42,7 +43,7 @@ pub mod wpl;
 pub use buffer::{BufferPool, Evicted};
 pub use client::ClientConn;
 pub use gate::VolumeGate;
-pub use lock::{AsyncLockOutcome, LockEvents, LockManager, LockMode};
+pub use lock::{AsyncLockOutcome, LockEvents, LockManager, LockMode, Resource};
 pub use runtime::{ClientPort, Reactor, Request, Response, RuntimeConfig, RuntimeStats};
 pub use server::{RecoveryFlavor, RestartConfig, Server, ServerConfig, StableParts};
 pub use shard::ShardedPool;

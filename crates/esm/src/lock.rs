@@ -1,12 +1,23 @@
-//! Page-level lock manager.
+//! Hierarchical lock manager: pages and records.
 //!
-//! ESM does page-level two-phase locking (the paper notes it does *not*
-//! support fine-granularity locking, unlike ARIES/CSA — and that a
-//! memory-mapped store is inherently page-based anyway). Modes are S and X
-//! with upgrade; waiters queue FIFO; deadlocks are detected eagerly by a
-//! waits-for-graph cycle check at block time and resolved by aborting the
-//! requester (the paper's workloads are deliberately conflict-free, §4.1,
-//! but the substrate must still be correct for the thread tests).
+//! ESM historically did page-level two-phase locking (the paper notes it
+//! does *not* support fine-granularity locking, unlike ARIES/CSA — and
+//! that a memory-mapped store is inherently page-based anyway). The
+//! logical-recovery scheme (DESIGN.md §6e) needs record locks, so the
+//! manager now keys its tables by [`Resource`] — `Page(pid)` or
+//! `Record(pid, slot)` — with the classic granularity protocol: a record
+//! lock is preceded by an *intention* lock (`IS`/`IX`) on its page, and
+//! the conflict matrix makes intention modes compatible with each other
+//! but an `X` page lock conflict with everything. Callers that only ever
+//! take page locks see behavior bit-identical to the old flat manager:
+//! page mode = plain `S`/`X`, no intents taken, same grant order.
+//!
+//! Modes are IS/IX/S/X with upgrade (the supremum of `S` and `IX` is `X`
+//! — no SIX mode, conservatively); waiters queue FIFO; deadlocks are
+//! detected eagerly by a waits-for-graph cycle check at block time and
+//! resolved by aborting the requester. The waits-for graph is keyed by
+//! transaction, so cycles spanning page *and* record resources (mixed
+//! granularity) are detected the same way.
 //!
 //! Locks are *not* cached across transactions ("inter-transaction caching
 //! of locks at clients is not supported") — the client releases everything
@@ -17,16 +28,90 @@ use qs_types::{PageId, QsError, QsResult, TxnId};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-/// Lock modes. `S` for reads, `X` for updates.
+/// Lock modes. `S` for reads, `X` for updates; `IS`/`IX` are page-level
+/// intention modes taken on behalf of record-level `S`/`X` locks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockMode {
+    /// Intention shared: some record of this page is (to be) S-locked.
+    IS,
+    /// Intention exclusive: some record of this page is (to be) X-locked.
+    IX,
     S,
     X,
 }
 
 impl LockMode {
+    /// The symmetric conflict matrix (Gray's granularity hierarchy, minus
+    /// SIX): intention modes coexist with each other; `IS` also coexists
+    /// with `S`; `X` coexists with nothing.
     fn compatible(self, other: LockMode) -> bool {
-        matches!((self, other), (LockMode::S, LockMode::S))
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IS, IS) | (IS, IX) | (IX, IS) | (IX, IX) | (IS, S) | (S, IS) | (S, S)
+        )
+    }
+
+    /// Does holding `self` subsume the rights `other` grants? A partial
+    /// order: `X` covers everything, `S` and `IX` each cover `IS`.
+    fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        self == other || matches!((self, other), (X, _) | (S, IS) | (IX, IS))
+    }
+
+    /// Supremum of two held/requested modes: the weakest single mode that
+    /// covers both. `S ∨ IX = X` (no SIX mode — conservative, and
+    /// unreachable from page-only histories).
+    fn combine(self, other: LockMode) -> LockMode {
+        if self.covers(other) {
+            self
+        } else if other.covers(self) {
+            other
+        } else {
+            LockMode::X
+        }
+    }
+
+    /// The page-level intention mode a record lock of this mode requires.
+    fn intent(self) -> LockMode {
+        match self {
+            LockMode::S | LockMode::IS => LockMode::IS,
+            LockMode::X | LockMode::IX => LockMode::IX,
+        }
+    }
+}
+
+/// What a lock request names: a whole page, or one record (slot) of a
+/// page. Page-granularity callers use `Page`; the record path takes an
+/// intention lock on `Page(pid)` and then the `Record` lock itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    Page(PageId),
+    Record(PageId, u16),
+}
+
+impl Resource {
+    /// The page this resource lives on (the record's page for `Record`).
+    pub fn page(self) -> PageId {
+        match self {
+            Resource::Page(p) | Resource::Record(p, _) => p,
+        }
+    }
+
+    /// Dense encoding for trace events (`page << 16 | slot + 1`; low 16
+    /// bits zero for a whole-page resource). Lock-wait traces carry this
+    /// instead of a bare page id so record-level waits are attributable.
+    pub fn trace_code(self) -> u64 {
+        match self {
+            Resource::Page(p) => (p.0 as u64) << 16,
+            Resource::Record(p, s) => (p.0 as u64) << 16 | (s as u64 + 1),
+        }
+    }
+}
+
+impl From<PageId> for Resource {
+    fn from(p: PageId) -> Resource {
+        Resource::Page(p)
     }
 }
 
@@ -46,10 +131,13 @@ pub enum AsyncLockOutcome {
 /// Callbacks fire outside the lock-table mutex; a grant callback may
 /// re-enter the lock manager.
 pub trait LockEvents: Send + Sync {
-    /// `txn`'s queued request on `page` resolved: `Ok` means the lock is
-    /// now held, `Err(LockConflict)` means waiting would have deadlocked
-    /// and the request was aborted instead.
-    fn lock_done(&self, txn: TxnId, page: PageId, result: QsResult<()>);
+    /// `txn`'s queued request on `resource` resolved: `Ok` means the lock
+    /// is now held, `Err(LockConflict)` means waiting would have
+    /// deadlocked and the request was aborted instead. For a record
+    /// request whose *intention* lock queued, the resource reported is
+    /// the page — the waiter re-runs its request and the completed
+    /// intention step re-grants re-entrantly.
+    fn lock_done(&self, txn: TxnId, resource: Resource, result: QsResult<()>);
 }
 
 /// How a queued waiter learns about its grant: a blocked thread on the
@@ -76,17 +164,25 @@ struct LockEntry {
 }
 
 impl LockEntry {
+    /// Can a *non-holder* acquire `mode` alongside the current holders?
     fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
-        self.holders.iter().all(|(&h, &hm)| h == txn || hm.compatible(mode) && mode.compatible(hm))
+        self.holders.iter().all(|(&h, &hm)| h == txn || hm.compatible(mode))
+    }
+
+    /// Can a holder of `held` move to `goal` (no-op included)?
+    fn upgradable(&self, txn: TxnId, held: LockMode, goal: LockMode) -> bool {
+        goal == held || self.holders.iter().all(|(&h, &hm)| h == txn || hm.compatible(goal))
     }
 }
 
 #[derive(Default)]
 struct LockTables {
-    locks: HashMap<PageId, LockEntry>,
-    /// Pages each transaction holds (for O(held) release).
-    held: HashMap<TxnId, HashSet<PageId>>,
-    /// waits-for edges (waiter → holders), for deadlock detection.
+    locks: HashMap<Resource, LockEntry>,
+    /// Resources each transaction holds (for O(held) release).
+    held: HashMap<TxnId, HashSet<Resource>>,
+    /// waits-for edges (waiter → holders), for deadlock detection. Keyed
+    /// by transaction, so page/record (mixed-granularity) cycles are one
+    /// graph.
     waits_for: HashMap<TxnId, HashSet<TxnId>>,
 }
 
@@ -111,7 +207,7 @@ impl LockTables {
 }
 
 /// One deferred resolution to deliver once the table mutex is dropped.
-type Resolution = (TxnId, PageId, QsResult<()>);
+type Resolution = (TxnId, Resource, QsResult<()>);
 
 /// The server's lock manager.
 pub struct LockManager {
@@ -151,47 +247,53 @@ impl LockManager {
         }
         let sink = self.events.lock().clone();
         if let Some(sink) = sink {
-            for (txn, page, result) in resolutions {
-                sink.lock_done(txn, page, result);
+            for (txn, res, result) in resolutions {
+                sink.lock_done(txn, res, result);
             }
         }
     }
 
-    /// Promote grantable *async* waiters at the head of `page`'s queue.
+    /// Promote grantable *async* waiters at the head of `res`'s queue.
     /// Stops at the first sync waiter (the condvar broadcast serves it —
     /// FIFO order across both kinds is preserved) or the first async
     /// waiter that still conflicts. A conflicting async head gets its
     /// waits-for edges refreshed against the current holders and a cycle
     /// check; a deadlocked one is aborted on the spot (it has no blocked
     /// thread to run its own check).
-    fn promote_async(t: &mut LockTables, page: PageId, out: &mut Vec<Resolution>) {
+    fn promote_async(t: &mut LockTables, res: Resource, out: &mut Vec<Resolution>) {
         loop {
-            let Some(entry) = t.locks.get_mut(&page) else { return };
+            let Some(entry) = t.locks.get_mut(&res) else { return };
             let Some(&head) = entry.waiters.front() else {
                 if entry.holders.is_empty() {
-                    t.locks.remove(&page);
+                    t.locks.remove(&res);
                 }
                 return;
             };
             if head.kind == WaiterKind::Sync {
                 return;
             }
-            let grantable = match entry.holders.get(&head.txn) {
-                // Queued upgrade: grantable once co-holders are gone (or
-                // the request turned out to be satisfied already).
+            let goal = match entry.holders.get(&head.txn) {
+                // Queued upgrade: grantable once co-holders allow the
+                // combined mode (or the request turned out to be
+                // satisfied already).
                 Some(&held) => {
-                    held == LockMode::X || head.mode == LockMode::S || entry.holders.len() == 1
+                    let goal = held.combine(head.mode);
+                    if !entry.upgradable(head.txn, held, goal) {
+                        None
+                    } else {
+                        Some((goal, goal != held))
+                    }
                 }
-                None => entry.grantable(head.txn, head.mode),
+                None => entry.grantable(head.txn, head.mode).then_some((head.mode, true)),
             };
-            if grantable {
+            if let Some((goal, insert)) = goal {
                 entry.waiters.pop_front();
-                if head.mode == LockMode::X || !entry.holders.contains_key(&head.txn) {
-                    entry.holders.insert(head.txn, head.mode);
+                if insert {
+                    entry.holders.insert(head.txn, goal);
                 }
-                t.held.entry(head.txn).or_default().insert(page);
+                t.held.entry(head.txn).or_default().insert(res);
                 t.waits_for.remove(&head.txn);
-                out.push((head.txn, page, Ok(())));
+                out.push((head.txn, res, Ok(())));
                 continue;
             }
             // Still blocked: refresh this waiter's edges and re-check for
@@ -204,13 +306,13 @@ impl LockManager {
             e.extend(holders);
             if t.would_deadlock(head.txn) {
                 t.waits_for.remove(&head.txn);
-                let entry = t.locks.get_mut(&page).expect("entry exists");
+                let entry = t.locks.get_mut(&res).expect("entry exists");
                 entry.waiters.pop_front();
                 let holder = entry.holders.keys().copied().next().unwrap_or(TxnId::INVALID);
                 out.push((
                     head.txn,
-                    page,
-                    Err(QsError::LockConflict { page, holder, requester: head.txn }),
+                    res,
+                    Err(QsError::LockConflict { page: res.page(), holder, requester: head.txn }),
                 ));
                 continue;
             }
@@ -218,7 +320,7 @@ impl LockManager {
         }
     }
 
-    /// Acquire `mode` on `page` for `txn` without ever blocking: grants
+    /// Acquire `mode` on `res` for `txn` without ever blocking: grants
     /// that a blocking [`LockManager::lock`] would satisfy immediately
     /// return [`AsyncLockOutcome::Granted`]; a conflict queues the request
     /// FIFO (alongside blocked threads) and returns
@@ -228,15 +330,16 @@ impl LockManager {
     pub fn lock_async(
         &self,
         txn: TxnId,
-        page: PageId,
+        res: Resource,
         mode: LockMode,
     ) -> QsResult<AsyncLockOutcome> {
         let mut t = self.tables.lock();
-        let entry = t.locks.entry(page).or_default();
+        let entry = t.locks.entry(res).or_default();
         if let Some(&held) = entry.holders.get(&txn) {
-            if held == LockMode::X || mode == LockMode::S || entry.holders.len() == 1 {
-                if held == LockMode::S && mode == LockMode::X {
-                    entry.holders.insert(txn, LockMode::X);
+            let goal = held.combine(mode);
+            if entry.upgradable(txn, held, goal) {
+                if goal != held {
+                    entry.holders.insert(txn, goal);
                 }
                 return Ok(AsyncLockOutcome::Granted);
             }
@@ -244,68 +347,100 @@ impl LockManager {
             let may_pass = match entry.waiters.front() {
                 None => true,
                 Some(&head) => {
-                    head.txn == txn
-                        || mode == LockMode::S
-                            && entry.waiters.iter().all(|w| w.mode == LockMode::S)
+                    head.txn == txn || entry.waiters.iter().all(|w| w.mode.compatible(mode))
                 }
             };
             if entry.grantable(txn, mode) && may_pass {
                 entry.holders.insert(txn, mode);
-                t.held.entry(txn).or_default().insert(page);
+                t.held.entry(txn).or_default().insert(res);
                 return Ok(AsyncLockOutcome::Granted);
             }
         }
         // Conflict: queue (FIFO, same queue as blocked threads), record
         // waits-for edges, and run the same eager cycle check the
         // blocking path runs at block time.
-        t.locks.get_mut(&page).expect("entry exists").waiters.push_back(Waiter {
+        t.locks.get_mut(&res).expect("entry exists").waiters.push_back(Waiter {
             txn,
             mode,
             kind: WaiterKind::Async,
         });
         let holders: Vec<TxnId> =
-            t.locks[&page].holders.keys().copied().filter(|&h| h != txn).collect();
+            t.locks[&res].holders.keys().copied().filter(|&h| h != txn).collect();
         t.waits_for.entry(txn).or_default().extend(holders);
         if t.would_deadlock(txn) {
             t.waits_for.remove(&txn);
-            if let Some(e) = t.locks.get_mut(&page) {
+            if let Some(e) = t.locks.get_mut(&res) {
                 e.waiters.retain(|w| w.txn != txn);
             }
-            let holder = t.locks[&page].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
+            let holder = t.locks[&res].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
             drop(t);
             self.wakeup.notify_all();
-            return Err(QsError::LockConflict { page, holder, requester: txn });
+            return Err(QsError::LockConflict { page: res.page(), holder, requester: txn });
         }
         Ok(AsyncLockOutcome::Queued)
     }
 
-    /// Acquire `mode` on `page` for `txn`, blocking until granted.
+    /// [`LockManager::lock_async`] for a possibly record-granularity
+    /// resource: a record request first acquires the intention mode on
+    /// its page, then the record lock itself. A queued intention step
+    /// reports `Queued` immediately; when the grant arrives the caller
+    /// re-issues the whole request and the completed step re-grants
+    /// re-entrantly.
+    pub fn lock_resource_async(
+        &self,
+        txn: TxnId,
+        res: Resource,
+        mode: LockMode,
+    ) -> QsResult<AsyncLockOutcome> {
+        if let Resource::Record(pid, _) = res {
+            match self.lock_async(txn, Resource::Page(pid), mode.intent())? {
+                AsyncLockOutcome::Queued => return Ok(AsyncLockOutcome::Queued),
+                AsyncLockOutcome::Granted => {}
+            }
+        }
+        self.lock_async(txn, res, mode)
+    }
+
+    /// Acquire `mode` on `res` for `txn`, blocking until granted.
     /// Returns `Err(LockConflict)` if waiting would deadlock.
     ///
     /// Grants hand off FIFO: a waiter stays queued across wakeups and is
     /// granted only once it reaches the head of the queue (or everyone
-    /// queued is a reader). Dequeue-then-recheck — the old protocol —
+    /// queued is compatible). Dequeue-then-recheck — the old protocol —
     /// live-locks with ≥3 contenders: each woken waiter sees the *others*
     /// still queued, requeues itself, and sleeps again with the lock free.
-    pub fn lock(&self, txn: TxnId, page: PageId, mode: LockMode) -> QsResult<()> {
-        self.lock_observing(txn, page, mode).map(|_waited| ())
+    pub fn lock(&self, txn: TxnId, res: Resource, mode: LockMode) -> QsResult<()> {
+        self.lock_observing(txn, res, mode).map(|_waited| ())
+    }
+
+    /// [`LockManager::lock`] for a possibly record-granularity resource:
+    /// page intention first, then the record lock (blocking at either
+    /// step; the waits-for graph covers both).
+    pub fn lock_resource(&self, txn: TxnId, res: Resource, mode: LockMode) -> QsResult<bool> {
+        let mut waited = false;
+        if let Resource::Record(pid, _) = res {
+            waited |= self.lock_observing(txn, Resource::Page(pid), mode.intent())?;
+        }
+        waited |= self.lock_observing(txn, res, mode)?;
+        Ok(waited)
     }
 
     /// [`LockManager::lock`], additionally reporting whether the request
     /// had to queue behind a conflicting holder (`Ok(true)` = it waited).
     /// The tracing layer uses this to count lock waits without a second
     /// trip into the lock tables.
-    pub fn lock_observing(&self, txn: TxnId, page: PageId, mode: LockMode) -> QsResult<bool> {
+    pub fn lock_observing(&self, txn: TxnId, res: Resource, mode: LockMode) -> QsResult<bool> {
         let mut t = self.tables.lock();
         let mut queued = false;
         loop {
-            let entry = t.locks.entry(page).or_default();
+            let entry = t.locks.entry(res).or_default();
             if let Some(&held) = entry.holders.get(&txn) {
                 // Re-entrant / upgrade handling. Upgrades bypass the queue;
-                // an S→X upgrade with co-holders falls through and waits.
-                if held == LockMode::X || mode == LockMode::S || entry.holders.len() == 1 {
-                    if held == LockMode::S && mode == LockMode::X {
-                        entry.holders.insert(txn, LockMode::X);
+                // an upgrade blocked by co-holders falls through and waits.
+                let goal = held.combine(mode);
+                if entry.upgradable(txn, held, goal) {
+                    if goal != held {
+                        entry.holders.insert(txn, goal);
                     }
                     if queued {
                         entry.waiters.retain(|w| w.txn != txn);
@@ -313,7 +448,7 @@ impl LockManager {
                     t.waits_for.remove(&txn);
                     // Our departure from the queue may expose a runnable
                     // async head (e.g. a reader queued behind this one).
-                    let resolutions = Self::drain_promotions(&mut t, page, queued);
+                    let resolutions = Self::drain_promotions(&mut t, res, queued);
                     drop(t);
                     self.deliver(resolutions);
                     return Ok(queued);
@@ -322,9 +457,7 @@ impl LockManager {
                 let may_pass = match entry.waiters.front() {
                     None => true,
                     Some(&head) => {
-                        head.txn == txn
-                            || mode == LockMode::S
-                                && entry.waiters.iter().all(|w| w.mode == LockMode::S)
+                        head.txn == txn || entry.waiters.iter().all(|w| w.mode.compatible(mode))
                     }
                 };
                 if entry.grantable(txn, mode) && may_pass {
@@ -332,10 +465,10 @@ impl LockManager {
                         entry.waiters.retain(|w| w.txn != txn);
                     }
                     entry.holders.insert(txn, mode);
-                    t.held.entry(txn).or_default().insert(page);
+                    t.held.entry(txn).or_default().insert(res);
                     t.waits_for.remove(&txn);
                     // A compatible async reader may sit right behind us.
-                    let resolutions = Self::drain_promotions(&mut t, page, queued);
+                    let resolutions = Self::drain_promotions(&mut t, res, queued);
                     drop(t);
                     self.deliver(resolutions);
                     return Ok(queued);
@@ -345,7 +478,7 @@ impl LockManager {
             // Must wait. Queue up once, record waits-for edges, check for a
             // cycle; edges are rebuilt fresh on every wakeup.
             if !queued {
-                t.locks.entry(page).or_default().waiters.push_back(Waiter {
+                t.locks.entry(res).or_default().waiters.push_back(Waiter {
                     txn,
                     mode,
                     kind: WaiterKind::Sync,
@@ -353,66 +486,66 @@ impl LockManager {
                 queued = true;
             }
             let holders: Vec<TxnId> =
-                t.locks[&page].holders.keys().copied().filter(|&h| h != txn).collect();
+                t.locks[&res].holders.keys().copied().filter(|&h| h != txn).collect();
             t.waits_for.entry(txn).or_default().extend(holders);
             if t.would_deadlock(txn) {
                 t.waits_for.remove(&txn);
-                if let Some(e) = t.locks.get_mut(&page) {
+                if let Some(e) = t.locks.get_mut(&res) {
                     e.waiters.retain(|w| w.txn != txn);
                 }
-                let holder =
-                    t.locks[&page].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
+                let holder = t.locks[&res].holders.keys().copied().next().unwrap_or(TxnId::INVALID);
                 // Our departure may have promoted a runnable new head —
                 // sync (condvar broadcast) or async (promotion walk).
                 let mut resolutions = Vec::new();
-                Self::promote_async(&mut t, page, &mut resolutions);
+                Self::promote_async(&mut t, res, &mut resolutions);
                 drop(t);
                 self.wakeup.notify_all();
                 self.deliver(resolutions);
-                return Err(QsError::LockConflict { page, holder, requester: txn });
+                return Err(QsError::LockConflict { page: res.page(), holder, requester: txn });
             }
             self.wakeup.wait(&mut t);
             t.waits_for.remove(&txn);
         }
     }
 
-    /// Run the async promotion walk over `page` if this thread's exit
+    /// Run the async promotion walk over `res` if this thread's exit
     /// from the wait queue could have changed its head (`was_queued`).
-    fn drain_promotions(t: &mut LockTables, page: PageId, was_queued: bool) -> Vec<Resolution> {
+    fn drain_promotions(t: &mut LockTables, res: Resource, was_queued: bool) -> Vec<Resolution> {
         let mut resolutions = Vec::new();
         if was_queued {
-            Self::promote_async(t, page, &mut resolutions);
+            Self::promote_async(t, res, &mut resolutions);
         }
         resolutions
     }
 
     /// Non-blocking acquire; `Err(LockConflict)` on any conflict.
-    pub fn try_lock(&self, txn: TxnId, page: PageId, mode: LockMode) -> QsResult<()> {
+    pub fn try_lock(&self, txn: TxnId, res: Resource, mode: LockMode) -> QsResult<()> {
         let mut t = self.tables.lock();
-        let entry = t.locks.entry(page).or_default();
+        let entry = t.locks.entry(res).or_default();
         if let Some(&held) = entry.holders.get(&txn) {
-            if held == LockMode::X || mode == LockMode::S {
+            let goal = held.combine(mode);
+            if goal == held {
                 return Ok(());
             }
-            if entry.holders.len() == 1 {
-                entry.holders.insert(txn, LockMode::X);
+            if entry.upgradable(txn, held, goal) {
+                entry.holders.insert(txn, goal);
                 return Ok(());
             }
         } else if entry.grantable(txn, mode) && entry.waiters.is_empty() {
             entry.holders.insert(txn, mode);
-            t.held.entry(txn).or_default().insert(page);
+            t.held.entry(txn).or_default().insert(res);
             return Ok(());
         }
         let holder = entry.holders.keys().copied().next().unwrap_or(TxnId::INVALID);
-        Err(QsError::LockConflict { page, holder, requester: txn })
+        Err(QsError::LockConflict { page: res.page(), holder, requester: txn })
     }
 
-    /// Does `txn` hold at least `mode` on `page`?
-    pub fn holds(&self, txn: TxnId, page: PageId, mode: LockMode) -> bool {
+    /// Does `txn` hold at least `mode` on `res`? (Coverage order: `X`
+    /// implies everything, `S` and `IX` each imply `IS`.)
+    pub fn holds(&self, txn: TxnId, res: Resource, mode: LockMode) -> bool {
         let t = self.tables.lock();
-        match t.locks.get(&page).and_then(|e| e.holders.get(&txn)) {
-            Some(&LockMode::X) => true,
-            Some(&LockMode::S) => mode == LockMode::S,
+        match t.locks.get(&res).and_then(|e| e.holders.get(&txn)) {
+            Some(&held) => held.covers(mode),
             None => false,
         }
     }
@@ -424,14 +557,14 @@ impl LockManager {
     pub fn release_all(&self, txn: TxnId) {
         let mut t = self.tables.lock();
         let mut resolutions = Vec::new();
-        if let Some(pages) = t.held.remove(&txn) {
-            for page in pages {
-                if let Some(e) = t.locks.get_mut(&page) {
+        if let Some(resources) = t.held.remove(&txn) {
+            for res in resources {
+                if let Some(e) = t.locks.get_mut(&res) {
                     e.holders.remove(&txn);
                     if e.holders.is_empty() && e.waiters.is_empty() {
-                        t.locks.remove(&page);
+                        t.locks.remove(&res);
                     } else {
-                        Self::promote_async(&mut t, page, &mut resolutions);
+                        Self::promote_async(&mut t, res, &mut resolutions);
                     }
                 }
             }
@@ -442,9 +575,17 @@ impl LockManager {
         self.deliver(resolutions);
     }
 
-    /// Number of pages currently locked by anyone (test hook).
-    pub fn locked_pages(&self) -> usize {
+    /// Number of resources (pages and records) currently locked by anyone
+    /// (test hook).
+    pub fn locked_resources(&self) -> usize {
         self.tables.lock().locks.len()
+    }
+
+    /// Renamed: a "page" count stopped being accurate once record
+    /// resources joined the table.
+    #[deprecated(note = "renamed to locked_resources")]
+    pub fn locked_pages(&self) -> usize {
+        self.locked_resources()
     }
 }
 
@@ -453,7 +594,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    const P: PageId = PageId(1);
+    const P: Resource = Resource::Page(PageId(1));
 
     #[test]
     fn shared_locks_coexist() {
@@ -485,13 +626,82 @@ mod tests {
     }
 
     #[test]
+    fn conflict_matrix_is_symmetric_and_correct() {
+        use LockMode::*;
+        let modes = [IS, IX, S, X];
+        for &a in &modes {
+            for &b in &modes {
+                assert_eq!(a.compatible(b), b.compatible(a), "{a:?} vs {b:?}");
+            }
+        }
+        // The exact matrix, row by row.
+        assert!(IS.compatible(IS) && IS.compatible(IX) && IS.compatible(S) && !IS.compatible(X));
+        assert!(IX.compatible(IS) && IX.compatible(IX) && !IX.compatible(S) && !IX.compatible(X));
+        assert!(S.compatible(IS) && !S.compatible(IX) && S.compatible(S) && !S.compatible(X));
+        assert!(!X.compatible(IS) && !X.compatible(IX) && !X.compatible(S) && !X.compatible(X));
+    }
+
+    #[test]
+    fn combine_is_a_supremum() {
+        use LockMode::*;
+        for &a in &[IS, IX, S, X] {
+            for &b in &[IS, IX, S, X] {
+                let c = a.combine(b);
+                assert!(c.covers(a) && c.covers(b), "{a:?} ∨ {b:?} = {c:?}");
+                assert_eq!(c, b.combine(a), "commutative");
+            }
+        }
+        assert_eq!(S.combine(IX), X, "no SIX: S ∨ IX escalates to X");
+        assert_eq!(IS.combine(IX), IX);
+        assert_eq!(IS.combine(S), S);
+    }
+
+    #[test]
+    fn record_locks_take_page_intents() {
+        let lm = LockManager::new();
+        let r0 = Resource::Record(PageId(1), 0);
+        let r1 = Resource::Record(PageId(1), 1);
+        assert!(!lm.lock_resource(TxnId(1), r0, LockMode::X).unwrap());
+        assert!(!lm.lock_resource(TxnId(2), r1, LockMode::X).unwrap(), "distinct slots coexist");
+        assert!(lm.holds(TxnId(1), P, LockMode::IX));
+        assert!(lm.holds(TxnId(2), P, LockMode::IX));
+        assert!(lm.holds(TxnId(1), r0, LockMode::X));
+        // Same slot conflicts.
+        assert!(matches!(
+            lm.try_lock(TxnId(2), r0, LockMode::S),
+            Err(QsError::LockConflict { .. })
+        ));
+        // A whole-page X conflicts with the outstanding intents.
+        assert!(matches!(lm.try_lock(TxnId(3), P, LockMode::X), Err(QsError::LockConflict { .. })));
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        assert_eq!(lm.locked_resources(), 0);
+    }
+
+    #[test]
+    fn page_x_blocks_record_intent() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock(TxnId(1), P, LockMode::X).unwrap();
+        let r = Resource::Record(PageId(1), 3);
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || {
+            let waited = lm2.lock_resource(TxnId(2), r, LockMode::S).unwrap();
+            lm2.release_all(TxnId(2));
+            waited
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        lm.release_all(TxnId(1));
+        assert!(h.join().unwrap(), "record lock had to wait for the page X");
+    }
+
+    #[test]
     fn release_all_clears_table() {
         let lm = LockManager::new();
-        lm.lock(TxnId(1), PageId(1), LockMode::X).unwrap();
-        lm.lock(TxnId(1), PageId(2), LockMode::S).unwrap();
-        assert_eq!(lm.locked_pages(), 2);
+        lm.lock(TxnId(1), Resource::Page(PageId(1)), LockMode::X).unwrap();
+        lm.lock(TxnId(1), Resource::Page(PageId(2)), LockMode::S).unwrap();
+        assert_eq!(lm.locked_resources(), 2);
         lm.release_all(TxnId(1));
-        assert_eq!(lm.locked_pages(), 0);
+        assert_eq!(lm.locked_resources(), 0);
     }
 
     #[test]
@@ -511,7 +721,7 @@ mod tests {
     #[test]
     fn deadlock_detected() {
         let lm = Arc::new(LockManager::new());
-        let (pa, pb) = (PageId(10), PageId(11));
+        let (pa, pb) = (Resource::Page(PageId(10)), Resource::Page(PageId(11)));
         lm.lock(TxnId(1), pa, LockMode::X).unwrap();
         lm.lock(TxnId(2), pb, LockMode::X).unwrap();
         let lm2 = Arc::clone(&lm);
@@ -529,15 +739,40 @@ mod tests {
         assert!(r1.is_err() || r2.is_err(), "deadlock must be detected on at least one side");
     }
 
+    #[test]
+    fn mixed_granularity_deadlock_detected() {
+        // T1 holds record (p, 0); T2 holds page q in X. T2 blocks on the
+        // record, then T1 closing the cycle on page q must be denied.
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::Record(PageId(30), 0);
+        let q = Resource::Page(PageId(31));
+        lm.lock_resource(TxnId(1), r, LockMode::X).unwrap();
+        lm.lock(TxnId(2), q, LockMode::X).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || {
+            let res = lm2.lock_resource(TxnId(2), r, LockMode::X);
+            lm2.release_all(TxnId(2));
+            res
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let r1 = lm.lock(TxnId(1), q, LockMode::X);
+        lm.release_all(TxnId(1));
+        let r2 = h.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "page/record cycle must be detected on at least one side"
+        );
+    }
+
     /// Records every async resolution it sees.
     #[derive(Default)]
     struct Collect {
-        got: std::sync::Mutex<Vec<(TxnId, PageId, bool)>>,
+        got: std::sync::Mutex<Vec<(TxnId, Resource, bool)>>,
     }
 
     impl LockEvents for Collect {
-        fn lock_done(&self, txn: TxnId, page: PageId, result: QsResult<()>) {
-            self.got.lock().unwrap().push((txn, page, result.is_ok()));
+        fn lock_done(&self, txn: TxnId, res: Resource, result: QsResult<()>) {
+            self.got.lock().unwrap().push((txn, res, result.is_ok()));
         }
     }
 
@@ -562,7 +797,31 @@ mod tests {
         assert_eq!(*sink.got.lock().unwrap(), vec![(TxnId(2), P, true)]);
         assert!(lm.holds(TxnId(2), P, LockMode::X));
         lm.release_all(TxnId(2));
-        assert_eq!(lm.locked_pages(), 0);
+        assert_eq!(lm.locked_resources(), 0);
+    }
+
+    #[test]
+    fn async_record_lock_two_step() {
+        // Intention queued behind a page X: the request parks once; after
+        // the page frees, re-issuing the request completes both steps.
+        let lm = LockManager::new();
+        let sink = Arc::new(Collect::default());
+        lm.set_events(Some(sink.clone()));
+        let r = Resource::Record(PageId(1), 4);
+        lm.lock(TxnId(1), P, LockMode::X).unwrap();
+        assert_eq!(
+            lm.lock_resource_async(TxnId(2), r, LockMode::X).unwrap(),
+            AsyncLockOutcome::Queued
+        );
+        lm.release_all(TxnId(1));
+        // The *intention* grant is what resolves; the waiter re-runs.
+        assert_eq!(*sink.got.lock().unwrap(), vec![(TxnId(2), P, true)]);
+        assert_eq!(
+            lm.lock_resource_async(TxnId(2), r, LockMode::X).unwrap(),
+            AsyncLockOutcome::Granted
+        );
+        assert!(lm.holds(TxnId(2), P, LockMode::IX));
+        assert!(lm.holds(TxnId(2), r, LockMode::X));
     }
 
     #[test]
@@ -586,7 +845,7 @@ mod tests {
         let lm = LockManager::new();
         let sink = Arc::new(Collect::default());
         lm.set_events(Some(sink.clone()));
-        let (pa, pb) = (PageId(10), PageId(11));
+        let (pa, pb) = (Resource::Page(PageId(10)), Resource::Page(PageId(11)));
         lm.lock(TxnId(1), pa, LockMode::X).unwrap();
         lm.lock(TxnId(2), pb, LockMode::X).unwrap();
         // T1 queues on pb: edge T1 → T2.
@@ -609,7 +868,7 @@ mod tests {
         let lm = Arc::new(LockManager::new());
         let sink = Arc::new(Collect::default());
         lm.set_events(Some(sink.clone()));
-        let (pa, pb) = (PageId(20), PageId(21));
+        let (pa, pb) = (Resource::Page(PageId(20)), Resource::Page(PageId(21)));
         lm.lock(TxnId(3), pa, LockMode::X).unwrap();
         lm.lock(TxnId(1), pb, LockMode::X).unwrap();
         assert_eq!(lm.lock_async(TxnId(1), pa, LockMode::X).unwrap(), AsyncLockOutcome::Queued);
@@ -637,7 +896,7 @@ mod tests {
             let lm = Arc::clone(&lm);
             handles.push(std::thread::spawn(move || {
                 for i in 0..100u32 {
-                    let p = PageId(t as u32 * 1000 + i);
+                    let p = Resource::Page(PageId(t as u32 * 1000 + i));
                     lm.lock(TxnId(t), p, LockMode::X).unwrap();
                 }
                 lm.release_all(TxnId(t));
@@ -646,6 +905,29 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(lm.locked_pages(), 0);
+        assert_eq!(lm.locked_resources(), 0);
+    }
+
+    #[test]
+    fn concurrent_record_writers_on_one_page_race_free() {
+        // Eight transactions hammer distinct slots of the same page: the
+        // IX intents are all compatible, so nothing deadlocks or waits
+        // indefinitely, and the table drains clean.
+        let lm = Arc::new(LockManager::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let lm = Arc::clone(&lm);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u16 {
+                    let r = Resource::Record(PageId(7), t as u16 * 64 + i);
+                    lm.lock_resource(TxnId(t), r, LockMode::X).unwrap();
+                }
+                lm.release_all(TxnId(t));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lm.locked_resources(), 0);
     }
 }

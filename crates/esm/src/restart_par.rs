@@ -35,7 +35,7 @@
 //! downstream are byte-identical for any worker count — `redo_workers = 1`
 //! runs the original serial modules instead, pinning the baseline.
 
-use crate::aries::{self, Analysis};
+use crate::aries::{self, Analysis, RlogAnalysis};
 use crate::server::{InnerView, Server};
 use crate::shard::shard_index;
 use crate::txn::TxnTable;
@@ -281,6 +281,172 @@ fn redo_worker(
     let mut resident: Vec<(PageId, Page)> = resident.into_iter().collect();
     resident.sort_by_key(|&(pid, _)| pid.0);
     Ok(RedoOutcome { stats, resident })
+}
+
+/// Parallel `RedoLogical` restart: streamed analysis over the whole
+/// retained log, then page-partitioned redo of committed transactions'
+/// records only — the router consults the committed set before fanning a
+/// frame out, so the workers never see loser frames and there is no undo
+/// stage at all. Phase counts and recovered state match
+/// [`crate::aries::rlog_restart`] exactly.
+pub(crate) fn rlog_restart(server: &Server, workers: usize) -> QsResult<Vec<PhaseStat>> {
+    let mut ph_analysis = PhaseStat { name: "analysis", ..PhaseStat::default() };
+    let mut ph_redo = PhaseStat { name: "redo", ..PhaseStat::default() };
+    let chunk_bytes = server.config().restart.chunk_bytes;
+
+    let analysis =
+        server.with_quiesced(|view| streamed_rlog_analysis(view, chunk_bytes, &mut ph_analysis))?;
+    server.with_quiesced(|view| {
+        parallel_rlog_redo(view, &analysis, workers, chunk_bytes, &mut ph_redo)
+    })?;
+    aries::rlog_finish(server, analysis.max_txn)?;
+    Ok(vec![ph_analysis, ph_redo])
+}
+
+/// `RedoLogical` analysis over streamed chunks: same bookkeeping as the
+/// serial pass in [`crate::aries::rlog_restart`] — committed set,
+/// commit-gated DPT merge, id high-water marks — using the frame
+/// accessors instead of decoding every record.
+fn streamed_rlog_analysis(
+    view: &mut InnerView<'_>,
+    chunk_bytes: usize,
+    ph: &mut PhaseStat,
+) -> QsResult<RlogAnalysis> {
+    let scan_from = view.log.start_lsn();
+    let end = view.log.tail_lsn();
+    ph.pages_read = end.0.saturating_sub(scan_from.0).div_ceil(PAGE_SIZE as u64);
+
+    let mut a = RlogAnalysis { max_txn: TxnId::INVALID, ..RlogAnalysis::default() };
+    let mut pending: HashMap<TxnId, HashMap<PageId, Lsn>> = HashMap::new();
+    let log = view.log;
+    std::thread::scope(|s| -> QsResult<()> {
+        for chunk in stream_chunks(s, log, scan_from, end, chunk_bytes, DEPTH) {
+            let chunk = chunk?;
+            for r in &chunk.frames {
+                let bytes = chunk.frame(r);
+                let t = record::frame_tag(bytes);
+                if t != tag::WHOLE_PAGE {
+                    record::frame_verify(bytes)?;
+                }
+                ph.records += 1;
+                let txn = record::frame_txn(bytes);
+                a.note_txn(txn);
+                match t {
+                    tag::COMMIT => {
+                        a.committed.insert(txn);
+                        if let Some(pages) = pending.remove(&txn) {
+                            a.merge_committed(pages);
+                        }
+                    }
+                    tag::ABORT => {
+                        pending.remove(&txn);
+                    }
+                    tag::CHECKPOINT => {
+                        if let LogRecord::Checkpoint { body } = LogRecord::decode(bytes)? {
+                            a.max_alloc = a.max_alloc.max(body.allocated_pages);
+                        }
+                    }
+                    _ => {
+                        if let Some(page) = record::frame_page(bytes) {
+                            pending.entry(txn).or_default().entry(page).or_insert(r.lsn);
+                            a.max_alloc = a.max_alloc.max(page.0 as u64 + 1);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    })?;
+    view.volume.ensure_allocated(a.max_alloc as usize)?;
+    Ok(a)
+}
+
+/// Page-partitioned `RedoLogical` redo: identical to [`parallel_redo`]
+/// except the router drops frames of uncommitted transactions before
+/// routing — REDO-only recovery never replays a loser.
+fn parallel_rlog_redo(
+    view: &mut InnerView<'_>,
+    analysis: &RlogAnalysis,
+    workers: usize,
+    chunk_bytes: usize,
+    ph: &mut PhaseStat,
+) -> QsResult<()> {
+    let Some(&redo_from) = analysis.dpt.values().min() else {
+        return Ok(());
+    };
+    let end = view.log.tail_lsn();
+    ph.pages_read = end.0.saturating_sub(redo_from.0).div_ceil(PAGE_SIZE as u64);
+
+    let log = view.log;
+    let volume = view.volume;
+    let dpt = &analysis.dpt;
+    let committed = &analysis.committed;
+    let outcomes = std::thread::scope(|s| -> QsResult<Vec<RedoOutcome>> {
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = sync_channel::<WorkBatch>(DEPTH);
+            txs.push(tx);
+            handles.push(s.spawn(move || redo_worker(rx, dpt, volume)));
+        }
+        let mut routed: Vec<Vec<FrameRef>> = vec![Vec::new(); workers];
+        let mut route_err = None;
+        'chunks: for chunk in stream_chunks(s, log, redo_from, end, chunk_bytes, DEPTH) {
+            let chunk = match chunk {
+                Ok(c) => c,
+                Err(e) => {
+                    route_err = Some(e);
+                    break;
+                }
+            };
+            for r in &chunk.frames {
+                let bytes = chunk.frame(r);
+                if !committed.contains(&record::frame_txn(bytes)) {
+                    continue;
+                }
+                if let Some(pid) = record::frame_page(bytes) {
+                    routed[shard_index(pid, workers)].push(*r);
+                }
+            }
+            for (w, refs) in routed.iter_mut().enumerate() {
+                if refs.is_empty() {
+                    continue;
+                }
+                if txs[w].send((Arc::clone(&chunk.buf), std::mem::take(refs))).is_err() {
+                    break 'chunks; // worker bailed with an error; join below
+                }
+            }
+        }
+        drop(txs);
+        let mut outs = Vec::with_capacity(workers);
+        for h in handles {
+            outs.push(h.join().expect("redo worker panicked")?);
+        }
+        match route_err {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    })?;
+
+    // Merge in worker-index order; install page-sorted so pool state and
+    // eviction write-backs are identical for every worker count.
+    let mut resident: Vec<(PageId, Page)> = Vec::new();
+    for o in outcomes {
+        ph.absorb(&o.stats);
+        resident.extend(o.resident);
+    }
+    resident.sort_by_key(|&(pid, _)| pid.0);
+    for (pid, page) in resident {
+        let ev = view.pool.insert(pid, page, true)?;
+        if let Some(ev) = ev {
+            if ev.dirty {
+                view.volume.write_page(ev.page_id, &ev.page)?;
+                ph.data_writes += 1;
+            }
+        }
+        view.dpt.insert(pid, redo_from);
+    }
+    Ok(())
 }
 
 /// One whole-page image sighting: where it is (a shared chunk buffer

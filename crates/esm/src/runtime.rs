@@ -13,7 +13,7 @@
 //! The three places a worker thread would otherwise block are each made
 //! asynchronous:
 //!
-//! * **Locks** — workers call [`Server::lock_page_async`]; a conflicting
+//! * **Locks** — workers call [`Server::lock_resource_async`]; a conflicting
 //!   request *parks* (releasing its admission slot) and the lock manager's
 //!   [`LockEvents`] sink re-enqueues it as a `Resume` job when the grant
 //!   promotion walk reaches it. Queue-time deadlocks surface as a typed
@@ -41,7 +41,7 @@
 //! that equivalence end-to-end.
 
 use crate::client::ClientConn;
-use crate::lock::{AsyncLockOutcome, LockEvents, LockMode};
+use crate::lock::{AsyncLockOutcome, LockEvents, LockMode, Resource};
 use crate::server::Server;
 use crate::shard::shard_index;
 use qs_sim::Meter;
@@ -95,8 +95,10 @@ impl Default for RuntimeConfig {
 pub enum Request {
     /// Begin a transaction → [`Response::Began`].
     Begin,
-    /// Acquire a page lock (the control-message lock path) → `Ok`.
-    Lock { txn: TxnId, pid: PageId, mode: LockMode },
+    /// Acquire a lock on a page or record resource (the control-message
+    /// lock path) → `Ok`. The wire verb carries the full [`Resource`], so
+    /// record-granularity requests route and park like page ones.
+    Lock { txn: TxnId, resource: Resource, mode: LockMode },
     /// Lock and fetch in one round trip (the page-fault path) →
     /// [`Response::Page`].
     FetchLocked { txn: TxnId, pid: PageId, mode: LockMode },
@@ -151,8 +153,8 @@ fn route_u64(key: u64, n: usize) -> usize {
 /// otherwise, by client for `Begin`.
 fn route(req: &Request, client: ClientId, n: usize) -> usize {
     match req {
-        Request::Lock { pid, .. }
-        | Request::FetchLocked { pid, .. }
+        Request::Lock { resource, .. } => shard_index(resource.page(), n),
+        Request::FetchLocked { pid, .. }
         | Request::NoteLogged { pid, .. }
         | Request::DirtyPage { pid, .. } => shard_index(*pid, n),
         Request::Begin => route_u64(client.0 as u64, n),
@@ -233,9 +235,9 @@ struct Shared {
     /// terminates the committer thread.
     commit_tx: Mutex<Option<Sender<CommitJob>>>,
     mailboxes: Mutex<HashMap<u16, Mailbox>>,
-    /// Lock requests waiting for a grant, keyed by transaction (page locks
-    /// are requested one at a time per transaction). Entries are inserted
-    /// *before* `lock_page_async` so a grant racing the park cannot be
+    /// Lock requests waiting for a grant, keyed by transaction (locks are
+    /// requested one at a time per transaction). Entries are inserted
+    /// *before* `lock_resource_async` so a grant racing the park cannot be
     /// lost.
     parked: Mutex<HashMap<TxnId, Parked>>,
     inflight: AtomicUsize,
@@ -311,31 +313,43 @@ impl Shared {
         }
     }
 
-    /// Take (or re-take, on resume) the page lock for a `Lock`/
-    /// `FetchLocked` request. Returns `false` when the request parked —
-    /// the caller must not reply; the grant callback re-enqueues it.
-    /// Failures are replied to here.
+    /// Take (or re-take, on resume) the lock for a `Lock`/`FetchLocked`
+    /// request. Returns `false` when the request parked — the caller must
+    /// not reply; the grant callback re-enqueues it. Failures are replied
+    /// to here.
     fn acquire(
         &self,
         client: ClientId,
         req: &Request,
         txn: TxnId,
-        pid: PageId,
+        res: Resource,
         mode: LockMode,
         resumed: bool,
     ) -> bool {
-        if resumed {
-            // The lock manager granted (and recorded) the lock during its
-            // promotion walk; only the metering is left.
-            self.server.note_async_lock_granted(txn, pid);
+        if resumed && matches!(res, Resource::Page(_)) {
+            // The lock manager granted (and recorded) the page lock during
+            // its promotion walk; only the metering is left.
+            self.server.note_async_lock_granted(txn, res);
             return true;
         }
         // Park-before-request: the grant callback looks this entry up, so
         // it must be visible before the waiter can possibly be queued.
         self.parked.lock().insert(txn, Parked { client, req: req.clone() });
-        match self.server.lock_page_async(txn, pid, mode) {
+        let outcome = if resumed {
+            // Record resource: the promotion walk may have granted only the
+            // page *intention* step. Re-run the whole two-step request —
+            // the completed step re-grants re-entrantly — unmetered here;
+            // the grant is metered once below.
+            self.server.locks().lock_resource_async(txn, res, mode)
+        } else {
+            self.server.lock_resource_async(txn, res, mode)
+        };
+        match outcome {
             Ok(AsyncLockOutcome::Granted) => {
                 self.parked.lock().remove(&txn);
+                if resumed {
+                    self.server.note_async_lock_granted(txn, res);
+                }
                 true
             }
             Ok(AsyncLockOutcome::Queued) => {
@@ -357,15 +371,15 @@ impl Shared {
     fn process(&self, client: ClientId, req: Request, resumed: bool) {
         match req {
             Request::Begin => self.finish(client, Response::Began(self.server.begin())),
-            Request::Lock { txn, pid, mode } => {
-                let r = Request::Lock { txn, pid, mode };
-                if self.acquire(client, &r, txn, pid, mode, resumed) {
+            Request::Lock { txn, resource, mode } => {
+                let r = Request::Lock { txn, resource, mode };
+                if self.acquire(client, &r, txn, resource, mode, resumed) {
                     self.finish(client, Response::Ok);
                 }
             }
             Request::FetchLocked { txn, pid, mode } => {
                 let r = Request::FetchLocked { txn, pid, mode };
-                if self.acquire(client, &r, txn, pid, mode, resumed) {
+                if self.acquire(client, &r, txn, Resource::Page(pid), mode, resumed) {
                     match self.server.fetch_page(txn, pid) {
                         Ok(p) => self.finish(client, Response::Page(Box::new(p))),
                         Err(e) => self.finish(client, Response::Err(e)),
@@ -478,7 +492,7 @@ struct GrantHook {
 }
 
 impl LockEvents for GrantHook {
-    fn lock_done(&self, txn: TxnId, _page: PageId, result: QsResult<()>) {
+    fn lock_done(&self, txn: TxnId, _res: Resource, result: QsResult<()>) {
         let Some(shared) = self.shared.upgrade() else { return };
         let Some(p) = shared.parked.lock().remove(&txn) else { return };
         match result {

@@ -40,7 +40,7 @@
 //! ([`crate::aries::restart`] or the WPL backward scan in [`Server::wpl_restart`]).
 
 use crate::gate::VolumeGate;
-use crate::lock::{AsyncLockOutcome, LockManager, LockMode};
+use crate::lock::{AsyncLockOutcome, LockManager, LockMode, Resource};
 use crate::runtime::RuntimeConfig;
 use crate::shard::{PoolView, ShardedPool};
 use crate::tower::LogTower;
@@ -68,6 +68,11 @@ pub enum RecoveryFlavor {
     /// Whole-page logging: clients ship dirty pages only; the server
     /// appends them to the log and tracks them in the WPL table (§3.4).
     Wpl,
+    /// REDO-only logical recovery (post-paper contender; Sauer & Härder,
+    /// Lomet et al.): clients ship slot-level logical records only, the
+    /// server defers applying them until commit (no-steal — uncommitted
+    /// data never reaches pool or disk), so restart has no undo phase.
+    RedoLogical,
 }
 
 impl RecoveryFlavor {
@@ -76,6 +81,7 @@ impl RecoveryFlavor {
             RecoveryFlavor::EsmAries => "ESM",
             RecoveryFlavor::RedoAtServer => "REDO",
             RecoveryFlavor::Wpl => "WPL",
+            RecoveryFlavor::RedoLogical => "RLOG",
         }
     }
 }
@@ -205,6 +211,31 @@ pub struct StableParts {
     pub flight: Option<FlightRecording>,
 }
 
+/// One deferred operation of an uncommitted `RedoLogical` transaction.
+/// Under that flavor the server is no-steal: updates are stashed here at
+/// receive time and applied to the pool only after the commit force, so
+/// the pool (and therefore the volume) only ever holds committed data.
+enum PendingOp {
+    /// A slot-level logical after-image (`LogRecord::UpdateLogical`).
+    Logical { page: PageId, slot: u16, offset: u16, after: Vec<u8>, lsn: Lsn },
+    /// A whole-page image (newly created pages, §3.6 treatment).
+    Image { page: PageId, image: Vec<u8>, lsn: Lsn },
+}
+
+impl PendingOp {
+    fn page(&self) -> PageId {
+        match self {
+            PendingOp::Logical { page, .. } | PendingOp::Image { page, .. } => *page,
+        }
+    }
+
+    fn lsn(&self) -> Lsn {
+        match self {
+            PendingOp::Logical { lsn, .. } | PendingOp::Image { lsn, .. } => *lsn,
+        }
+    }
+}
+
 /// The old single-lock `Inner`, reconstructed on demand: a whole-server
 /// view with every subsystem lock held (see [`Server::with_quiesced`]).
 /// Field names match the pre-decomposition struct so the algorithms that
@@ -235,6 +266,11 @@ pub struct Server {
     dpt: TracedMutex<HashMap<PageId, Lsn>>,
     /// WPL table, behind its own small lock.
     wpl: TracedMutex<WplTable>,
+    /// `RedoLogical` only: deferred (not-yet-applied) operations of
+    /// uncommitted transactions, txn → ops in log order. Never nested
+    /// inside any other subsystem lock: every path takes it alone and
+    /// releases it before touching the pool, txn table, or volume.
+    pending: TracedMutex<HashMap<TxnId, Vec<PendingOp>>>,
     locks: LockManager,
     meter: Arc<Meter>,
     data_media: Arc<dyn StableMedia>,
@@ -296,6 +332,7 @@ impl Server {
             txns: TracedMutex::new("txns", TxnTable::new()),
             dpt: TracedMutex::new("dpt", HashMap::new()),
             wpl: TracedMutex::new("wpl", WplTable::new()),
+            pending: TracedMutex::new("pending", HashMap::new()),
             locks: LockManager::new(),
             meter,
             data_media: parts.data_media,
@@ -359,6 +396,7 @@ impl Server {
             txns: TracedMutex::new("txns", TxnTable::new()),
             dpt: TracedMutex::new("dpt", HashMap::new()),
             wpl: TracedMutex::new("wpl", WplTable::new()),
+            pending: TracedMutex::new("pending", HashMap::new()),
             locks: LockManager::new(),
             meter,
             data_media: parts.data_media,
@@ -375,6 +413,8 @@ impl Server {
         let phases = match (server.cfg.flavor, workers) {
             (RecoveryFlavor::Wpl, 1) => server.wpl_restart()?,
             (RecoveryFlavor::Wpl, _) => crate::restart_par::wpl_restart(&server, workers)?,
+            (RecoveryFlavor::RedoLogical, 1) => crate::aries::rlog_restart(&server)?,
+            (RecoveryFlavor::RedoLogical, _) => crate::restart_par::rlog_restart(&server, workers)?,
             (_, 1) => crate::aries::restart(&server)?,
             (_, _) => crate::restart_par::aries_restart(&server, workers)?,
         };
@@ -495,26 +535,35 @@ impl Server {
     /// exclusive lock on the page from ESM"). Blocking; deadlocks abort the
     /// requester with `LockConflict`.
     pub fn lock_page(&self, txn: TxnId, pid: PageId, mode: LockMode) -> QsResult<()> {
-        let waited = self.locks.lock_observing(txn, pid, mode)?;
+        self.lock_resource(txn, Resource::Page(pid), mode)
+    }
+
+    /// Acquire a lock on any [`Resource`] — a whole page or one record. A
+    /// record lock first takes the intention mode on its page (two-step;
+    /// both steps block and both feed the waits-for graph). Lock-wait
+    /// trace events carry [`Resource::trace_code`], so record-level waits
+    /// are attributable to their slot.
+    pub fn lock_resource(&self, txn: TxnId, res: Resource, mode: LockMode) -> QsResult<()> {
+        let waited = self.locks.lock_resource(txn, res, mode)?;
         if waited {
-            self.tracer.event(TraceCat::LockWait, "granted", txn.0, pid.0 as u64);
+            self.tracer.event(TraceCat::LockWait, "granted", txn.0, res.trace_code());
         }
         self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Non-blocking variant of [`Server::lock_page`] for reactor workers:
-    /// either the lock is granted now (metered exactly like a no-wait
-    /// `lock_page`) or the request parks and the grant arrives later via
-    /// the [`crate::lock::LockEvents`] sink — the worker thread never
-    /// blocks. Queue-time deadlocks surface as `Err(LockConflict)` here.
-    pub(crate) fn lock_page_async(
+    /// Non-blocking variant of [`Server::lock_resource`] for reactor
+    /// workers: either the lock is granted now (metered exactly like a
+    /// no-wait `lock_resource`) or the request parks and the grant arrives
+    /// later via the [`crate::lock::LockEvents`] sink — the worker thread
+    /// never blocks. Queue-time deadlocks surface as `Err(LockConflict)`.
+    pub(crate) fn lock_resource_async(
         &self,
         txn: TxnId,
-        pid: PageId,
+        res: Resource,
         mode: LockMode,
     ) -> QsResult<AsyncLockOutcome> {
-        let outcome = self.locks.lock_async(txn, pid, mode)?;
+        let outcome = self.locks.lock_resource_async(txn, res, mode)?;
         if outcome == AsyncLockOutcome::Granted {
             self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
         }
@@ -522,10 +571,10 @@ impl Server {
     }
 
     /// Meter a parked async lock request whose grant just arrived — the
-    /// same trace event and counter bump a blocking `lock_page` performs
-    /// when its wait ends.
-    pub(crate) fn note_async_lock_granted(&self, txn: TxnId, pid: PageId) {
-        self.tracer.event(TraceCat::LockWait, "granted", txn.0, pid.0 as u64);
+    /// same trace event and counter bump a blocking `lock_resource`
+    /// performs when its wait ends.
+    pub(crate) fn note_async_lock_granted(&self, txn: TxnId, res: Resource) {
+        self.tracer.event(TraceCat::LockWait, "granted", txn.0, res.trace_code());
         self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -542,7 +591,7 @@ impl Server {
         let lsn = self.log.wal().append(&LogRecord::PageAlloc { txn, prev, page: pid })?;
         txns.active_mut(txn)?.note_logged(lsn);
         drop(txns);
-        self.locks.lock(txn, pid, LockMode::X)?;
+        self.locks.lock(txn, Resource::Page(pid), LockMode::X)?;
         self.meter.locks_acquired.fetch_add(1, Ordering::Relaxed);
         Ok(pid)
     }
@@ -551,7 +600,49 @@ impl Server {
     /// (QuickStore acquires S on read-fault, X on write-fault).
     pub fn fetch_page(&self, txn: TxnId, pid: PageId) -> QsResult<Page> {
         self.txns.lock(&self.tracer).active_mut(txn)?; // validate
-        self.read_page_hot(Some(txn), pid)
+        let mut page = self.read_page_hot(Some(txn), pid)?;
+        if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+            // No-steal: the pool copy is committed-only, so a transaction
+            // re-fetching a page it already updated (client-side eviction)
+            // would see stale bytes. Overlay its own deferred ops onto the
+            // served copy; the pool copy stays clean.
+            self.overlay_pending(txn, pid, &mut page)?;
+        }
+        Ok(page)
+    }
+
+    /// Re-apply `txn`'s own pending (deferred, uncommitted) operations on
+    /// `pid` to a served page copy. `RedoLogical` only.
+    fn overlay_pending(&self, txn: TxnId, pid: PageId, page: &mut Page) -> QsResult<()> {
+        let pending = self.pending.lock(&self.tracer);
+        let Some(ops) = pending.get(&txn) else { return Ok(()) };
+        for op in ops.iter().filter(|op| op.page() == pid) {
+            Self::apply_pending_op(page, pid, op)?;
+        }
+        Ok(())
+    }
+
+    /// Apply one deferred op to a page image and stamp the pageLSN — the
+    /// logical twin of [`crate::aries::apply_redo`].
+    fn apply_pending_op(page: &mut Page, pid: PageId, op: &PendingOp) -> QsResult<()> {
+        match op {
+            PendingOp::Logical { slot, offset, after, lsn, .. } => {
+                let obj = page.object_mut(pid, *slot)?;
+                let off = *offset as usize;
+                if off + after.len() > obj.len() {
+                    return Err(QsError::RecoveryFailed {
+                        detail: format!("logical redo range past object end on {pid}"),
+                    });
+                }
+                obj[off..off + after.len()].copy_from_slice(after);
+                page.set_lsn(*lsn);
+            }
+            PendingOp::Image { image, lsn, .. } => {
+                *page = Page::from_bytes(image)?;
+                page.set_lsn(*lsn);
+            }
+        }
+        Ok(())
     }
 
     /// Shared read path, hot variant: holds only `pid`'s shard lock (plus
@@ -730,6 +821,14 @@ impl Server {
                     detail: format!("record for {} shipped by {txn}", rec.txn()),
                 });
             }
+            if self.cfg.flavor == RecoveryFlavor::RedoLogical
+                && matches!(rec, LogRecord::Update { .. })
+            {
+                return Err(QsError::Protocol {
+                    detail: "RLOG clients ship logical records, not physical before/after images"
+                        .into(),
+                });
+            }
             // Client-side `prev` is unknown to the client; rebuild the
             // backward chain here where the authoritative last_lsn lives.
             // The txn-table lock is held across the append so the chain
@@ -741,9 +840,15 @@ impl Server {
             if let Some(pid) = rec.page() {
                 txns.active_mut(txn)?.pages_logged.insert(pid);
                 drop(txns);
-                self.dpt.lock(&self.tracer).entry(pid).or_insert(lsn);
-                if self.cfg.flavor == RecoveryFlavor::RedoAtServer {
-                    self.apply_redo_hot(&rec, lsn)?;
+                if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+                    // No-steal deferred apply: the DPT is untouched until
+                    // the op lands in the pool at commit.
+                    self.stash_pending(txn, &rec, lsn);
+                } else {
+                    self.dpt.lock(&self.tracer).entry(pid).or_insert(lsn);
+                    if self.cfg.flavor == RecoveryFlavor::RedoAtServer {
+                        self.apply_redo_hot(&rec, lsn)?;
+                    }
                 }
             }
         }
@@ -772,12 +877,18 @@ impl Server {
                     detail: format!("record for {} shipped by {txn}", record::frame_txn(frame)),
                 });
             }
+            if self.cfg.flavor == RecoveryFlavor::RedoLogical && record::frame_tag(frame) == 1 {
+                return Err(QsError::Protocol {
+                    detail: "RLOG clients ship logical records, not physical before/after images"
+                        .into(),
+                });
+            }
             let mut txns = self.txns.lock(&self.tracer);
-            // Mirror `rechain`: only update/whole-page/page-alloc records
-            // get the transaction's backward chain; any other tag keeps
-            // the prev it was shipped with.
+            // Mirror `rechain`: only update/whole-page/page-alloc/logical
+            // records get the transaction's backward chain; any other tag
+            // keeps the prev it was shipped with.
             let prev = match record::frame_tag(frame) {
-                1..=3 => txns.get(txn)?.last_lsn,
+                1..=3 | 8 => txns.get(txn)?.last_lsn,
                 _ => record::frame_prev(frame),
             };
             let lsn = self.log.wal().append_rechained(frame, prev)?;
@@ -785,12 +896,19 @@ impl Server {
             if let Some(pid) = record::frame_page(frame) {
                 txns.active_mut(txn)?.pages_logged.insert(pid);
                 drop(txns);
-                self.dpt.lock(&self.tracer).entry(pid).or_insert(lsn);
-                if self.cfg.flavor == RecoveryFlavor::RedoAtServer {
-                    // Redo application is off the allocation-free path by
+                if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+                    // Deferred apply is off the allocation-free path by
                     // design; decoding per record is fine here.
                     let rec = LogRecord::decode(frame)?;
-                    self.apply_redo_hot(&rec, lsn)?;
+                    self.stash_pending(txn, &rec, lsn);
+                } else {
+                    self.dpt.lock(&self.tracer).entry(pid).or_insert(lsn);
+                    if self.cfg.flavor == RecoveryFlavor::RedoAtServer {
+                        // Redo application is off the allocation-free path by
+                        // design; decoding per record is fine here.
+                        let rec = LogRecord::decode(frame)?;
+                        self.apply_redo_hot(&rec, lsn)?;
+                    }
                 }
             }
             at += len;
@@ -807,8 +925,71 @@ impl Server {
                 LogRecord::WholePage { txn, prev, page, image }
             }
             LogRecord::PageAlloc { txn, page, .. } => LogRecord::PageAlloc { txn, prev, page },
+            LogRecord::UpdateLogical { txn, page, slot, offset, after, .. } => {
+                LogRecord::UpdateLogical { txn, prev, page, slot, offset, after }
+            }
             other => other,
         }
+    }
+
+    /// Stash one received `RedoLogical` record as a deferred op. Nothing
+    /// touches the pool or the DPT here — that happens after the commit
+    /// force in [`Server::apply_pending_committed`].
+    fn stash_pending(&self, txn: TxnId, rec: &LogRecord, lsn: Lsn) {
+        let op = match rec {
+            LogRecord::UpdateLogical { page, slot, offset, after, .. } => PendingOp::Logical {
+                page: *page,
+                slot: *slot,
+                offset: *offset,
+                after: after.clone(),
+                lsn,
+            },
+            LogRecord::WholePage { page, image, .. } => {
+                PendingOp::Image { page: *page, image: image.clone(), lsn }
+            }
+            // PageAlloc needs no deferred work: the volume allocation
+            // already happened in `allocate_page`.
+            _ => return,
+        };
+        self.pending.lock(&self.tracer).entry(txn).or_default().push(op);
+    }
+
+    /// Post-force half of a `RedoLogical` commit: move the transaction's
+    /// deferred ops into the pool. WAL holds (the commit force just made
+    /// every op durable) and no-steal holds (the ops were invisible until
+    /// now, and from here on they are committed data). Pages are applied
+    /// in ascending page-id order so pool state is deterministic.
+    fn apply_pending_committed(&self, txn: TxnId) -> QsResult<()> {
+        let Some(ops) = self.pending.lock(&self.tracer).remove(&txn) else {
+            return Ok(());
+        };
+        let mut by_page: std::collections::BTreeMap<PageId, Vec<PendingOp>> =
+            std::collections::BTreeMap::new();
+        for op in ops {
+            by_page.entry(op.page()).or_default().push(op);
+        }
+        for (pid, ops) in by_page {
+            let mut pool = self.pool.lock(pid, &self.tracer);
+            if !pool.contains(pid) {
+                self.meter.server_pool_misses.fetch_add(1, Ordering::Relaxed);
+                self.meter.data_reads.fetch_add(1, Ordering::Relaxed);
+                let page = self.volume.lock(&self.tracer).read_page(pid)?;
+                let evicted = pool.insert(pid, page, false)?;
+                if let Some(ev) = evicted {
+                    self.evict_dirty_hot(ev)?;
+                }
+            }
+            let rec_lsn = ops[0].lsn();
+            let page = pool.get_mut(pid).expect("page resident after read");
+            for op in &ops {
+                Self::apply_pending_op(page, pid, op)?;
+                self.meter.redo_applies.fetch_add(1, Ordering::Relaxed);
+            }
+            pool.mark_dirty(pid);
+            drop(pool);
+            self.dpt.lock(&self.tracer).entry(pid).or_insert(rec_lsn);
+        }
+        Ok(())
     }
 
     /// Apply one redo record to the server's copy of the page, under the
@@ -867,6 +1048,9 @@ impl Server {
             RecoveryFlavor::RedoAtServer => {
                 Err(QsError::Protocol { detail: "REDO clients do not ship dirty pages".into() })
             }
+            RecoveryFlavor::RedoLogical => Err(QsError::Protocol {
+                detail: "RLOG clients do not ship dirty pages (no-steal)".into(),
+            }),
             RecoveryFlavor::EsmAries => {
                 let mut page = page;
                 {
@@ -954,6 +1138,11 @@ impl Server {
 
     /// Second half of [`Server::commit`]: everything after the force.
     pub(crate) fn commit_finish(&self, txn: TxnId) -> QsResult<()> {
+        if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+            // The force just made every deferred op durable; apply them
+            // now, before the transaction leaves the table.
+            self.apply_pending_committed(txn)?;
+        }
         let mut txns = self.txns.lock(&self.tracer);
         if self.cfg.flavor == RecoveryFlavor::Wpl {
             let logged = std::mem::take(&mut txns.active_mut(txn)?.logged_pages);
@@ -974,6 +1163,12 @@ impl Server {
     /// updated values"). Undo reads and rewrites pages across subsystems,
     /// so the whole abort runs quiesced.
     pub fn abort(&self, txn: TxnId) -> QsResult<()> {
+        if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+            // Deferred ops were never applied anywhere; dropping them IS
+            // the rollback. Taken before quiescing: the pending lock is
+            // never nested inside the subsystem locks.
+            self.pending.lock(&self.tracer).remove(&txn);
+        }
         self.with_quiesced(|view| -> QsResult<()> {
             view.txns.active_mut(txn)?;
             match self.cfg.flavor {
@@ -983,6 +1178,13 @@ impl Server {
                     for pid in logged {
                         view.pool.remove(pid);
                     }
+                }
+                RecoveryFlavor::RedoLogical => {
+                    // No-steal + deferred apply: nothing of this
+                    // transaction reached the pool or the volume. Close
+                    // the chain with an abort record — no undo, no CLRs.
+                    let prev = view.txns.get(txn)?.last_lsn;
+                    view.log.append(&LogRecord::Abort { txn, prev })?;
                 }
                 _ => {
                     let last = view.txns.get(txn)?.last_lsn;
@@ -1047,8 +1249,12 @@ impl Server {
                     at = prev;
                 }
                 LogRecord::Clr { undo_next, .. } => at = undo_next,
+                // UpdateLogical carries no before-image (RLOG is no-steal
+                // and never undoes); if one is ever reached here just walk
+                // past it.
                 LogRecord::WholePage { prev, .. }
                 | LogRecord::PageAlloc { prev, .. }
+                | LogRecord::UpdateLogical { prev, .. }
                 | LogRecord::Commit { prev, .. }
                 | LogRecord::Abort { prev, .. } => at = prev,
                 LogRecord::Checkpoint { .. } => break,
@@ -1079,29 +1285,73 @@ impl Server {
     pub fn checkpoint(&self) -> QsResult<()> {
         let (flushed, log_used) = self.with_quiesced(|view| -> QsResult<(u64, u64)> {
             let mut flushed = 0u64;
-            if self.cfg.flavor != RecoveryFlavor::Wpl {
-                // Flush every dirty page, obeying WAL.
-                let dirty = view.pool.dirty_pages();
-                if !dirty.is_empty() {
-                    let max_lsn =
-                        dirty.iter().filter_map(|p| view.pool.peek(*p)).map(|p| p.lsn()).max();
-                    if let Some(l) = max_lsn {
-                        let stats = view.log.force(l)?;
-                        self.meter_force(stats);
-                    }
-                    for pid in dirty {
-                        let page = view.pool.peek(pid).expect("dirty page resident").clone();
-                        view.volume.write_page(pid, &page)?;
-                        self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
-                        view.pool.clear_dirty(pid);
-                        flushed += 1;
+            match self.cfg.flavor {
+                RecoveryFlavor::Wpl => {}
+                RecoveryFlavor::RedoLogical => {
+                    // Fuzzy checkpoint: flush only pages that have stayed
+                    // dirty since before the *previous* checkpoint, so each
+                    // checkpoint bounds replay to roughly two checkpoint
+                    // intervals without a write burst. The rest stay in the
+                    // DPT the checkpoint record carries.
+                    let prev_ck = view.log.checkpoint_lsn();
+                    if !prev_ck.is_null() {
+                        let mut old: Vec<PageId> = view
+                            .dpt
+                            .iter()
+                            .filter(|&(_, &rec)| rec <= prev_ck)
+                            .map(|(&p, _)| p)
+                            .collect();
+                        old.sort_unstable_by_key(|p| p.0);
+                        let max_lsn =
+                            old.iter().filter_map(|p| view.pool.peek(*p)).map(|p| p.lsn()).max();
+                        if let Some(l) = max_lsn {
+                            let stats = view.log.force(l)?;
+                            self.meter_force(stats);
+                        }
+                        for pid in old {
+                            if let Some(page) = view.pool.peek(pid).cloned() {
+                                view.volume.write_page(pid, &page)?;
+                                self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                                view.pool.clear_dirty(pid);
+                                flushed += 1;
+                            }
+                            view.dpt.remove(&pid);
+                        }
                     }
                 }
-                view.dpt.clear();
+                _ => {
+                    // Flush every dirty page, obeying WAL (sharp checkpoint).
+                    let dirty = view.pool.dirty_pages();
+                    if !dirty.is_empty() {
+                        let max_lsn =
+                            dirty.iter().filter_map(|p| view.pool.peek(*p)).map(|p| p.lsn()).max();
+                        if let Some(l) = max_lsn {
+                            let stats = view.log.force(l)?;
+                            self.meter_force(stats);
+                        }
+                        for pid in dirty {
+                            let page = view.pool.peek(pid).expect("dirty page resident").clone();
+                            view.volume.write_page(pid, &page)?;
+                            self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                            view.pool.clear_dirty(pid);
+                            flushed += 1;
+                        }
+                    }
+                    view.dpt.clear();
+                }
             }
+            // Both tables are hash maps: sort the snapshots so the encoded
+            // checkpoint record is deterministic (the fuzzy RLOG checkpoint
+            // is the first flavor to carry a non-empty DPT in its body).
+            let mut active_txns: Vec<(TxnId, Lsn)> =
+                view.txns.active().map(|t| (t.id, t.last_lsn)).collect();
+            active_txns.sort_unstable_by_key(|&(t, _)| t.0);
+            let mut dirty_pages: Vec<(PageId, Lsn)> =
+                view.dpt.iter().map(|(&p, &l)| (p, l)).collect();
+            dirty_pages.sort_unstable_by_key(|&(p, _)| p.0);
             let body = CheckpointBody {
-                active_txns: view.txns.active().map(|t| (t.id, t.last_lsn)).collect(),
-                dirty_pages: view.dpt.iter().map(|(&p, &l)| (p, l)).collect(),
+                active_txns,
+                dirty_pages,
                 wpl_entries: if self.cfg.flavor == RecoveryFlavor::Wpl {
                     view.wpl.checkpoint_entries()
                 } else {
@@ -1228,6 +1478,12 @@ impl Server {
                 }
                 Ok(())
             })?;
+        }
+        if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+            // Fuzzy checkpoints only flush pages dirty since before the
+            // previous checkpoint; a first pass ages every current dirty
+            // page, so the second drains them all.
+            self.checkpoint()?;
         }
         self.checkpoint()
     }
@@ -1387,6 +1643,17 @@ mod tests {
             RecoveryFlavor::Wpl => {
                 server.receive_dirty_page(txn, pid, page).unwrap();
             }
+            RecoveryFlavor::RedoLogical => {
+                let rec = LogRecord::UpdateLogical {
+                    txn,
+                    prev: Lsn::NULL,
+                    page: pid,
+                    slot: 0,
+                    offset: 0,
+                    after: vec![7u8; 64],
+                };
+                server.receive_log_records(txn, vec![rec]).unwrap();
+            }
             _ => {
                 let rec = LogRecord::Update {
                     txn,
@@ -1481,6 +1748,19 @@ mod tests {
     }
 
     #[test]
+    fn committed_update_survives_crash_rlog_without_undo_phase() {
+        let (parts, cfg, pid) = esm_commit_crash(RecoveryFlavor::RedoLogical);
+        let server = Server::restart(parts, cfg, Meter::new()).unwrap();
+        let page = server.read_page_for_test(pid).unwrap();
+        assert_eq!(page.object(pid, 0).unwrap(), &[7u8; 64][..]);
+        let report = server.restart_report().unwrap();
+        assert_eq!(report.flavor, "RLOG");
+        assert_eq!(report.phases.len(), 2, "analysis / redo — no undo under no-steal");
+        assert!(report.phases.iter().all(|p| p.name != "undo"));
+        assert!(report.phases.iter().any(|p| p.name == "redo" && p.records > 0));
+    }
+
+    #[test]
     fn committed_update_survives_crash_wpl() {
         let (parts, cfg, pid) = esm_commit_crash(RecoveryFlavor::Wpl);
         let server = Server::restart(parts, cfg, Meter::new()).unwrap();
@@ -1496,8 +1776,12 @@ mod tests {
 
     #[test]
     fn uncommitted_update_rolled_back_on_restart() {
-        for flavor in [RecoveryFlavor::EsmAries, RecoveryFlavor::RedoAtServer, RecoveryFlavor::Wpl]
-        {
+        for flavor in [
+            RecoveryFlavor::EsmAries,
+            RecoveryFlavor::RedoAtServer,
+            RecoveryFlavor::RedoLogical,
+            RecoveryFlavor::Wpl,
+        ] {
             let (server, pids) = loaded_server(flavor);
             let pid = pids[0];
             let txn = server.begin();
@@ -1505,6 +1789,17 @@ mod tests {
             let page = updated_page(&server, txn, pid, 9);
             match flavor {
                 RecoveryFlavor::Wpl => server.receive_dirty_page(txn, pid, page).unwrap(),
+                RecoveryFlavor::RedoLogical => {
+                    let rec = LogRecord::UpdateLogical {
+                        txn,
+                        prev: Lsn::NULL,
+                        page: pid,
+                        slot: 0,
+                        offset: 0,
+                        after: vec![9u8; 64],
+                    };
+                    server.receive_log_records(txn, vec![rec]).unwrap();
+                }
                 _ => {
                     let rec = LogRecord::Update {
                         txn,
@@ -1578,8 +1873,12 @@ mod tests {
 
     #[test]
     fn explicit_abort_restores_old_value() {
-        for flavor in [RecoveryFlavor::EsmAries, RecoveryFlavor::RedoAtServer, RecoveryFlavor::Wpl]
-        {
+        for flavor in [
+            RecoveryFlavor::EsmAries,
+            RecoveryFlavor::RedoAtServer,
+            RecoveryFlavor::RedoLogical,
+            RecoveryFlavor::Wpl,
+        ] {
             let (server, pids) = loaded_server(flavor);
             let pid = pids[0];
             let txn = server.begin();
@@ -1587,6 +1886,17 @@ mod tests {
             let page = updated_page(&server, txn, pid, 5);
             match flavor {
                 RecoveryFlavor::Wpl => server.receive_dirty_page(txn, pid, page).unwrap(),
+                RecoveryFlavor::RedoLogical => {
+                    let rec = LogRecord::UpdateLogical {
+                        txn,
+                        prev: Lsn::NULL,
+                        page: pid,
+                        slot: 0,
+                        offset: 0,
+                        after: vec![5u8; 64],
+                    };
+                    server.receive_log_records(txn, vec![rec]).unwrap();
+                }
                 _ => {
                     let rec = LogRecord::Update {
                         txn,
@@ -1639,6 +1949,45 @@ mod tests {
             after: vec![1],
         };
         assert!(server.receive_log_records(txn, vec![rec]).is_err());
+    }
+
+    #[test]
+    fn rlog_rejects_dirty_pages_and_physical_updates() {
+        let (server, pids) = loaded_server(RecoveryFlavor::RedoLogical);
+        let txn = server.begin();
+        server.lock_page(txn, pids[0], LockMode::X).unwrap();
+        // No-steal: the server never accepts uncommitted frames.
+        assert!(server.receive_dirty_page(txn, pids[0], Page::new()).is_err());
+        // Logical flavor: before/after-image records are a protocol error.
+        let rec = LogRecord::Update {
+            txn,
+            prev: Lsn::NULL,
+            page: pids[0],
+            slot: 0,
+            offset: 0,
+            before: vec![0],
+            after: vec![1],
+        };
+        assert!(server.receive_log_records(txn, vec![rec]).is_err());
+        // The logical form is accepted, and is applied only at commit:
+        // until then the server's copy of the page still shows old bytes.
+        let rec = LogRecord::UpdateLogical {
+            txn,
+            prev: Lsn::NULL,
+            page: pids[0],
+            slot: 0,
+            offset: 0,
+            after: vec![4u8; 64],
+        };
+        server.receive_log_records(txn, vec![rec]).unwrap();
+        let page = server.read_page_for_test(pids[0]).unwrap();
+        assert_eq!(page.object(pids[0], 0).unwrap(), &[0u8; 64][..], "deferred until commit");
+        // But the writing transaction sees its own pending ops overlaid.
+        let own = server.fetch_page(txn, pids[0]).unwrap();
+        assert_eq!(own.object(pids[0], 0).unwrap(), &[4u8; 64][..], "own writes visible");
+        server.commit(txn).unwrap();
+        let page = server.read_page_for_test(pids[0]).unwrap();
+        assert_eq!(page.object(pids[0], 0).unwrap(), &[4u8; 64][..]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod tag {
     pub const ABORT: u8 = 5;
     pub const CLR: u8 = 6;
     pub const CHECKPOINT: u8 = 7;
+    pub const UPDATE_LOGICAL: u8 = 8;
 }
 
 /// FNV-1a, used as a lightweight corruption check on log records.
@@ -114,6 +115,11 @@ pub enum LogRecord {
     },
     /// Checkpoint.
     Checkpoint { body: CheckpointBody },
+    /// Logical (REDO-only) byte-range update: like `Update` but with no
+    /// before image — the no-steal rule of `RecoveryFlavor::RedoLogical`
+    /// guarantees uncommitted data never reaches disk, so undo images are
+    /// never needed (DESIGN.md §6e).
+    UpdateLogical { txn: TxnId, prev: Lsn, page: PageId, slot: u16, offset: u16, after: Vec<u8> },
 }
 
 impl LogRecord {
@@ -124,7 +130,8 @@ impl LogRecord {
             | LogRecord::PageAlloc { txn, .. }
             | LogRecord::Commit { txn, .. }
             | LogRecord::Abort { txn, .. }
-            | LogRecord::Clr { txn, .. } => *txn,
+            | LogRecord::Clr { txn, .. }
+            | LogRecord::UpdateLogical { txn, .. } => *txn,
             LogRecord::Checkpoint { .. } => TxnId::INVALID,
         }
     }
@@ -137,7 +144,8 @@ impl LogRecord {
             | LogRecord::PageAlloc { prev, .. }
             | LogRecord::Commit { prev, .. }
             | LogRecord::Abort { prev, .. }
-            | LogRecord::Clr { prev, .. } => *prev,
+            | LogRecord::Clr { prev, .. }
+            | LogRecord::UpdateLogical { prev, .. } => *prev,
             LogRecord::Checkpoint { .. } => Lsn::NULL,
         }
     }
@@ -148,7 +156,8 @@ impl LogRecord {
             LogRecord::Update { page, .. }
             | LogRecord::WholePage { page, .. }
             | LogRecord::PageAlloc { page, .. }
-            | LogRecord::Clr { page, .. } => Some(*page),
+            | LogRecord::Clr { page, .. }
+            | LogRecord::UpdateLogical { page, .. } => Some(*page),
             _ => None,
         }
     }
@@ -162,6 +171,7 @@ impl LogRecord {
             LogRecord::Abort { .. } => 5,
             LogRecord::Clr { .. } => 6,
             LogRecord::Checkpoint { .. } => 7,
+            LogRecord::UpdateLogical { .. } => 8,
         }
     }
 
@@ -213,6 +223,13 @@ impl LogRecord {
                 }
                 b.extend_from_slice(&body.allocated_pages.to_le_bytes());
             }
+            LogRecord::UpdateLogical { page, slot, offset, after, .. } => {
+                b.extend_from_slice(&page.0.to_le_bytes());
+                b.extend_from_slice(&slot.to_le_bytes());
+                b.extend_from_slice(&offset.to_le_bytes());
+                b.extend_from_slice(&(after.len() as u16).to_le_bytes());
+                b.extend_from_slice(after);
+            }
         }
         b
     }
@@ -236,6 +253,7 @@ impl LogRecord {
                     + 21 * body.wpl_entries.len()
                     + 8
             }
+            LogRecord::UpdateLogical { after, .. } => 10 + after.len(),
         }
     }
 
@@ -248,6 +266,7 @@ impl LogRecord {
             LogRecord::WholePage { .. } => PAGE_SIZE,
             LogRecord::Clr { after, .. } => after.len() + 8,
             LogRecord::Checkpoint { .. } => self.body_len(),
+            LogRecord::UpdateLogical { after, .. } => after.len(),
             _ => 0,
         }
     }
@@ -348,6 +367,14 @@ impl LogRecord {
                 body.allocated_pages = r.u64()?;
                 LogRecord::Checkpoint { body }
             }
+            8 => {
+                let page = PageId(r.u32()?);
+                let slot = r.u16()?;
+                let offset = r.u16()?;
+                let alen = r.u16()? as usize;
+                let after = r.bytes(alen)?.to_vec();
+                LogRecord::UpdateLogical { txn, prev, page, slot, offset, after }
+            }
             t => return Err(corrupt(&format!("unknown record tag {t}"))),
         };
         Ok(rec)
@@ -416,10 +443,10 @@ pub fn frame_prev(bytes: &[u8]) -> Lsn {
 }
 
 /// The page an encoded record touches, if any (tags with a leading page
-/// field in the body: update, whole-page, page-alloc, CLR).
+/// field in the body: update, whole-page, page-alloc, CLR, logical update).
 pub fn frame_page(bytes: &[u8]) -> Option<PageId> {
     match bytes[8] {
-        1 | 2 | 3 | 6 => {
+        1 | 2 | 3 | 6 | 8 => {
             Some(PageId(u32::from_le_bytes(bytes[PREFIX..PREFIX + 4].try_into().unwrap())))
         }
         _ => None,
@@ -427,14 +454,20 @@ pub fn frame_page(bytes: &[u8]) -> Option<PageId> {
 }
 
 /// For an encoded update record, `before.len() + after.len()` (the
-/// paper's log-image bytes); 0 for every other tag.
+/// paper's log-image bytes; just `after.len()` for a logical update,
+/// which carries no before image); 0 for every other tag.
 pub fn frame_update_image_bytes(bytes: &[u8]) -> u64 {
-    if bytes[8] != 1 {
-        return 0;
+    match bytes[8] {
+        1 => {
+            let blen =
+                u16::from_le_bytes(bytes[PREFIX + 8..PREFIX + 10].try_into().unwrap()) as u64;
+            let alen =
+                u16::from_le_bytes(bytes[PREFIX + 10..PREFIX + 12].try_into().unwrap()) as u64;
+            blen + alen
+        }
+        8 => u16::from_le_bytes(bytes[PREFIX + 8..PREFIX + 10].try_into().unwrap()) as u64,
+        _ => 0,
     }
-    let blen = u16::from_le_bytes(bytes[PREFIX + 8..PREFIX + 10].try_into().unwrap()) as u64;
-    let alen = u16::from_le_bytes(bytes[PREFIX + 10..PREFIX + 12].try_into().unwrap()) as u64;
-    blen + alen
 }
 
 /// Zero-copy view of an encoded update or CLR record's redo fields:
@@ -459,7 +492,8 @@ pub fn frame_redo_slice(bytes: &[u8]) -> QsResult<Option<(u16, u16, &[u8])>> {
             Ok(Some((slot, offset, after)))
         }
         // CLR: page u32 | slot u16 | offset u16 | alen u16 | after | undo_next
-        6 => {
+        // Logical update: same leading layout, no undo_next.
+        6 | 8 => {
             let slot = u16_at(PREFIX + 4)?;
             let offset = u16_at(PREFIX + 6)?;
             let alen = u16_at(PREFIX + 8)? as usize;
@@ -599,9 +633,38 @@ mod tests {
         };
         assert_eq!(frame_whole_page_image(&enc).unwrap(), &image[..]);
 
+        let logical = LogRecord::UpdateLogical {
+            txn: TxnId(7),
+            prev: Lsn(100),
+            page: PageId(3),
+            slot: 6,
+            offset: 32,
+            after: vec![11, 12, 13],
+        };
+        let enc = logical.encode();
+        let (slot, offset, after) = frame_redo_slice(&enc).unwrap().unwrap();
+        assert_eq!((slot, offset), (6, 32));
+        assert_eq!(after, &[11, 12, 13]);
+
         // No redo payload on control records.
         let commit = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) }.encode();
         assert_eq!(frame_redo_slice(&commit).unwrap(), None);
+    }
+
+    #[test]
+    fn update_logical_round_trip_and_size() {
+        let r = LogRecord::UpdateLogical {
+            txn: TxnId(7),
+            prev: Lsn(100),
+            page: PageId(3),
+            slot: 2,
+            offset: 16,
+            after: vec![5, 6, 7, 8],
+        };
+        round_trip(&r);
+        // Half the image bytes of the equivalent physical update: the
+        // before image is gone, only the header + after remain.
+        assert_eq!(r.encoded_len(), LOG_HEADER_SIZE + 4);
     }
 
     #[test]
@@ -725,6 +788,22 @@ mod tests {
                 after: vec![9; 16],
                 undo_next: Lsn(12),
             },
+            LogRecord::UpdateLogical {
+                txn: TxnId(8),
+                prev: Lsn(200),
+                page: PageId(4),
+                slot: 3,
+                offset: 24,
+                after: vec![5; 9],
+            },
+            LogRecord::UpdateLogical {
+                txn: TxnId(8),
+                prev: Lsn::NULL,
+                page: PageId(4),
+                slot: 0,
+                offset: 0,
+                after: vec![],
+            },
             LogRecord::Checkpoint { body: CheckpointBody::default() },
             LogRecord::Checkpoint {
                 body: CheckpointBody {
@@ -762,6 +841,7 @@ mod tests {
             assert_eq!(frame_page(&enc), r.page(), "{r:?}");
             let expect = match &r {
                 LogRecord::Update { before, after, .. } => (before.len() + after.len()) as u64,
+                LogRecord::UpdateLogical { after, .. } => after.len() as u64,
                 _ => 0,
             };
             assert_eq!(frame_update_image_bytes(&enc), expect, "{r:?}");
@@ -803,6 +883,9 @@ mod tests {
             LogRecord::Abort { txn, .. } => LogRecord::Abort { txn, prev },
             LogRecord::Clr { txn, page, slot, offset, after, undo_next, .. } => {
                 LogRecord::Clr { txn, prev, page, slot, offset, after, undo_next }
+            }
+            LogRecord::UpdateLogical { txn, page, slot, offset, after, .. } => {
+                LogRecord::UpdateLogical { txn, prev, page, slot, offset, after }
             }
             c @ LogRecord::Checkpoint { .. } => c,
         }

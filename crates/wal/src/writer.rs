@@ -80,6 +80,30 @@ impl<'a> RecordWriter<'a> {
         total
     }
 
+    /// Append an `UpdateLogical` record (REDO-only: no before image) built
+    /// from a borrowed after image. Returns its encoded length.
+    pub fn update_logical(
+        &mut self,
+        txn: TxnId,
+        prev: Lsn,
+        page: PageId,
+        slot: u16,
+        offset: u16,
+        after: &[u8],
+    ) -> usize {
+        let body = 10 + after.len();
+        let total = (PREFIX + body + TRAILER).max(LOG_HEADER_SIZE + after.len());
+        let at = self.begin(total, 8, txn, prev);
+        let b = &mut self.buf[at + PREFIX..];
+        b[0..4].copy_from_slice(&page.0.to_le_bytes());
+        b[4..6].copy_from_slice(&slot.to_le_bytes());
+        b[6..8].copy_from_slice(&offset.to_le_bytes());
+        b[8..10].copy_from_slice(&(after.len() as u16).to_le_bytes());
+        b[10..body].copy_from_slice(after);
+        self.finish(at, total);
+        total
+    }
+
     /// Append a `WholePage` record from a borrowed page image. Returns its
     /// encoded length.
     pub fn whole_page(
@@ -134,6 +158,38 @@ mod tests {
                 i as u16,
                 16 * i as u16,
                 before,
+                after,
+            );
+            assert_eq!(n, enc.len());
+            assert_eq!(n, rec.encoded_len());
+            expect.extend_from_slice(&enc);
+        }
+        assert_eq!(w.records(), cases.len());
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn update_logical_bytes_identical_to_encode() {
+        let cases: Vec<Vec<u8>> = vec![vec![], vec![1, 2, 3], vec![7; 40], (0..255u8).collect()];
+        let mut buf = Vec::new();
+        let mut w = RecordWriter::new(&mut buf);
+        let mut expect = Vec::new();
+        for (i, after) in cases.iter().enumerate() {
+            let rec = LogRecord::UpdateLogical {
+                txn: TxnId(3 + i as u64),
+                prev: Lsn(if i % 2 == 0 { Lsn::NULL.0 } else { 99 + i as u64 }),
+                page: PageId(7 + i as u32),
+                slot: i as u16,
+                offset: 16 * i as u16,
+                after: after.clone(),
+            };
+            let enc = rec.encode();
+            let n = w.update_logical(
+                rec.txn(),
+                rec.prev(),
+                rec.page().unwrap(),
+                i as u16,
+                16 * i as u16,
                 after,
             );
             assert_eq!(n, enc.len());

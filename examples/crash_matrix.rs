@@ -1,4 +1,4 @@
-//! Crash-recovery torture demo: run the same updates under all five
+//! Crash-recovery torture demo: run the same updates under all six
 //! software versions, crash the server at three different points, restart,
 //! and verify that exactly the committed transactions survive — including
 //! WPL's backward-scan restart rebuilding its table from the log.
@@ -35,13 +35,8 @@ fn build(cfg: &SystemConfig) -> QsResult<(Store, Arc<Server>, Vec<Oid>)> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let systems = [
-        SystemConfig::pd_esm().with_memory(1.0, 0.25),
-        SystemConfig::sd_esm().with_memory(1.0, 0.25),
-        SystemConfig::sl_esm().with_memory(1.0, 0.25),
-        SystemConfig::pd_redo().with_memory(1.0, 0.25),
-        SystemConfig::wpl().with_memory(1.0, 0.25),
-    ];
+    let systems: Vec<_> =
+        SystemConfig::all_schemes().into_iter().map(|(c, _)| c.with_memory(1.0, 0.25)).collect();
     for cfg in systems {
         let name = cfg.name();
         let (mut store, server, oids) = build(&cfg)?;
@@ -76,6 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{name:<8} crash/restart matrix ✓  (committed kept, aborted+in-flight rolled back)"
         );
     }
-    println!("\nall five software versions recover correctly");
+    println!("\nall six software versions recover correctly");
     Ok(())
 }

@@ -60,15 +60,31 @@ echo "== concurrency tests under a deadlock watchdog =="
 # tests exercise the decomposed server's locking across real threads; a
 # lock-order bug shows up as a hang, not a failure. `timeout` turns a
 # hang into a hard FAIL. The runtime_* suites add the reactor: admission
-# sheds, park/resume lock waits, and direct-vs-reactor equivalence.
+# sheds, park/resume lock waits, and direct-vs-reactor equivalence; the
+# lock_property suite drives seeded random histories through the
+# granularity hierarchy (flat-manager oracle, slot independence, mixed
+# page/record deadlocks) and record_granularity pins the zero-wait
+# distinct-slot contention win through the reactor.
 for t in multi_client group_commit shard_independence restart_equivalence \
-         runtime_admission runtime_equivalence; do
+         runtime_admission runtime_equivalence lock_property \
+         record_granularity; do
     if ! timeout 120 cargo test -q --offline --test "$t"; then
         echo "FAIL: --test $t did not finish within 120s (possible deadlock)" \
              "or failed; see output above"
         exit 1
     fi
 done
+
+echo "== RedoLogical (PD-RLOG) crash/restart smoke =="
+# The sixth scheme's full cycle — generate, committed traversals, crash,
+# REDO-only restart (no undo phase), byte-identical object state vs every
+# other scheme. scheme_equivalence derives its list from
+# SystemConfig::all_schemes(), so PD-RLOG is covered by construction and
+# this run fails if the shared list ever loses it.
+if ! timeout 180 cargo test -q --offline --test scheme_equivalence; then
+    echo "FAIL: --test scheme_equivalence did not finish within 180s or failed"
+    exit 1
+fi
 
 echo "== trace binary smoke run =="
 cargo run --release --offline -p qs-bench --bin trace > /dev/null

@@ -13,7 +13,7 @@
 //!   shipping, buffer pools, locks, ARIES & WPL restart (`qs-esm`).
 //! * [`vmem`] — the software MMU (`qs-vmem`).
 //! * [`core`] — QuickStore itself: descriptor table, recovery buffer,
-//!   diffing, and the five recovery schemes (`quickstore`).
+//!   diffing, and the six recovery schemes (`quickstore`).
 //! * [`oo7`] — the OO7 benchmark database and traversals (`qs-oo7`).
 //! * [`sim`] — the 1995 hardware model and MVA solver (`qs-sim`).
 //! * [`trace`] — simulated-time tracing: spans, histograms, and the

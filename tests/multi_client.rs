@@ -35,11 +35,17 @@ fn make_server(flavor: RecoveryFlavor, pages: usize) -> (Arc<Server>, Vec<Oid>) 
 fn private_working_sets_interleaved() {
     // Four clients, disjoint page ranges, transactions interleaved
     // round-robin — the paper's conflict-free design. All updates must land.
-    for flavor in [RecoveryFlavor::EsmAries, RecoveryFlavor::RedoAtServer, RecoveryFlavor::Wpl] {
+    for flavor in [
+        RecoveryFlavor::EsmAries,
+        RecoveryFlavor::RedoAtServer,
+        RecoveryFlavor::RedoLogical,
+        RecoveryFlavor::Wpl,
+    ] {
         let (server, oids) = make_server(flavor, 16);
         let cfg_for = |_c: usize| match flavor {
             RecoveryFlavor::EsmAries => SystemConfig::pd_esm().with_memory(1.0, 0.25),
             RecoveryFlavor::RedoAtServer => SystemConfig::pd_redo().with_memory(1.0, 0.25),
+            RecoveryFlavor::RedoLogical => SystemConfig::pd_rlog().with_memory(1.0, 0.25),
             RecoveryFlavor::Wpl => SystemConfig::wpl().with_memory(1.0, 0.25),
         };
         let mut stores: Vec<Store> = (0..4)

@@ -82,6 +82,24 @@ fn crashed_images(cfg: &SystemConfig) -> (Vec<u8>, Vec<u8>, Vec<Oid>) {
                 server.receive_dirty_page(loser, pid, p).unwrap();
             }
         }
+        RecoveryFlavor::RedoLogical => {
+            // RLOG losers ship logical (after-only) records; restart must
+            // drop them in analysis rather than undo them.
+            let recs: Vec<LogRecord> = pids[6..9]
+                .iter()
+                .flat_map(|&pid| {
+                    (0..10u8).map(move |i| LogRecord::UpdateLogical {
+                        txn: loser,
+                        prev: Lsn::NULL,
+                        page: pid,
+                        slot: (i % 4) as u16,
+                        offset: (i as u16 % 3) * 20,
+                        after: vec![0xE0 + i; 20],
+                    })
+                })
+                .collect();
+            server.receive_log_records(loser, recs).unwrap();
+        }
         _ => {
             let recs: Vec<LogRecord> = pids[6..9]
                 .iter()
@@ -180,6 +198,7 @@ fn parallel_restart_is_bit_equivalent_to_serial() {
     for cfg in [
         SystemConfig::pd_esm().with_memory(1.0, 0.25),
         SystemConfig::pd_redo().with_memory(1.0, 0.25),
+        SystemConfig::pd_rlog().with_memory(1.0, 0.25),
         SystemConfig::wpl().with_memory(1.0, 0.25),
     ] {
         let name = cfg.name();
@@ -190,11 +209,28 @@ fn parallel_restart_is_bit_equivalent_to_serial() {
         // The scenario must exercise the engine: scan/analysis work
         // always, undo work for the ARIES flavors.
         assert!(baseline.phases[0].1 > 0, "{name}: no scan work");
-        if cfg.flavor != RecoveryFlavor::Wpl {
-            assert_eq!(baseline.phases[2].1, 30, "{name}: the loser's 30 updates must be undone");
-            assert!(baseline.phases[1].1 > 0, "{name}: no redo work");
-        } else {
-            assert!(baseline.wpl_entries > 0, "{name}: no WPL entries restored");
+        match cfg.flavor {
+            RecoveryFlavor::Wpl => {
+                assert!(baseline.wpl_entries > 0, "{name}: no WPL entries restored");
+            }
+            RecoveryFlavor::RedoLogical => {
+                assert_eq!(baseline.phases.len(), 2, "{name}: REDO-only restart has no undo");
+                assert!(baseline.phases.iter().all(|p| p.0 != "undo"), "{name}: undo phase ran");
+                assert!(baseline.phases[1].1 > 0, "{name}: no redo work");
+                // The loser's after-images (0xE0..) were dropped in
+                // analysis, never applied: its target objects stay zero.
+                for oid in &oids[24..36] {
+                    let v = &baseline.values[oids.iter().position(|o| o == oid).unwrap()];
+                    assert!(v.iter().all(|&b| b == 0), "{name}: loser bytes leaked into {oid:?}");
+                }
+            }
+            _ => {
+                assert_eq!(
+                    baseline.phases[2].1, 30,
+                    "{name}: the loser's 30 updates must be undone"
+                );
+                assert!(baseline.phases[1].1 > 0, "{name}: no redo work");
+            }
         }
         assert_eq!(baseline.active_txns, 0, "{name}: loser still active");
 
@@ -213,9 +249,11 @@ fn parallel_restart_is_bit_equivalent_to_serial() {
 /// null-checkpoint scan window and whole-page redo routing.
 #[test]
 fn parallel_restart_equivalence_without_checkpoint() {
-    for cfg in
-        [SystemConfig::pd_esm().with_memory(1.0, 0.25), SystemConfig::wpl().with_memory(1.0, 0.25)]
-    {
+    for cfg in [
+        SystemConfig::pd_esm().with_memory(1.0, 0.25),
+        SystemConfig::pd_rlog().with_memory(1.0, 0.25),
+        SystemConfig::wpl().with_memory(1.0, 0.25),
+    ] {
         let name = cfg.name();
         let meter = Meter::new();
         let server = Arc::new(Server::format(server_cfg(&cfg), Arc::clone(&meter)).unwrap());

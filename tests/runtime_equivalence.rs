@@ -132,6 +132,7 @@ fn reactor_runs_are_bit_equivalent_to_direct_calls() {
     for cfg in [
         SystemConfig::pd_esm().with_memory(2.0, 0.5),
         SystemConfig::pd_redo().with_memory(2.0, 0.5),
+        SystemConfig::pd_rlog().with_memory(2.0, 0.5),
         SystemConfig::wpl().with_memory(2.0, 0.0),
     ] {
         let name = cfg.name();

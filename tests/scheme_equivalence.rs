@@ -54,21 +54,18 @@ fn server_cfg_from_name(name: &str) -> ServerConfig {
 }
 
 fn config_by_name(name: &str) -> SystemConfig {
-    match name {
-        "PD-ESM" => SystemConfig::pd_esm().with_memory(2.0, 0.5),
-        "SD-ESM" => SystemConfig::sd_esm().with_memory(2.0, 0.5),
-        "SL-ESM" => SystemConfig::sl_esm().with_memory(2.0, 0.5),
-        "PD-REDO" => SystemConfig::pd_redo().with_memory(2.0, 0.5),
-        "WPL" => SystemConfig::wpl().with_memory(2.0, 0.0),
-        other => panic!("unknown {other}"),
-    }
+    // The shared Table 3 list is the source of truth: a scheme added
+    // there is covered here automatically.
+    SystemConfig::by_name(name).unwrap_or_else(|| panic!("unknown {name}")).with_memory(2.0, 0.5)
 }
 
 #[test]
 fn all_schemes_produce_identical_databases_after_crash() {
-    let names = ["PD-ESM", "SD-ESM", "SL-ESM", "PD-REDO", "WPL"];
+    let names: Vec<String> =
+        SystemConfig::all_schemes().iter().map(|(cfg, _)| cfg.name()).collect();
+    assert!(names.len() >= 6, "shared list covers every scheme");
     let mut dumps = Vec::new();
-    for n in names {
+    for n in &names {
         dumps.push(run_and_dump(config_by_name(n)));
     }
     let (ref_name, ref_dump) = &dumps[0];
