@@ -1,0 +1,292 @@
+//! `ckpt_bench`: commit tail latency with a checkpoint in flight —
+//! quiesced vs concurrent.
+//!
+//! Real wall-clock time, like `scale` (not simulated 1995 time). The
+//! same disjoint-working-set update workload runs twice against servers
+//! whose *data* disk charges a per-page-write device latency and whose
+//! log disk charges a per-sync latency. A control thread takes
+//! checkpoints in a tight loop for the whole run:
+//!
+//! * `quiesced` — background-flusher knob off: every checkpoint runs
+//!   under `with_quiesced`, holding every subsystem lock while the full
+//!   dirty-page table flushes. Commits that land during one wait out the
+//!   entire device-time bill.
+//! * `concurrent` — knob on: the two-phase fuzzy protocol (begin record
+//!   → incremental elevator drain → end record). The control thread
+//!   plays the flusher's role so each checkpoint can be timed precisely;
+//!   the drain claims batches under one shard lock at a time and writes
+//!   with no foreground-blocking lock held, so commits only ever pay the
+//!   log sync.
+//!
+//! Both runs end with a crash + restart under the plain (knob-off)
+//! config and re-assert every committed value — the fuzzy media must
+//! recover exactly like the quiesced media does.
+//!
+//! Results go to `BENCH_ckpt.json` (see EXPERIMENTS.md): commit p50/p99,
+//! checkpoint count and durations, flusher batch shape, and the headline
+//! `p99_ratio` (quiesced p99 / concurrent p99 — the acceptance bar is
+//! >= 3).
+//!
+//! Flags:
+//!   --smoke            tiny counts and near-zero latencies: exercises
+//!                      the harness and JSON output only
+//!   --validate <path>  parse a previously written BENCH_ckpt.json,
+//!                      check coverage, and (for non-smoke files) assert
+//!                      p99_ratio >= 3; exits non-zero on failure
+
+use qs_bench::driver::{
+    assert_workload_applied, build_ckpt_server, drive_threads_commit_latency, ScaleWorkload,
+};
+use qs_esm::{Server, ServerConfig};
+use qs_sim::{HardwareModel, JsonWriter, Meter};
+use qs_trace::Tracer;
+use quickstore::SystemConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const PAGES_PER_CLIENT: usize = 16;
+/// Pool shards, as in the scale bench (the PR-3 decomposition).
+const SHARDS: usize = 8;
+/// Pause between checkpoints on the control thread — short enough that
+/// most commits overlap a checkpoint in flight, which is the regime the
+/// bench is about.
+const CKPT_GAP: Duration = Duration::from_millis(1);
+/// The acceptance bar: concurrent p99 must beat quiesced p99 by this.
+const MIN_RATIO: f64 = 3.0;
+
+fn workload(smoke: bool) -> ScaleWorkload {
+    ScaleWorkload {
+        clients: CLIENTS,
+        txns_per_client: if smoke { 12 } else { 80 },
+        pages_per_client: PAGES_PER_CLIENT,
+        sync_latency: if smoke { Duration::from_micros(20) } else { Duration::from_micros(150) },
+    }
+}
+
+/// Device time per data-page write: what the quiesced checkpoint
+/// serializes every client behind, `dirty pages x this` per checkpoint.
+fn data_write_latency(smoke: bool) -> Duration {
+    if smoke {
+        Duration::from_micros(5)
+    } else {
+        Duration::from_micros(100)
+    }
+}
+
+fn server_cfg(w: &ScaleWorkload, fuzzy: bool) -> ServerConfig {
+    let flavor = SystemConfig::by_name("PD-ESM").expect("shared scheme list").flavor;
+    ServerConfig::new(flavor)
+        .with_pool_mb(8.0)
+        .with_volume_pages((w.clients * w.pages_per_client * 2).max(1024))
+        .with_log_mb(64.0)
+        .with_pool_shards(SHARDS)
+        .with_background_flusher(fuzzy)
+}
+
+struct ModeResult {
+    name: String,
+    txns: u64,
+    commit_p50_ns: u64,
+    commit_p99_ns: u64,
+    commit_max_ns: u64,
+    checkpoints: u64,
+    ckpt_mean_ns: u64,
+    ckpt_max_ns: u64,
+    flusher_batches: u64,
+    flusher_pages: u64,
+}
+
+impl ModeResult {
+    fn pages_per_batch(&self) -> f64 {
+        self.flusher_pages as f64 / self.flusher_batches.max(1) as f64
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q) as usize]
+}
+
+/// One full mode: drive the workload with a checkpoint loop in flight,
+/// then crash, restart under the plain knob-off config, and re-assert
+/// every committed value survived.
+fn run_mode(w: &ScaleWorkload, fuzzy: bool, smoke: bool, name: &str) -> ModeResult {
+    let tracer = Tracer::flight(Meter::new(), HardwareModel::paper_1995(), 256);
+    let (server, sets) =
+        build_ckpt_server(server_cfg(w, fuzzy), w, data_write_latency(smoke), Arc::clone(&tracer));
+
+    let stop = AtomicBool::new(false);
+    let mut ckpt_durs_ns: Vec<u64> = Vec::new();
+    let mut lats: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let ckpt = s.spawn(|| {
+            let mut durs = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                server.checkpoint().expect("checkpoint in flight");
+                durs.push(t0.elapsed().as_nanos() as u64);
+                std::thread::sleep(CKPT_GAP);
+            }
+            durs
+        });
+        lats = drive_threads_commit_latency(&server, &sets, w.txns_per_client);
+        stop.store(true, Ordering::Relaxed);
+        ckpt_durs_ns = ckpt.join().expect("checkpoint thread");
+    });
+    assert_workload_applied(&server, &sets, w.txns_per_client);
+    let (flusher_batches, flusher_pages) = server.flusher_stats();
+
+    // Crash and recover under the plain config: the media a fuzzy
+    // checkpoint leaves behind must restart exactly like the quiesced
+    // media — every committed value back, no stragglers.
+    let parts = Arc::try_unwrap(server).ok().expect("sole owner").crash();
+    let restarted = Server::restart(parts, server_cfg(w, false), Meter::new())
+        .expect("restart after checkpointed run");
+    assert_eq!(restarted.active_txns(), 0, "{name}: transactions leaked through restart");
+    assert_workload_applied(&restarted, &sets, w.txns_per_client);
+    drop(restarted.crash());
+
+    lats.sort_unstable();
+    let checkpoints = ckpt_durs_ns.len() as u64;
+    let ckpt_mean_ns = ckpt_durs_ns.iter().sum::<u64>() / checkpoints.max(1);
+    ModeResult {
+        name: name.into(),
+        txns: w.total_txns() as u64,
+        commit_p50_ns: percentile(&lats, 0.50),
+        commit_p99_ns: percentile(&lats, 0.99),
+        commit_max_ns: lats.last().copied().unwrap_or(0),
+        checkpoints,
+        ckpt_mean_ns,
+        ckpt_max_ns: ckpt_durs_ns.iter().max().copied().unwrap_or(0),
+        flusher_batches,
+        flusher_pages,
+    }
+}
+
+fn expected_names() -> Vec<String> {
+    vec!["ckpt/quiesced".into(), "ckpt/concurrent".into()]
+}
+
+fn render_json(results: &[ModeResult], ratio: f64, smoke: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("benchmark", "ckpt")
+        .field_str("build", if cfg!(debug_assertions) { "debug" } else { "release" })
+        .key("smoke")
+        .bool(smoke)
+        .field_f64("p99_ratio", ratio)
+        .key("results")
+        .begin_array();
+    for r in results {
+        w.begin_object()
+            .field_str("name", &r.name)
+            .field_u64("txns", r.txns)
+            .field_u64("commit_p50_ns", r.commit_p50_ns)
+            .field_u64("commit_p99_ns", r.commit_p99_ns)
+            .field_u64("commit_max_ns", r.commit_max_ns)
+            .field_u64("checkpoints", r.checkpoints)
+            .field_u64("ckpt_mean_ns", r.ckpt_mean_ns)
+            .field_u64("ckpt_max_ns", r.ckpt_max_ns)
+            .field_u64("flusher_batches", r.flusher_batches)
+            .field_u64("flusher_pages", r.flusher_pages)
+            .field_f64("pages_per_batch", r.pages_per_batch())
+            .end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    qs_bench::jsoncheck::check_json(&text)
+        .map_err(|at| format!("{path}: malformed JSON at byte {at}"))?;
+    let names = expected_names();
+    let missing: Vec<&String> =
+        names.iter().filter(|name| !text.contains(&format!("\"name\":\"{name}\""))).collect();
+    if !missing.is_empty() {
+        return Err(format!("{path}: missing benchmark results: {missing:?}"));
+    }
+    let ratio = text
+        .split("\"p99_ratio\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next()?.trim().parse::<f64>().ok())
+        .ok_or_else(|| format!("{path}: no parseable p99_ratio field"))?;
+    if text.contains("\"smoke\":true") {
+        println!("{path}: smoke file, skipping the p99_ratio bar (measured {ratio:.2}x)");
+        return Ok(());
+    }
+    if ratio < MIN_RATIO {
+        return Err(format!(
+            "{path}: p99_ratio {ratio:.2} below the acceptance bar {MIN_RATIO:.1}"
+        ));
+    }
+    Ok(())
+}
+
+fn print_row(r: &ModeResult) {
+    println!(
+        "{:<16} commit p50 {:>8.1?} p99 {:>8.1?} max {:>8.1?}  | {:>4} ckpts, mean {:>8.1?} max {:>8.1?}  | {:.1} pages/batch",
+        r.name,
+        Duration::from_nanos(r.commit_p50_ns),
+        Duration::from_nanos(r.commit_p99_ns),
+        Duration::from_nanos(r.commit_max_ns),
+        r.checkpoints,
+        Duration::from_nanos(r.ckpt_mean_ns),
+        Duration::from_nanos(r.ckpt_max_ns),
+        r.pages_per_batch(),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("usage: ckpt_bench --validate <BENCH_ckpt.json>");
+            std::process::exit(2);
+        };
+        match validate(path) {
+            Ok(()) => {
+                println!("{path}: ok ({} results covered)", expected_names().len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let w = workload(smoke);
+    println!(
+        "qs-ckpt: commit tail latency with a checkpoint in flight (build: {}{})",
+        if cfg!(debug_assertions) { "DEBUG — use --release for real numbers" } else { "release" },
+        if smoke { ", SMOKE — numbers not meaningful" } else { "" }
+    );
+    println!(
+        "-- {} clients x {} txns x {} pages, log sync {:?}, data write {:?} --",
+        w.clients,
+        w.txns_per_client,
+        w.pages_per_client,
+        w.sync_latency,
+        data_write_latency(smoke)
+    );
+
+    let quiesced = run_mode(&w, false, smoke, "ckpt/quiesced");
+    print_row(&quiesced);
+    let concurrent = run_mode(&w, true, smoke, "ckpt/concurrent");
+    print_row(&concurrent);
+
+    let ratio = quiesced.commit_p99_ns as f64 / concurrent.commit_p99_ns.max(1) as f64;
+    println!("   quiesced p99 / concurrent p99: {ratio:.2}x (bar: >= {MIN_RATIO:.1}x)");
+    if !smoke && ratio < MIN_RATIO {
+        eprintln!("WARNING: below the acceptance bar — rerun with --release on a quiet host");
+    }
+
+    let json = render_json(&[quiesced, concurrent], ratio, smoke);
+    std::fs::write("BENCH_ckpt.json", &json).expect("write BENCH_ckpt.json");
+    println!("wrote BENCH_ckpt.json (2 results)");
+}

@@ -30,6 +30,13 @@
 //!   --validate <path>  parse a previously written BENCH_scale.json and
 //!                      assert it covers every client count × mode;
 //!                      exits non-zero on malformed or incomplete files
+//!   --ckpt-interval-ms <n>
+//!                      maintenance-on sweep: turn the background-flusher
+//!                      knob on and take a fuzzy checkpoint every n ms
+//!                      for the duration of every timed run, so the tail
+//!                      latencies include checkpoints in flight. The JSON
+//!                      schema is unchanged; without the flag the sweep
+//!                      is byte-for-byte the default (knob-off) one
 
 use qs_bench::driver::{
     assert_workload_applied, build_scale_server, drive_reactor, drive_threads, ScaleWorkload,
@@ -107,11 +114,42 @@ fn lock_wait_p99(tracer: &Tracer) -> u64 {
         .unwrap_or(0)
 }
 
+/// Run `f` with a checkpoint loop in flight when a `--ckpt-interval-ms`
+/// interval is set: a control thread takes a (fuzzy — the knob is on
+/// whenever an interval is) checkpoint every `interval` until `f`
+/// returns. `None` runs `f` alone, unchanged.
+fn with_checkpointer<T>(
+    server: &Arc<qs_esm::Server>,
+    interval: Option<Duration>,
+    f: impl FnOnce() -> T,
+) -> T {
+    let Some(interval) = interval else { return f() };
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                server.checkpoint().expect("checkpoint in flight");
+                std::thread::sleep(interval);
+            }
+        });
+        let out = f();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        out
+    })
+}
+
 /// One thread-per-connection row.
-fn run_threads(w: &ScaleWorkload, group_commit: bool, name: String) -> ModeResult {
+fn run_threads(
+    w: &ScaleWorkload,
+    group_commit: bool,
+    name: String,
+    ckpt: Option<Duration>,
+) -> ModeResult {
     let tracer = bench_tracer();
-    let (server, sets) = build_scale_server(server_cfg(w, group_commit), w, Arc::clone(&tracer));
-    let wall = drive_threads(&server, &sets, w.txns_per_client, None);
+    let cfg = server_cfg(w, group_commit).with_background_flusher(ckpt.is_some());
+    let (server, sets) = build_scale_server(cfg, w, Arc::clone(&tracer));
+    let wall =
+        with_checkpointer(&server, ckpt, || drive_threads(&server, &sets, w.txns_per_client, None));
     assert_workload_applied(&server, &sets, w.txns_per_client);
     let (gc_calls, gc_forces) = server.group_commit_stats();
     ModeResult {
@@ -132,19 +170,25 @@ fn run_threads(w: &ScaleWorkload, group_commit: bool, name: String) -> ModeResul
 }
 
 /// One event-driven-runtime row.
-fn run_reactor(w: &ScaleWorkload, name: String) -> ModeResult {
+fn run_reactor(w: &ScaleWorkload, name: String, ckpt: Option<Duration>) -> ModeResult {
     let tracer = bench_tracer();
-    let cfg = server_cfg(w, false).with_runtime(RuntimeConfig {
-        workers: REACTOR_WORKERS,
-        inflight_budget: INFLIGHT_BUDGET,
-        queue_depth_max: 4096,
-        mailbox_depth: 16,
-    });
+    let cfg =
+        server_cfg(w, false).with_background_flusher(ckpt.is_some()).with_runtime(RuntimeConfig {
+            workers: REACTOR_WORKERS,
+            inflight_budget: INFLIGHT_BUDGET,
+            queue_depth_max: 4096,
+            mailbox_depth: 16,
+        });
     let (server, sets) = build_scale_server(cfg, w, Arc::clone(&tracer));
     let reactor = Reactor::start(&server);
-    let wall = drive_reactor(&reactor, &sets, w.txns_per_client, DRIVER_THREADS);
+    let wall = with_checkpointer(&server, ckpt, || {
+        drive_reactor(&reactor, &sets, w.txns_per_client, DRIVER_THREADS)
+    });
     let stats = reactor.stats();
     reactor.stop();
+    if ckpt.is_some() {
+        server.stop_flusher();
+    }
     assert_workload_applied(&server, &sets, w.txns_per_client);
     assert_eq!(
         stats.commit_calls,
@@ -195,7 +239,7 @@ fn run_legacy4(smoke: bool) -> Vec<ModeResult> {
         lock_wait_p99_ns: 0,
     });
 
-    out.push(run_threads(&w, true, "scale/legacy4/decomposed".into()));
+    out.push(run_threads(&w, true, "scale/legacy4/decomposed".into(), None));
     out
 }
 
@@ -294,10 +338,21 @@ fn main() {
         }
     }
     let smoke = args.iter().any(|a| a == "--smoke");
+    let ckpt = args.iter().position(|a| a == "--ckpt-interval-ms").map(|pos| {
+        let ms: u64 = args.get(pos + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("usage: scale --ckpt-interval-ms <millis>");
+            std::process::exit(2);
+        });
+        Duration::from_millis(ms.max(1))
+    });
     println!(
-        "qs-scale: client-scaling wall clock (real time, not simulated; build: {}{})",
+        "qs-scale: client-scaling wall clock (real time, not simulated; build: {}{}{})",
         if cfg!(debug_assertions) { "DEBUG — use --release for real numbers" } else { "release" },
-        if smoke { ", SMOKE — numbers not meaningful" } else { "" }
+        if smoke { ", SMOKE — numbers not meaningful" } else { "" },
+        match ckpt {
+            Some(iv) => format!(", maintenance ON: fuzzy checkpoint every {iv:?}"),
+            None => String::new(),
+        }
     );
 
     let mut results: Vec<ModeResult> = Vec::new();
@@ -307,11 +362,11 @@ fn main() {
             "-- {clients} clients x {} txns x {} pages, log sync {:?} --",
             w.txns_per_client, w.pages_per_client, w.sync_latency
         );
-        let threads = run_threads(&w, false, format!("scale/c{clients}/threads"));
+        let threads = run_threads(&w, false, format!("scale/c{clients}/threads"), ckpt);
         print_row(&threads);
-        let threads_gc = run_threads(&w, true, format!("scale/c{clients}/threads_gc"));
+        let threads_gc = run_threads(&w, true, format!("scale/c{clients}/threads_gc"), ckpt);
         print_row(&threads_gc);
-        let reactor = run_reactor(&w, format!("scale/c{clients}/reactor"));
+        let reactor = run_reactor(&w, format!("scale/c{clients}/reactor"), ckpt);
         print_row(&reactor);
         let speedup = threads.wall.as_secs_f64() / reactor.wall.as_secs_f64();
         println!("   reactor vs threads: {speedup:.2}x");

@@ -81,6 +81,41 @@ pub fn build_scale_server(
     (server, sets)
 }
 
+/// [`build_scale_server`], except the *data* disk also charges
+/// `data_write_latency` per page write — the device time a quiesced
+/// checkpoint serializes all clients behind, and the thing the
+/// background flusher's elevator drain overlaps with commits.
+pub fn build_ckpt_server(
+    cfg: ServerConfig,
+    w: &ScaleWorkload,
+    data_write_latency: Duration,
+    tracer: Arc<Tracer>,
+) -> (Arc<Server>, Vec<Vec<PageId>>) {
+    assert_eq!(cfg.flavor, RecoveryFlavor::EsmAries, "ckpt bench drives the ESM flavor");
+    let parts = StableParts {
+        data_media: Arc::new(MemDisk::with_latencies(
+            Volume::required_bytes(cfg.volume_pages),
+            Duration::ZERO,
+            data_write_latency,
+        )),
+        log_media: Arc::new(MemDisk::with_sync_latency(
+            LogManager::required_bytes(cfg.log_bytes),
+            w.sync_latency,
+        )),
+        flight: None,
+    };
+    let server = Arc::new(Server::format_on_traced(parts, cfg, Meter::new(), tracer).unwrap());
+    let pids = server.bulk_allocate(w.clients * w.pages_per_client).unwrap();
+    for &pid in &pids {
+        let mut p = Page::new();
+        p.insert(pid, &[0u8; OBJECT_BYTES]).unwrap();
+        server.bulk_write(pid, &p).unwrap();
+    }
+    server.bulk_sync().unwrap();
+    let sets = pids.chunks(w.pages_per_client).map(|c| c.to_vec()).collect();
+    (server, sets)
+}
+
 /// The deterministic per-transaction fill value for client `i`'s `t`-th
 /// transaction.
 fn txn_val(i: usize, t: usize) -> u8 {
@@ -142,6 +177,46 @@ pub fn drive_threads(
         }
     });
     t0.elapsed()
+}
+
+/// Thread-per-client driver that times every `commit()` call. Same
+/// protocol as [`drive_threads`], but each client records how long its
+/// commit waited — the latency a checkpoint in flight inflates when it
+/// quiesces the server, and must not when it runs concurrently. Returns
+/// all commit latencies in nanoseconds, unordered.
+pub fn drive_threads_commit_latency(
+    server: &Arc<Server>,
+    sets: &[Vec<PageId>],
+    txns_per_client: usize,
+) -> Vec<u64> {
+    let lats = Mutex::new(Vec::with_capacity(sets.len() * txns_per_client));
+    std::thread::scope(|s| {
+        for (i, set) in sets.iter().enumerate() {
+            let server = Arc::clone(server);
+            let set = set.clone();
+            let lats = &lats;
+            s.spawn(move || {
+                let mut mine = Vec::with_capacity(txns_per_client);
+                for t in 0..txns_per_client {
+                    let val = txn_val(i, t);
+                    let txn = server.begin();
+                    for &pid in &set {
+                        server.lock_page(txn, pid, LockMode::X).unwrap();
+                        let mut page = server.fetch_page(txn, pid).unwrap();
+                        page.object_mut(pid, 0).unwrap().fill(val);
+                        let rec = update_record(txn, pid, val);
+                        server.receive_log_records(txn, vec![rec]).unwrap();
+                        server.receive_dirty_page(txn, pid, page).unwrap();
+                    }
+                    let t0 = Instant::now();
+                    server.commit(txn).unwrap();
+                    mine.push(t0.elapsed().as_nanos() as u64);
+                }
+                lats.lock().extend(mine);
+            });
+        }
+    });
+    lats.into_inner()
 }
 
 /// Where a [`SimClient`] is in its current transaction.

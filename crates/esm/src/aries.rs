@@ -73,10 +73,17 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
         // Seed from the checkpoint record (sharp checkpoints leave the DPT
         // empty, but the code stays general).
         if !ck.is_null() {
-            let (LogRecord::Checkpoint { body }, _) = inner.log.read_record(ck)? else {
-                return Err(qs_types::QsError::RecoveryFailed {
-                    detail: format!("no checkpoint record at {ck}"),
-                });
+            // The anchor is a sharp `Checkpoint` (quiesced path) or the
+            // `BeginCheckpoint` of a completed fuzzy pair — the header only
+            // advances once the matching end record is durable, so an
+            // orphaned begin is never the anchor.
+            let body = match inner.log.read_record(ck)?.0 {
+                LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => body,
+                _ => {
+                    return Err(qs_types::QsError::RecoveryFailed {
+                        detail: format!("no checkpoint record at {ck}"),
+                    });
+                }
             };
             for (t, l) in body.active_txns {
                 a.att.insert(t, l);
@@ -122,6 +129,11 @@ pub fn restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
         let Some(&redo_from) = analysis.dpt.values().min() else {
             return Ok(());
         };
+        // A fuzzy begin-checkpoint body can carry recLSNs that predate the
+        // truncated log start (their pages were flushed by the drain, which
+        // is what allowed truncation); those updates are on disk and the
+        // pageLSN test would skip them anyway, so clamp the scan.
+        let redo_from = redo_from.max(inner.log.start_lsn());
         ph_redo.pages_read =
             inner.log.tail_lsn().0.saturating_sub(redo_from.0).div_ceil(PAGE_SIZE as u64);
         let mut resident: HashMap<PageId, Page> = HashMap::new();
@@ -232,7 +244,7 @@ pub fn rlog_restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
                 LogRecord::Abort { txn, .. } => {
                     pending.remove(txn);
                 }
-                LogRecord::Checkpoint { body } => {
+                LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
                     a.max_alloc = a.max_alloc.max(body.allocated_pages);
                 }
                 _ => {

@@ -554,6 +554,7 @@ mod tests {
             group_commit: false,
             restart: crate::server::RestartConfig::default(),
             runtime: crate::runtime::RuntimeConfig::default(),
+            flusher: crate::flusher::FlusherConfig::default(),
         };
         let meter = Meter::new();
         let server = Arc::new(Server::format(cfg, Arc::clone(&meter)).unwrap());
@@ -632,6 +633,7 @@ mod tests {
             group_commit: false,
             restart: crate::server::RestartConfig::default(),
             runtime: crate::runtime::RuntimeConfig::default(),
+            flusher: crate::flusher::FlusherConfig::default(),
         };
         let s2 = Server::restart(server, cfg, Meter::new()).unwrap();
         let page = s2.read_page_for_test(pid).unwrap();

@@ -6,8 +6,9 @@
 //! (shard misses, evictions, checkpoint flushes, WPL reclaim) queue here —
 //! and only here — instead of under one server-wide lock.
 
-use qs_storage::Volume;
+use qs_storage::{Page, Volume};
 use qs_trace::{TracedGuard, TracedMutex, Tracer};
+use qs_types::{PageId, QsResult};
 
 /// The independently locked data-volume subsystem.
 pub struct VolumeGate {
@@ -22,5 +23,21 @@ impl VolumeGate {
     /// Acquire the disk. The guard derefs to [`Volume`].
     pub fn lock<'a>(&'a self, tracer: &'a Tracer) -> TracedGuard<'a, Volume> {
         self.inner.lock(tracer)
+    }
+
+    /// Write a batch of page images under one gate acquisition, in the
+    /// ascending-page-id order the caller sorted them into (elevator order:
+    /// one sweep of the disk arm instead of a seek per page). The batch must
+    /// already be sorted; debug builds assert it.
+    pub fn write_sorted(&self, tracer: &Tracer, batch: &[(PageId, Page)]) -> QsResult<()> {
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].0 < w[1].0),
+            "elevator batch must be sorted by ascending page id"
+        );
+        let vol = self.inner.lock(tracer);
+        for (pid, page) in batch {
+            vol.write_page(*pid, page)?;
+        }
+        Ok(())
     }
 }

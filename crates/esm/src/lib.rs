@@ -29,6 +29,7 @@
 pub mod aries;
 pub mod buffer;
 pub mod client;
+pub mod flusher;
 pub mod gate;
 pub mod lock;
 pub mod net;
@@ -42,6 +43,7 @@ pub mod wpl;
 
 pub use buffer::{BufferPool, Evicted};
 pub use client::ClientConn;
+pub use flusher::FlusherConfig;
 pub use gate::VolumeGate;
 pub use lock::{AsyncLockOutcome, LockEvents, LockManager, LockMode, Resource};
 pub use runtime::{ClientPort, Reactor, Request, Response, RuntimeConfig, RuntimeStats};

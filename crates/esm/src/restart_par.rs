@@ -92,10 +92,16 @@ fn streamed_analysis(
 
     let mut a = Analysis { max_txn: TxnId::INVALID, ..Analysis::default() };
     if !ck.is_null() {
-        let (LogRecord::Checkpoint { body }, _) = view.log.read_record(ck)? else {
-            return Err(qs_types::QsError::RecoveryFailed {
-                detail: format!("no checkpoint record at {ck}"),
-            });
+        // Sharp `Checkpoint` or completed fuzzy pair's `BeginCheckpoint` —
+        // the header never points at an orphaned begin (it only advances
+        // once the matching end record is durable).
+        let body = match view.log.read_record(ck)?.0 {
+            LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => body,
+            _ => {
+                return Err(qs_types::QsError::RecoveryFailed {
+                    detail: format!("no checkpoint record at {ck}"),
+                });
+            }
         };
         for (t, l) in body.active_txns {
             a.att.insert(t, l);
@@ -164,6 +170,9 @@ fn parallel_redo(
     let Some(&redo_from) = analysis.dpt.values().min() else {
         return Ok(());
     };
+    // Clamp exactly as the serial redo does: fuzzy begin-checkpoint bodies
+    // may carry recLSNs older than the truncated log start.
+    let redo_from = redo_from.max(view.log.start_lsn());
     let end = view.log.tail_lsn();
     ph.pages_read = end.0.saturating_sub(redo_from.0).div_ceil(PAGE_SIZE as u64);
 
@@ -341,11 +350,12 @@ fn streamed_rlog_analysis(
                     tag::ABORT => {
                         pending.remove(&txn);
                     }
-                    tag::CHECKPOINT => {
-                        if let LogRecord::Checkpoint { body } = LogRecord::decode(bytes)? {
+                    tag::CHECKPOINT | tag::BEGIN_CHECKPOINT => match LogRecord::decode(bytes)? {
+                        LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
                             a.max_alloc = a.max_alloc.max(body.allocated_pages);
                         }
-                    }
+                        _ => {}
+                    },
                     _ => {
                         if let Some(page) = record::frame_page(bytes) {
                             pending.entry(txn).or_default().entry(page).or_insert(r.lsn);
@@ -539,9 +549,18 @@ pub(crate) fn wpl_restart(server: &Server, workers: usize) -> QsResult<Vec<Phase
                             tag::COMMIT => {
                                 ctl.insert(txn);
                             }
-                            tag::CHECKPOINT if checkpoint_body.is_none() => {
-                                if let LogRecord::Checkpoint { body } = LogRecord::decode(bytes)? {
-                                    checkpoint_body = Some(body);
+                            // Forward scan: first in-range record wins —
+                            // the same anchor the serial backward scan's
+                            // last-overwrite-wins rule lands on.
+                            tag::CHECKPOINT | tag::BEGIN_CHECKPOINT
+                                if checkpoint_body.is_none() =>
+                            {
+                                match LogRecord::decode(bytes)? {
+                                    LogRecord::Checkpoint { body }
+                                    | LogRecord::BeginCheckpoint { body } => {
+                                        checkpoint_body = Some(body);
+                                    }
+                                    _ => {}
                                 }
                             }
                             _ => {}
@@ -621,10 +640,13 @@ pub(crate) fn wpl_restart(server: &Server, workers: usize) -> QsResult<Vec<Phase
 
         // The checkpoint record sits exactly at `stop` when one exists.
         if !ck.is_null() && checkpoint_body.is_none() {
-            if let LogRecord::Checkpoint { body } = view.log.read_record(ck)?.0 {
-                server.meter().log_pages_read.fetch_add(1, Ordering::Relaxed);
-                rebuild.pages_read += 1;
-                checkpoint_body = Some(body);
+            match view.log.read_record(ck)?.0 {
+                LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
+                    server.meter().log_pages_read.fetch_add(1, Ordering::Relaxed);
+                    rebuild.pages_read += 1;
+                    checkpoint_body = Some(body);
+                }
+                _ => {}
             }
         }
         if let Some(body) = checkpoint_body {

@@ -472,6 +472,18 @@ fn committer_loop(shared: Arc<Shared>, rx: Receiver<CommitJob>) {
                     let r = shared.server.commit_finish(j.txn);
                     shared.unit(j.client, r);
                 }
+                // Maintenance is the committer's job now, once per batch —
+                // never billed to (or blocking) a victim client's commit.
+                // With the flusher enabled this only enqueues a wakeup.
+                // There is no client to surface a failure to; trace it.
+                if shared.server.maybe_maintain().is_err() {
+                    shared.server.tracer().event(
+                        qs_trace::TraceCat::Checkpoint,
+                        "committer_maintain_error",
+                        0,
+                        0,
+                    );
+                }
             }
             Err(e) => {
                 let msg = format!("commit force failed: {e}");
@@ -546,6 +558,9 @@ impl Reactor {
             stats: Counters::default(),
         });
         server.locks().set_events(Some(Arc::new(GrantHook { shared: Arc::downgrade(&shared) })));
+        // No-op unless `cfg.flusher.enabled`: maintenance then runs on the
+        // background flusher thread instead of inline in the committer.
+        server.start_flusher();
         let mut threads = Vec::with_capacity(cfg.workers + 1);
         for (i, rx) in rxs.into_iter().enumerate() {
             let sh = Arc::clone(&shared);

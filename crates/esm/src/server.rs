@@ -39,6 +39,7 @@
 //! from them, running the flavor-appropriate restart algorithm
 //! ([`crate::aries::restart`] or the WPL backward scan in [`Server::wpl_restart`]).
 
+use crate::flusher::{FlusherConfig, FlusherHandle, FlusherMsg, SnapshotPool};
 use crate::gate::VolumeGate;
 use crate::lock::{AsyncLockOutcome, LockManager, LockMode, Resource};
 use crate::runtime::RuntimeConfig;
@@ -53,7 +54,7 @@ use qs_types::sync::Mutex;
 use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
 use qs_wal::{record, CheckpointBody, LogManager, LogRecord};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which underlying recovery strategy the server runs (paper §3).
@@ -110,6 +111,13 @@ pub struct ServerConfig {
     pub group_commit: bool,
     /// Restart-engine knobs (see [`RestartConfig`]).
     pub restart: RestartConfig,
+    /// Background-flusher knobs (see [`FlusherConfig`]). Off by default:
+    /// maintenance runs the original quiesced paths and every committed
+    /// figure stays byte-identical. On, `checkpoint()` becomes a
+    /// two-phase fuzzy protocol whose drain runs incrementally, and
+    /// watermark maintenance moves to the flusher thread once
+    /// [`Server::start_flusher`] is called.
+    pub flusher: FlusherConfig,
     /// Event-driven runtime knobs (see [`RuntimeConfig`]). The default is
     /// inert: clients built with `ClientConn::new` keep calling the
     /// server directly on their own thread, so every committed figure
@@ -151,6 +159,7 @@ impl ServerConfig {
             pool_shards: 1,
             group_commit: false,
             restart: RestartConfig::default(),
+            flusher: FlusherConfig::default(),
             runtime: RuntimeConfig::default(),
         }
     }
@@ -182,6 +191,19 @@ impl ServerConfig {
 
     pub fn with_redo_workers(mut self, workers: usize) -> ServerConfig {
         self.restart.redo_workers = workers.max(1);
+        self
+    }
+
+    /// Enable the background flusher / two-phase fuzzy checkpointing.
+    pub fn with_background_flusher(mut self, on: bool) -> ServerConfig {
+        self.flusher.enabled = on;
+        self
+    }
+
+    /// Pages per flusher claim batch (implies nothing unless the flusher
+    /// knob is on).
+    pub fn with_flusher_batch_pages(mut self, pages: usize) -> ServerConfig {
+        self.flusher.batch_pages = pages.max(1);
         self
     }
 
@@ -279,6 +301,19 @@ pub struct Server {
     checkpoints: AtomicU64,
     /// WPL images reclaimed (flushed or superseded).
     reclaimed: AtomicU64,
+    /// Serializes maintenance passes: checkpoints and reclaims from the
+    /// flusher thread and from inline callers never interleave. Taken
+    /// alone, before any subsystem lock.
+    ckpt_serial: Mutex<()>,
+    /// The background flusher thread, once [`Server::start_flusher`] ran.
+    flusher: Mutex<Option<FlusherHandle>>,
+    /// A maintenance request is already queued at the flusher (dedupe).
+    maint_pending: AtomicBool,
+    /// Pooled page buffers for fuzzy-checkpoint claim snapshots.
+    snapshots: SnapshotPool,
+    /// Fuzzy-drain stats: elevator batches written, pages in them.
+    flusher_batches: AtomicU64,
+    flusher_pages: AtomicU64,
     /// Observability hook (disabled by default: one branch per event).
     tracer: Arc<Tracer>,
     /// Per-phase breakdown of the restart that built this server, if it
@@ -339,6 +374,12 @@ impl Server {
             log_media: parts.log_media,
             checkpoints: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            ckpt_serial: Mutex::new(()),
+            flusher: Mutex::new(None),
+            maint_pending: AtomicBool::new(false),
+            snapshots: SnapshotPool::new(),
+            flusher_batches: AtomicU64::new(0),
+            flusher_pages: AtomicU64::new(0),
             tracer,
             restart_report: Mutex::new(None),
             cfg,
@@ -403,6 +444,12 @@ impl Server {
             log_media: parts.log_media,
             checkpoints: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            ckpt_serial: Mutex::new(()),
+            flusher: Mutex::new(None),
+            maint_pending: AtomicBool::new(false),
+            snapshots: SnapshotPool::new(),
+            flusher_batches: AtomicU64::new(0),
+            flusher_pages: AtomicU64::new(0),
             tracer,
             restart_report: Mutex::new(None),
             cfg,
@@ -792,6 +839,25 @@ impl Server {
         }
     }
 
+    /// [`Server::meter_force`] for maintenance-path forces: bills the same
+    /// legacy counters (so windowed figure demand is unchanged) *plus* the
+    /// `maint_*` sub-accounting, which lets reports separate checkpoint /
+    /// reclaim I/O from the victim transaction that used to absorb it.
+    fn meter_force_maint(&self, stats: qs_wal::log::ForceStats) {
+        if stats.wrote {
+            self.meter.maint_log_pages_written.fetch_add(stats.pages_written, Ordering::Relaxed);
+            self.meter.maint_log_forces.fetch_add(1, Ordering::Relaxed);
+        }
+        self.meter_force(stats);
+    }
+
+    /// Bill one maintenance-path data-page write to both the legacy
+    /// counter and the maintenance sub-account.
+    fn meter_data_write_maint(&self, pages: u64) {
+        self.meter.data_writes.fetch_add(pages, Ordering::Relaxed);
+        self.meter.maint_data_writes.fetch_add(pages, Ordering::Relaxed);
+    }
+
     fn meter_force(&self, stats: qs_wal::log::ForceStats) {
         if stats.wrote {
             self.meter.log_pages_written.fetch_add(stats.pages_written, Ordering::Relaxed);
@@ -1108,7 +1174,11 @@ impl Server {
         let lsn = self.commit_append(txn)?;
         let stats = self.log.commit_force(lsn, &self.tracer)?;
         self.meter_force(stats);
-        self.commit_finish(txn)
+        self.commit_finish(txn)?;
+        // Watermark maintenance rides on the committing client only on
+        // the direct path; the reactor's committer triggers it once per
+        // batch instead (`runtime::committer_loop`).
+        self.maybe_maintain()
     }
 
     /// First half of [`Server::commit`]: append the commit record and
@@ -1118,7 +1188,17 @@ impl Server {
     pub(crate) fn commit_append(&self, txn: TxnId) -> QsResult<Lsn> {
         let mut txns = self.txns.lock(&self.tracer);
         let prev = txns.active_mut(txn)?.last_lsn;
-        self.log.wal().append(&LogRecord::Commit { txn, prev })
+        let lsn = self.log.wal().append(&LogRecord::Commit { txn, prev })?;
+        // Flip to Committed under the same lock as the append. Checkpoint
+        // snapshots (which also hold the txn-table lock across their own
+        // record append) list only *active* transactions, so a transaction
+        // is excluded exactly when its commit record precedes the
+        // checkpoint record — otherwise a checkpoint landing between this
+        // append and `commit_finish` would snapshot the transaction as
+        // active, restart's forward scan (from the checkpoint) would never
+        // see the earlier commit, and undo would roll back committed work.
+        txns.get_mut(txn)?.status = TxnStatus::Committed;
+        Ok(lsn)
     }
 
     /// Force the log through `max_lsn` on behalf of a batch of `batch`
@@ -1145,15 +1225,15 @@ impl Server {
         }
         let mut txns = self.txns.lock(&self.tracer);
         if self.cfg.flavor == RecoveryFlavor::Wpl {
-            let logged = std::mem::take(&mut txns.active_mut(txn)?.logged_pages);
+            // `get_mut`, not `active_mut`: `commit_append` already flipped
+            // the status to Committed.
+            let logged = std::mem::take(&mut txns.get_mut(txn)?.logged_pages);
             self.wpl.lock(&self.tracer).on_commit(txn, &logged);
         }
-        txns.get_mut(txn)?.status = TxnStatus::Committed;
         txns.remove(txn);
         drop(txns);
         self.locks.release_all(txn);
         self.meter.commits.fetch_add(1, Ordering::Relaxed);
-        self.maybe_maintain()?;
         Ok(())
     }
 
@@ -1257,7 +1337,9 @@ impl Server {
                 | LogRecord::UpdateLogical { prev, .. }
                 | LogRecord::Commit { prev, .. }
                 | LogRecord::Abort { prev, .. } => at = prev,
-                LogRecord::Checkpoint { .. } => break,
+                LogRecord::Checkpoint { .. }
+                | LogRecord::BeginCheckpoint { .. }
+                | LogRecord::EndCheckpoint { .. } => break,
             }
         }
         Ok(undone)
@@ -1267,22 +1349,111 @@ impl Server {
     // Checkpointing, maintenance, reclamation
     // ---------------------------------------------------------------------
 
-    /// Run maintenance if the log is past its high watermark.
+    /// Run maintenance if the log is past its high watermark. With the
+    /// background flusher running, the pass is queued there (deduplicated)
+    /// and this returns immediately; otherwise it runs inline as before.
     pub fn maybe_maintain(&self) -> QsResult<()> {
         let (used, cap) = (self.log.wal().used_bytes(), self.log.wal().body_capacity());
         if (used as f64) < self.cfg.log_high_watermark * cap as f64 {
             return Ok(());
         }
+        if self.request_maintenance() {
+            return Ok(());
+        }
+        self.maintain_now()
+    }
+
+    /// Run one maintenance pass (checkpoint or WPL reclaim) on the
+    /// calling thread, whatever the log level.
+    pub fn maintain_now(&self) -> QsResult<()> {
         match self.cfg.flavor {
             RecoveryFlavor::Wpl => self.wpl_reclaim(),
             _ => self.checkpoint(),
         }
     }
 
-    /// Take a checkpoint. For the ARIES flavors this flushes all dirty
-    /// pages first (a sharp checkpoint) so the log can truncate to the
-    /// checkpoint; under WPL it snapshots the WPL table (§3.4.3).
+    /// Queue a maintenance pass on the flusher thread. Returns false when
+    /// no flusher is running (the caller should run inline); true when the
+    /// pass is queued or one already is (requests are deduplicated, so a
+    /// storm of committers costs one wakeup).
+    fn request_maintenance(&self) -> bool {
+        let handle = self.flusher.lock();
+        let Some(h) = handle.as_ref() else { return false };
+        if self
+            .maint_pending
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+            && h.tx.send(FlusherMsg::Maintain).is_err()
+        {
+            self.maint_pending.store(false, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    /// Explicitly queue a checkpoint on the flusher thread (benchmark /
+    /// scale-harness hook for periodic maintenance below the watermark).
+    /// Returns false when no flusher is running.
+    pub fn request_checkpoint(&self) -> bool {
+        self.request_maintenance()
+    }
+
+    /// One flusher-thread maintenance pass. Errors have no client to
+    /// return to; they are traced, and the next watermark crossing
+    /// retries.
+    pub(crate) fn flusher_tick(&self) {
+        self.maint_pending.store(false, Ordering::Release);
+        if self.maintain_now().is_err() {
+            self.tracer.event(TraceCat::Flusher, "error", 0, 0);
+        }
+    }
+
+    /// Start the background flusher thread (no-op when the config knob is
+    /// off or it is already running). Needs the `Arc` so the thread can
+    /// hold a weak back-pointer that never outlives a crash.
+    pub fn start_flusher(self: &Arc<Server>) {
+        if !self.cfg.flusher.enabled {
+            return;
+        }
+        let mut handle = self.flusher.lock();
+        if handle.is_none() {
+            *handle = Some(FlusherHandle::spawn(self));
+        }
+    }
+
+    /// Stop and join the flusher thread, letting any queued pass finish
+    /// first (no-op when not running). Tests call this before `crash()`
+    /// so the `Arc` can be unwrapped.
+    pub fn stop_flusher(&self) {
+        let handle = self.flusher.lock().take();
+        if let Some(h) = handle {
+            h.stop();
+        }
+    }
+
+    /// `(elevator batches, pages)` written by fuzzy-checkpoint drains.
+    pub fn flusher_stats(&self) -> (u64, u64) {
+        (self.flusher_batches.load(Ordering::Relaxed), self.flusher_pages.load(Ordering::Relaxed))
+    }
+
+    /// Take a checkpoint. With the flusher knob off (the default) this is
+    /// the original quiesced protocol: for the ARIES flavors it flushes
+    /// all dirty pages first (a sharp checkpoint) so the log can truncate
+    /// to the checkpoint; under WPL it snapshots the WPL table (§3.4.3).
+    /// With the knob on it is the two-phase fuzzy protocol instead
+    /// (begin record → incremental drain → end record), which never
+    /// quiesces the server.
     pub fn checkpoint(&self) -> QsResult<()> {
+        let _serial = self.ckpt_serial.lock();
+        if self.cfg.flusher.enabled {
+            self.checkpoint_fuzzy()
+        } else {
+            self.checkpoint_inner()
+        }
+    }
+
+    /// The original quiesced (sharp / aged-fuzzy) checkpoint.
+    fn checkpoint_inner(&self) -> QsResult<()> {
         let (flushed, log_used) = self.with_quiesced(|view| -> QsResult<(u64, u64)> {
             let mut flushed = 0u64;
             match self.cfg.flavor {
@@ -1306,12 +1477,12 @@ impl Server {
                             old.iter().filter_map(|p| view.pool.peek(*p)).map(|p| p.lsn()).max();
                         if let Some(l) = max_lsn {
                             let stats = view.log.force(l)?;
-                            self.meter_force(stats);
+                            self.meter_force_maint(stats);
                         }
                         for pid in old {
                             if let Some(page) = view.pool.peek(pid).cloned() {
                                 view.volume.write_page(pid, &page)?;
-                                self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                                self.meter_data_write_maint(1);
                                 view.pool.clear_dirty(pid);
                                 flushed += 1;
                             }
@@ -1327,12 +1498,12 @@ impl Server {
                             dirty.iter().filter_map(|p| view.pool.peek(*p)).map(|p| p.lsn()).max();
                         if let Some(l) = max_lsn {
                             let stats = view.log.force(l)?;
-                            self.meter_force(stats);
+                            self.meter_force_maint(stats);
                         }
                         for pid in dirty {
                             let page = view.pool.peek(pid).expect("dirty page resident").clone();
                             view.volume.write_page(pid, &page)?;
-                            self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                            self.meter_data_write_maint(1);
                             view.pool.clear_dirty(pid);
                             flushed += 1;
                         }
@@ -1361,7 +1532,7 @@ impl Server {
             };
             let ck_lsn = view.log.append(&LogRecord::Checkpoint { body })?;
             let stats = view.log.force(view.log.tail_lsn())?;
-            self.meter_force(stats);
+            self.meter_force_maint(stats);
             view.log.set_checkpoint(ck_lsn)?;
             view.volume.sync_header()?;
             // Truncate to the earliest record still needed.
@@ -1384,6 +1555,186 @@ impl Server {
         Ok(())
     }
 
+    /// The two-phase fuzzy checkpoint (flusher knob on): append a
+    /// begin-checkpoint record carrying the table snapshots, drain the
+    /// claimed dirty set incrementally (never holding more than one shard
+    /// lock), then append an end-checkpoint record and advance the log
+    /// truncation low-water mark. Foreground traffic runs throughout.
+    fn checkpoint_fuzzy(&self) -> QsResult<()> {
+        let (begin, claimed) = self.fuzzy_begin()?;
+        let flushed = self.fuzzy_drain(&claimed)?;
+        self.fuzzy_end(begin, flushed)
+    }
+
+    /// Phase 1: snapshot the transaction / dirty-page / WPL tables, pick
+    /// the claimed set the drain will flush, and append the
+    /// begin-checkpoint record. The txn-table lock is held across the
+    /// append (every transaction-logging path holds it too), so the body
+    /// is atomic with respect to the log: a record at LSN > begin is not
+    /// reflected in the body, one at LSN < begin is.
+    fn fuzzy_begin(&self) -> QsResult<(Lsn, Vec<PageId>)> {
+        let txns = self.txns.lock(&self.tracer);
+        let mut active_txns: Vec<(TxnId, Lsn)> =
+            txns.active().map(|t| (t.id, t.last_lsn)).collect();
+        active_txns.sort_unstable_by_key(|&(t, _)| t.0);
+        let wpl = self.wpl.lock(&self.tracer);
+        let dpt = self.dpt.lock(&self.tracer);
+        let mut dirty_pages: Vec<(PageId, Lsn)> = dpt.iter().map(|(&p, &l)| (p, l)).collect();
+        dirty_pages.sort_unstable_by_key(|&(p, _)| p.0);
+        let claimed: Vec<PageId> = match self.cfg.flavor {
+            // WPL write-back belongs to reclaim, not the checkpoint.
+            RecoveryFlavor::Wpl => Vec::new(),
+            // Same aging rule as the quiesced fuzzy checkpoint: drain only
+            // pages dirty since before the previous checkpoint, bounding
+            // replay to ~two checkpoint intervals without a write burst.
+            RecoveryFlavor::RedoLogical => {
+                let prev_ck = self.log.wal().checkpoint_lsn();
+                if prev_ck.is_null() {
+                    Vec::new()
+                } else {
+                    dirty_pages.iter().filter(|&&(_, l)| l <= prev_ck).map(|&(p, _)| p).collect()
+                }
+            }
+            _ => dirty_pages.iter().map(|&(p, _)| p).collect(),
+        };
+        let body = CheckpointBody {
+            active_txns,
+            dirty_pages,
+            wpl_entries: if self.cfg.flavor == RecoveryFlavor::Wpl {
+                wpl.checkpoint_entries()
+            } else {
+                Vec::new()
+            },
+            allocated_pages: self.volume.lock(&self.tracer).allocated() as u64,
+        };
+        drop(dpt);
+        drop(wpl);
+        let begin = self.log.wal().append(&LogRecord::BeginCheckpoint { body })?;
+        drop(txns);
+        Ok((begin, claimed))
+    }
+
+    /// Phase 2: the incremental drain. Pages are claimed batch-by-batch
+    /// under only their shard's lock: each still-dirty resident page is
+    /// snapshotted into a pooled buffer and *pinned* (so the LRU cannot
+    /// evict-and-write-back a newer image that this batch's older
+    /// snapshot would then clobber), the lock is released, the log is
+    /// forced through the batch's highest pageLSN (WAL), and the images
+    /// go to the data disk in one ascending elevator sweep. The confirm
+    /// step unpins and marks clean only pages whose LSN did not move —
+    /// a page re-dirtied mid-flight keeps its dirt and its DPT entry, so
+    /// nothing is lost and the stale write is covered by a later one.
+    fn fuzzy_drain(&self, claimed: &[PageId]) -> QsResult<u64> {
+        if claimed.is_empty() {
+            return Ok(0);
+        }
+        let nshards = self.pool.shard_count();
+        // Cap claims at half a shard so pinned pages can never wedge
+        // foreground inserts into `BufferPoolExhausted`.
+        let per_shard = (self.cfg.pool_pages / nshards).max(1);
+        let batch_pages = self.cfg.flusher.batch_pages.clamp(1, (per_shard / 2).max(1));
+        let mut by_shard: Vec<Vec<PageId>> = vec![Vec::new(); nshards];
+        for &pid in claimed {
+            by_shard[self.pool.shard_of(pid)].push(pid);
+        }
+        let mut flushed = 0u64;
+        for (idx, pids) in by_shard.iter().enumerate() {
+            for chunk in pids.chunks(batch_pages) {
+                let t0 = std::time::Instant::now();
+                let mut pool = self.pool.lock_shard(idx, &self.tracer);
+                self.tracer.record("flusher_claim_wait_ns", t0.elapsed().as_nanos() as u64);
+                let mut batch: Vec<(PageId, Page)> = Vec::new();
+                for &pid in chunk {
+                    if pool.is_dirty(pid) {
+                        if let Some(p) = pool.peek(pid) {
+                            batch.push((pid, self.snapshots.snapshot(p)));
+                            pool.pin(pid);
+                        }
+                    }
+                }
+                drop(pool);
+                if batch.is_empty() {
+                    continue;
+                }
+                let max_lsn = batch.iter().map(|(_, p)| p.lsn()).max().expect("non-empty batch");
+                let stats = self.log.wal().force(max_lsn)?;
+                self.meter_force_maint(stats);
+                // `claimed` is pid-sorted, so each shard's chunk is too.
+                self.volume.write_sorted(&self.tracer, &batch)?;
+                self.meter_data_write_maint(batch.len() as u64);
+                let n = batch.len() as u64;
+                let mut pool = self.pool.lock_shard(idx, &self.tracer);
+                let mut dpt = self.dpt.lock(&self.tracer);
+                let mut recycle = Vec::with_capacity(batch.len());
+                for (pid, snap) in batch {
+                    pool.unpin(pid);
+                    let unchanged = pool.peek(pid).map(|p| p.lsn() == snap.lsn()).unwrap_or(false);
+                    if unchanged && pool.is_dirty(pid) {
+                        pool.clear_dirty(pid);
+                        dpt.remove(&pid);
+                    }
+                    recycle.push(snap);
+                }
+                drop(dpt);
+                drop(pool);
+                self.snapshots.recycle(recycle);
+                flushed += n;
+                self.flusher_batches.fetch_add(1, Ordering::Relaxed);
+                self.flusher_pages.fetch_add(n, Ordering::Relaxed);
+                self.tracer.event(TraceCat::Flusher, "batch", n, 0);
+                self.tracer.record("flusher_batch_pages", n);
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Phase 3: append and force the end-checkpoint record, and only then
+    /// advance the header checkpoint to the *begin* record — a crash
+    /// between the pair leaves the header on the previous complete
+    /// checkpoint, so restart falls back automatically. Finally advance
+    /// the truncation low-water mark as far as the tables allow.
+    fn fuzzy_end(&self, begin: Lsn, flushed: u64) -> QsResult<()> {
+        let txns = self.txns.lock(&self.tracer);
+        let end = self.log.wal().append(&LogRecord::EndCheckpoint { begin })?;
+        let stats = self.log.wal().force(end)?;
+        self.meter_force_maint(stats);
+        self.log.wal().set_checkpoint(begin)?;
+        self.volume.lock(&self.tracer).sync_header()?;
+        let mut keep = begin;
+        if let Some(l) = txns.min_active_first_lsn() {
+            keep = keep.min(l);
+        }
+        if self.cfg.flavor == RecoveryFlavor::Wpl {
+            if let Some(l) = self.wpl.lock(&self.tracer).min_needed_lsn() {
+                keep = keep.min(l);
+            }
+        } else if let Some(&l) = self.dpt.lock(&self.tracer).values().min() {
+            keep = keep.min(l);
+        }
+        self.log.wal().advance_low_water_mark(keep)?;
+        drop(txns);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.tracer.event(
+            TraceCat::Checkpoint,
+            "fuzzy",
+            flushed,
+            self.log.wal().used_bytes() as u64,
+        );
+        Ok(())
+    }
+
+    /// Append and force a begin-checkpoint record, then stop — leaving
+    /// the checkpoint incomplete on purpose. Crash-injection hook for the
+    /// begin/end fallback tests; no production path calls this.
+    #[doc(hidden)]
+    pub fn begin_checkpoint_for_test(&self) -> QsResult<Lsn> {
+        let _serial = self.ckpt_serial.lock();
+        let (begin, _claimed) = self.fuzzy_begin()?;
+        let stats = self.log.wal().force(self.log.wal().tail_lsn())?;
+        self.meter_force_maint(stats);
+        Ok(begin)
+    }
+
     /// WPL log-space reclamation (the paper's background thread, §3.4.2,
     /// run here synchronously until the low watermark is reached). Images
     /// superseded by newer committed images are dropped without I/O; live
@@ -1391,6 +1742,7 @@ impl Server {
     /// optimization — else from the log) and written to their permanent
     /// locations.
     pub fn wpl_reclaim(&self) -> QsResult<()> {
+        let _serial = self.ckpt_serial.lock();
         self.with_quiesced(|view| -> QsResult<()> {
             let low = (self.cfg.log_low_watermark * view.log.body_capacity() as f64) as usize;
             loop {
@@ -1411,10 +1763,11 @@ impl Server {
                         view.pool.peek(pid).expect("cached").clone()
                     } else {
                         self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                        self.meter.maint_log_pages_read.fetch_add(1, Ordering::Relaxed);
                         Self::page_image_from_log(view.log, lsn, pid)?
                     };
                     view.volume.write_page(pid, &page)?;
-                    self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                    self.meter_data_write_maint(1);
                     if cached_ok {
                         view.pool.clear_dirty(pid);
                     }
@@ -1445,8 +1798,13 @@ impl Server {
             Ok(())
         })?;
         // Refresh the checkpoint so restart's backward scan stays short and
-        // the old checkpoint stops pinning the log tail.
-        self.checkpoint()
+        // the old checkpoint stops pinning the log tail. Dispatch directly:
+        // `checkpoint()` would retake the (non-reentrant) serial lock.
+        if self.cfg.flusher.enabled {
+            self.checkpoint_fuzzy()
+        } else {
+            self.checkpoint_inner()
+        }
     }
 
     /// Flush everything dirty and checkpoint (test/benchmark quiesce hook).
@@ -1465,10 +1823,11 @@ impl Server {
                             view.pool.peek(pid).expect("cached").clone()
                         } else {
                             self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                            self.meter.maint_log_pages_read.fetch_add(1, Ordering::Relaxed);
                             Self::page_image_from_log(view.log, lsn, pid)?
                         };
                         view.volume.write_page(pid, &page)?;
-                        self.meter.data_writes.fetch_add(1, Ordering::Relaxed);
+                        self.meter_data_write_maint(1);
                         if cached_ok {
                             view.pool.clear_dirty(pid);
                         }
@@ -1555,7 +1914,11 @@ impl Server {
                         }
                         max_page = Some(max_page.unwrap_or(0).max(page.0 + 1));
                     }
-                    LogRecord::Checkpoint { body } => {
+                    LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
+                        // Backward scan: the last overwrite wins, i.e. the
+                        // oldest in-range record — the restart anchor. An
+                        // orphaned begin (crash before its end record) sits
+                        // later than the anchor and is harmlessly replaced.
                         checkpoint_body = Some(body.clone());
                     }
                     _ => {}
@@ -1568,10 +1931,13 @@ impl Server {
             }
             // The checkpoint record sits exactly at `stop` when one exists.
             if !ck.is_null() && checkpoint_body.is_none() {
-                if let LogRecord::Checkpoint { body } = view.log.read_record(ck)?.0 {
-                    self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-                    rebuild.pages_read += 1;
-                    checkpoint_body = Some(body);
+                match view.log.read_record(ck)?.0 {
+                    LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
+                        self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+                        rebuild.pages_read += 1;
+                        checkpoint_body = Some(body);
+                    }
+                    _ => {}
                 }
             }
             if let Some(body) = checkpoint_body {
@@ -1609,6 +1975,7 @@ mod tests {
             pool_shards: 1,
             group_commit: false,
             restart: RestartConfig::default(),
+            flusher: FlusherConfig::default(),
             runtime: RuntimeConfig::default(),
         }
     }

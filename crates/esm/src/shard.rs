@@ -55,6 +55,13 @@ impl ShardedPool {
         self.shards[self.shard_of(pid)].lock(tracer)
     }
 
+    /// Lock one shard by index. The background flusher claims its batches
+    /// this way — one shard at a time, never the whole pool — so foreground
+    /// traffic on other shards proceeds while a claim is in progress.
+    pub fn lock_shard<'a>(&'a self, idx: usize, tracer: &'a Tracer) -> TracedGuard<'a, BufferPool> {
+        self.shards[idx].lock(tracer)
+    }
+
     /// Lock every shard, in ascending index order (the lock-order rule for
     /// whole-pool operations: checkpoint, reclaim, restart, undo).
     pub fn lock_all<'a>(&'a self, tracer: &'a Tracer) -> Vec<TracedGuard<'a, BufferPool>> {

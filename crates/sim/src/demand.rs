@@ -118,6 +118,21 @@ meter_counters! {
     locks_acquired,
     /// Redo log records applied at the server (REDO scheme).
     redo_applies,
+
+    // -- maintenance sub-accounting (checkpoint / reclaim I/O) ------------
+    // Maintenance I/O is *also* counted in the matching counters above, so
+    // windowed demand figures are unchanged; these break out how much of
+    // the window's I/O was checkpoint/reclaim work rather than transaction
+    // work, instead of silently attributing it to whichever victim commit
+    // crossed the log-fullness threshold.
+    /// Data-disk page writes performed by checkpoint/reclaim flushing.
+    maint_data_writes,
+    /// Log pages written by maintenance forces.
+    maint_log_pages_written,
+    /// Log forces issued by maintenance (checkpoint records, WAL ordering).
+    maint_log_forces,
+    /// Log pages read back by maintenance (WPL reclaim re-reads).
+    maint_log_pages_read,
 }
 
 impl Meter {
@@ -278,7 +293,7 @@ mod tests {
     fn field_count_matches_declaration() {
         let m = Meter::new();
         assert_eq!(m.all().len(), Meter::FIELD_COUNT);
-        assert_eq!(Meter::FIELD_COUNT, 28);
+        assert_eq!(Meter::FIELD_COUNT, 32);
     }
 
     #[test]

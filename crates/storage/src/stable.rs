@@ -53,18 +53,34 @@ pub struct MemDisk {
     /// to model a real disk's synchronous-write latency, which is what
     /// group commit amortizes.
     sync_latency: std::time::Duration,
+    /// Wall-clock sleep per `write_at()` call — zero by default. The
+    /// checkpoint benchmark sets this on the *data* disk so a dirty-page
+    /// flush costs device time per page, which is what a quiesced
+    /// checkpoint serializes behind and an elevator drain overlaps. The
+    /// sleep happens under the write lock: one spindle, one arm.
+    write_latency: std::time::Duration,
 }
 
 impl MemDisk {
     /// A zero-filled device of `len` bytes.
     pub fn new(len: usize) -> MemDisk {
-        MemDisk { data: RwLock::new(vec![0u8; len]), sync_latency: std::time::Duration::ZERO }
+        MemDisk::with_latencies(len, std::time::Duration::ZERO, std::time::Duration::ZERO)
     }
 
     /// A zero-filled device whose `sync()` blocks for `latency` wall-clock
     /// time, so commit forces cost something real to batch away.
     pub fn with_sync_latency(len: usize, latency: std::time::Duration) -> MemDisk {
-        MemDisk { data: RwLock::new(vec![0u8; len]), sync_latency: latency }
+        MemDisk::with_latencies(len, latency, std::time::Duration::ZERO)
+    }
+
+    /// A zero-filled device with both a `sync()` latency and a per-call
+    /// `write_at()` latency.
+    pub fn with_latencies(
+        len: usize,
+        sync_latency: std::time::Duration,
+        write_latency: std::time::Duration,
+    ) -> MemDisk {
+        MemDisk { data: RwLock::new(vec![0u8; len]), sync_latency, write_latency }
     }
 }
 
@@ -83,6 +99,9 @@ impl StableMedia for MemDisk {
     fn write_at(&self, off: usize, buf: &[u8]) -> QsResult<()> {
         let mut d = self.data.write();
         check_bounds(d.len(), off, buf.len())?;
+        if !self.write_latency.is_zero() {
+            std::thread::sleep(self.write_latency);
+        }
         d[off..off + buf.len()].copy_from_slice(buf);
         Ok(())
     }
@@ -175,6 +194,20 @@ mod tests {
         assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
         // Default construction stays instantaneous (no sleep path).
         assert!(MemDisk::new(16).sync_latency.is_zero());
+    }
+
+    #[test]
+    fn memdisk_write_latency_sleeps() {
+        let lat = std::time::Duration::from_millis(5);
+        let d = MemDisk::with_latencies(16, std::time::Duration::ZERO, lat);
+        let t0 = std::time::Instant::now();
+        d.write_at(0, &[1u8; 4]).unwrap();
+        assert!(t0.elapsed() >= lat);
+        // Sync stays free; only writes pay.
+        let t0 = std::time::Instant::now();
+        d.sync().unwrap();
+        assert!(t0.elapsed() < lat);
+        assert!(MemDisk::new(16).write_latency.is_zero());
     }
 
     #[test]

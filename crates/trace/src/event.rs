@@ -32,6 +32,9 @@ pub enum TraceCat {
     /// Admission control shed a request (`a` = client, `b` = the load
     /// figure that tripped the shed: in-flight count or queue depth).
     Shed,
+    /// Background flusher activity (`a`/`b` label-specific: batch pages
+    /// written, or nanoseconds stalled claiming a shard).
+    Flusher,
 }
 
 impl TraceCat {
@@ -50,6 +53,7 @@ impl TraceCat {
             TraceCat::Restart => "restart",
             TraceCat::Queue => "queue",
             TraceCat::Shed => "shed",
+            TraceCat::Flusher => "flusher",
         }
     }
 }

@@ -405,6 +405,23 @@ impl LogManager {
         Ok(())
     }
 
+    /// Advance the truncation low-water mark to `keep`, clamped to what is
+    /// actually releasable: never past `durable`, never backwards. Unlike
+    /// [`LogManager::truncate_to`], which treats an over-advanced request
+    /// as a protocol error, this is the concurrent-checkpoint entry point —
+    /// foreground appends may land between computing `keep` and calling
+    /// here, so the clamp is part of the contract. Returns the effective
+    /// start LSN after the advance.
+    pub fn advance_low_water_mark(&self, keep: Lsn) -> QsResult<Lsn> {
+        let mut st = self.state.lock();
+        let clamped = keep.min(st.durable);
+        if clamped > st.start {
+            st.start = clamped;
+            self.write_header(&st)?;
+        }
+        Ok(st.start)
+    }
+
     /// Record the checkpoint LSN durably.
     pub fn set_checkpoint(&self, lsn: Lsn) -> QsResult<()> {
         let mut st = self.state.lock();
@@ -654,6 +671,26 @@ mod tests {
         assert!(lm.truncate_to(lm.tail_lsn()).is_err()); // not durable yet
         lm.force(lm.tail_lsn()).unwrap();
         lm.truncate_to(lm.tail_lsn()).unwrap();
+    }
+
+    #[test]
+    fn advance_low_water_mark_clamps_and_is_monotonic() {
+        let (media, lm) = fresh(1 << 16);
+        let l1 = lm.append(&commit(1)).unwrap();
+        let l2 = lm.append(&commit(2)).unwrap();
+        // Nothing durable yet: any request clamps to the format origin.
+        assert_eq!(lm.advance_low_water_mark(l2).unwrap(), lm.start_lsn());
+        lm.force(lm.tail_lsn()).unwrap();
+        // Past-durable requests clamp to durable instead of erroring.
+        assert_eq!(lm.advance_low_water_mark(Lsn(u64::MAX)).unwrap(), lm.durable_lsn());
+        // Backwards requests are ignored.
+        assert_eq!(lm.advance_low_water_mark(l1).unwrap(), lm.durable_lsn());
+        assert_eq!(lm.start_lsn(), lm.durable_lsn());
+        // The advance is durable across a reopen.
+        let start = lm.start_lsn();
+        drop(lm);
+        let lm2 = LogManager::open(media).unwrap();
+        assert_eq!(lm2.start_lsn(), start);
     }
 
     #[test]

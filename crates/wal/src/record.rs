@@ -36,6 +36,8 @@ pub mod tag {
     pub const CLR: u8 = 6;
     pub const CHECKPOINT: u8 = 7;
     pub const UPDATE_LOGICAL: u8 = 8;
+    pub const BEGIN_CHECKPOINT: u8 = 9;
+    pub const END_CHECKPOINT: u8 = 10;
 }
 
 /// FNV-1a, used as a lightweight corruption check on log records.
@@ -113,8 +115,21 @@ pub enum LogRecord {
         after: Vec<u8>,
         undo_next: Lsn,
     },
-    /// Checkpoint.
+    /// Sharp checkpoint (legacy single-record form; the quiesced default
+    /// path still writes these so existing logs and figures are
+    /// unchanged).
     Checkpoint { body: CheckpointBody },
+    /// First half of a two-phase fuzzy checkpoint: the table snapshot
+    /// taken while foreground traffic keeps running. Restart anchors
+    /// here; the checkpoint only *counts* once the matching
+    /// [`LogRecord::EndCheckpoint`] is durable and the header points at
+    /// this record — a crash between the pair falls back to the previous
+    /// complete checkpoint automatically.
+    BeginCheckpoint { body: CheckpointBody },
+    /// Second half of a two-phase fuzzy checkpoint: written after the
+    /// claimed dirty set has been drained to the data disk. `begin`
+    /// points back at the matching begin record.
+    EndCheckpoint { begin: Lsn },
     /// Logical (REDO-only) byte-range update: like `Update` but with no
     /// before image — the no-steal rule of `RecoveryFlavor::RedoLogical`
     /// guarantees uncommitted data never reaches disk, so undo images are
@@ -132,7 +147,9 @@ impl LogRecord {
             | LogRecord::Abort { txn, .. }
             | LogRecord::Clr { txn, .. }
             | LogRecord::UpdateLogical { txn, .. } => *txn,
-            LogRecord::Checkpoint { .. } => TxnId::INVALID,
+            LogRecord::Checkpoint { .. }
+            | LogRecord::BeginCheckpoint { .. }
+            | LogRecord::EndCheckpoint { .. } => TxnId::INVALID,
         }
     }
 
@@ -146,7 +163,9 @@ impl LogRecord {
             | LogRecord::Abort { prev, .. }
             | LogRecord::Clr { prev, .. }
             | LogRecord::UpdateLogical { prev, .. } => *prev,
-            LogRecord::Checkpoint { .. } => Lsn::NULL,
+            LogRecord::Checkpoint { .. }
+            | LogRecord::BeginCheckpoint { .. }
+            | LogRecord::EndCheckpoint { .. } => Lsn::NULL,
         }
     }
 
@@ -172,6 +191,8 @@ impl LogRecord {
             LogRecord::Clr { .. } => 6,
             LogRecord::Checkpoint { .. } => 7,
             LogRecord::UpdateLogical { .. } => 8,
+            LogRecord::BeginCheckpoint { .. } => 9,
+            LogRecord::EndCheckpoint { .. } => 10,
         }
     }
 
@@ -203,25 +224,11 @@ impl LogRecord {
                 b.extend_from_slice(after);
                 b.extend_from_slice(&undo_next.0.to_le_bytes());
             }
-            LogRecord::Checkpoint { body } => {
-                b.extend_from_slice(&(body.active_txns.len() as u32).to_le_bytes());
-                for (t, l) in &body.active_txns {
-                    b.extend_from_slice(&t.0.to_le_bytes());
-                    b.extend_from_slice(&l.0.to_le_bytes());
-                }
-                b.extend_from_slice(&(body.dirty_pages.len() as u32).to_le_bytes());
-                for (p, l) in &body.dirty_pages {
-                    b.extend_from_slice(&p.0.to_le_bytes());
-                    b.extend_from_slice(&l.0.to_le_bytes());
-                }
-                b.extend_from_slice(&(body.wpl_entries.len() as u32).to_le_bytes());
-                for e in &body.wpl_entries {
-                    b.extend_from_slice(&e.page.0.to_le_bytes());
-                    b.extend_from_slice(&e.lsn.0.to_le_bytes());
-                    b.extend_from_slice(&e.txn.0.to_le_bytes());
-                    b.push(e.committed as u8);
-                }
-                b.extend_from_slice(&body.allocated_pages.to_le_bytes());
+            LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
+                encode_checkpoint_body(body, &mut b);
+            }
+            LogRecord::EndCheckpoint { begin } => {
+                b.extend_from_slice(&begin.0.to_le_bytes());
             }
             LogRecord::UpdateLogical { page, slot, offset, after, .. } => {
                 b.extend_from_slice(&page.0.to_le_bytes());
@@ -245,7 +252,7 @@ impl LogRecord {
             LogRecord::PageAlloc { .. } => 4,
             LogRecord::Commit { .. } | LogRecord::Abort { .. } => 0,
             LogRecord::Clr { after, .. } => 18 + after.len(),
-            LogRecord::Checkpoint { body } => {
+            LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
                 4 + 16 * body.active_txns.len()
                     + 4
                     + 12 * body.dirty_pages.len()
@@ -253,6 +260,7 @@ impl LogRecord {
                     + 21 * body.wpl_entries.len()
                     + 8
             }
+            LogRecord::EndCheckpoint { .. } => 8,
             LogRecord::UpdateLogical { after, .. } => 10 + after.len(),
         }
     }
@@ -265,7 +273,9 @@ impl LogRecord {
             LogRecord::Update { before, after, .. } => before.len() + after.len(),
             LogRecord::WholePage { .. } => PAGE_SIZE,
             LogRecord::Clr { after, .. } => after.len() + 8,
-            LogRecord::Checkpoint { .. } => self.body_len(),
+            LogRecord::Checkpoint { .. }
+            | LogRecord::BeginCheckpoint { .. }
+            | LogRecord::EndCheckpoint { .. } => self.body_len(),
             LogRecord::UpdateLogical { after, .. } => after.len(),
             _ => 0,
         }
@@ -345,28 +355,7 @@ impl LogRecord {
                 let undo_next = Lsn(r.u64()?);
                 LogRecord::Clr { txn, prev, page, slot, offset, after, undo_next }
             }
-            7 => {
-                let mut body = CheckpointBody::default();
-                let na = r.u32()? as usize;
-                for _ in 0..na {
-                    body.active_txns.push((TxnId(r.u64()?), Lsn(r.u64()?)));
-                }
-                let nd = r.u32()? as usize;
-                for _ in 0..nd {
-                    body.dirty_pages.push((PageId(r.u32()?), Lsn(r.u64()?)));
-                }
-                let nw = r.u32()? as usize;
-                for _ in 0..nw {
-                    body.wpl_entries.push(WplCheckpointEntry {
-                        page: PageId(r.u32()?),
-                        lsn: Lsn(r.u64()?),
-                        txn: TxnId(r.u64()?),
-                        committed: r.u8()? != 0,
-                    });
-                }
-                body.allocated_pages = r.u64()?;
-                LogRecord::Checkpoint { body }
-            }
+            7 => LogRecord::Checkpoint { body: decode_checkpoint_body(&mut r)? },
             8 => {
                 let page = PageId(r.u32()?);
                 let slot = r.u16()?;
@@ -375,10 +364,58 @@ impl LogRecord {
                 let after = r.bytes(alen)?.to_vec();
                 LogRecord::UpdateLogical { txn, prev, page, slot, offset, after }
             }
+            9 => LogRecord::BeginCheckpoint { body: decode_checkpoint_body(&mut r)? },
+            10 => LogRecord::EndCheckpoint { begin: Lsn(r.u64()?) },
             t => return Err(corrupt(&format!("unknown record tag {t}"))),
         };
         Ok(rec)
     }
+}
+
+/// Checkpoint-body wire format, shared by the legacy sharp record (tag 7)
+/// and the fuzzy begin record (tag 9): both carry identical snapshots.
+fn encode_checkpoint_body(body: &CheckpointBody, b: &mut Vec<u8>) {
+    b.extend_from_slice(&(body.active_txns.len() as u32).to_le_bytes());
+    for (t, l) in &body.active_txns {
+        b.extend_from_slice(&t.0.to_le_bytes());
+        b.extend_from_slice(&l.0.to_le_bytes());
+    }
+    b.extend_from_slice(&(body.dirty_pages.len() as u32).to_le_bytes());
+    for (p, l) in &body.dirty_pages {
+        b.extend_from_slice(&p.0.to_le_bytes());
+        b.extend_from_slice(&l.0.to_le_bytes());
+    }
+    b.extend_from_slice(&(body.wpl_entries.len() as u32).to_le_bytes());
+    for e in &body.wpl_entries {
+        b.extend_from_slice(&e.page.0.to_le_bytes());
+        b.extend_from_slice(&e.lsn.0.to_le_bytes());
+        b.extend_from_slice(&e.txn.0.to_le_bytes());
+        b.push(e.committed as u8);
+    }
+    b.extend_from_slice(&body.allocated_pages.to_le_bytes());
+}
+
+fn decode_checkpoint_body(r: &mut Reader<'_>) -> QsResult<CheckpointBody> {
+    let mut body = CheckpointBody::default();
+    let na = r.u32()? as usize;
+    for _ in 0..na {
+        body.active_txns.push((TxnId(r.u64()?), Lsn(r.u64()?)));
+    }
+    let nd = r.u32()? as usize;
+    for _ in 0..nd {
+        body.dirty_pages.push((PageId(r.u32()?), Lsn(r.u64()?)));
+    }
+    let nw = r.u32()? as usize;
+    for _ in 0..nw {
+        body.wpl_entries.push(WplCheckpointEntry {
+            page: PageId(r.u32()?),
+            lsn: Lsn(r.u64()?),
+            txn: TxnId(r.u64()?),
+            committed: r.u8()? != 0,
+        });
+    }
+    body.allocated_pages = r.u64()?;
+    Ok(body)
 }
 
 // ---------------------------------------------------------------------
@@ -722,6 +759,30 @@ mod tests {
     }
 
     #[test]
+    fn begin_end_checkpoint_round_trip() {
+        let begin = LogRecord::BeginCheckpoint {
+            body: CheckpointBody {
+                active_txns: vec![(TxnId(1), Lsn(10))],
+                dirty_pages: vec![(PageId(5), Lsn(8)), (PageId(6), Lsn(9))],
+                wpl_entries: vec![],
+                allocated_pages: 42,
+            },
+        };
+        round_trip(&begin);
+        // Begin carries the same body as the legacy sharp record and
+        // must cost the same log bytes.
+        let LogRecord::BeginCheckpoint { body } = begin.clone() else { unreachable!() };
+        assert_eq!(begin.encoded_len(), LogRecord::Checkpoint { body }.encoded_len());
+
+        let end = LogRecord::EndCheckpoint { begin: Lsn(4096) };
+        round_trip(&end);
+        assert_eq!(end.encoded_len(), LOG_HEADER_SIZE + 8);
+        assert_eq!(end.txn(), TxnId::INVALID);
+        assert_eq!(end.prev(), Lsn::NULL);
+        assert_eq!(end.page(), None);
+    }
+
+    #[test]
     fn corruption_detected() {
         let r = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) };
         let mut enc = r.encode();
@@ -818,6 +879,21 @@ mod tests {
                     allocated_pages: 1234,
                 },
             },
+            LogRecord::BeginCheckpoint { body: CheckpointBody::default() },
+            LogRecord::BeginCheckpoint {
+                body: CheckpointBody {
+                    active_txns: vec![(TxnId(3), Lsn(30))],
+                    dirty_pages: vec![(PageId(7), Lsn(11))],
+                    wpl_entries: vec![WplCheckpointEntry {
+                        page: PageId(2),
+                        lsn: Lsn(45),
+                        txn: TxnId(3),
+                        committed: false,
+                    }],
+                    allocated_pages: 77,
+                },
+            },
+            LogRecord::EndCheckpoint { begin: Lsn(4096) },
         ]
     }
 
@@ -857,8 +933,13 @@ mod tests {
     #[test]
     fn frame_set_prev_matches_reencoding() {
         for r in every_variant() {
-            if matches!(r, LogRecord::Checkpoint { .. }) {
-                continue; // checkpoints have no prev
+            if matches!(
+                r,
+                LogRecord::Checkpoint { .. }
+                    | LogRecord::BeginCheckpoint { .. }
+                    | LogRecord::EndCheckpoint { .. }
+            ) {
+                continue; // checkpoint records have no prev
             }
             let mut enc = r.encode();
             frame_set_prev(&mut enc, Lsn(0xFEED));
@@ -887,7 +968,9 @@ mod tests {
             LogRecord::UpdateLogical { txn, page, slot, offset, after, .. } => {
                 LogRecord::UpdateLogical { txn, prev, page, slot, offset, after }
             }
-            c @ LogRecord::Checkpoint { .. } => c,
+            c @ (LogRecord::Checkpoint { .. }
+            | LogRecord::BeginCheckpoint { .. }
+            | LogRecord::EndCheckpoint { .. }) => c,
         }
     }
 

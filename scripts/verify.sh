@@ -65,9 +65,13 @@ echo "== concurrency tests under a deadlock watchdog =="
 # granularity hierarchy (flat-manager oracle, slot independence, mixed
 # page/record deadlocks) and record_granularity pins the zero-wait
 # distinct-slot contention win through the reactor.
+# ckpt_fuzzy and ckpt_concurrent add the non-quiescent checkpointer:
+# two-phase fuzzy protocol equivalence against the quiesced oracle for
+# all six schemes, and reactor clients hammering hot pages while the
+# background flusher checkpoints in a loop (zero maintenance sheds).
 for t in multi_client group_commit shard_independence restart_equivalence \
          runtime_admission runtime_equivalence lock_property \
-         record_granularity; do
+         record_granularity ckpt_fuzzy ckpt_concurrent; do
     if ! timeout 120 cargo test -q --offline --test "$t"; then
         echo "FAIL: --test $t did not finish within 120s (possible deadlock)" \
              "or failed; see output above"
@@ -119,5 +123,15 @@ scale_dir=$(mktemp -d)
 cargo run --release --offline -p qs-bench --bin scale -- \
     --validate "$scale_dir/BENCH_scale.json"
 rm -rf "$scale_dir"
+
+echo "== checkpoint benchmark smoke run =="
+# Quiesced vs concurrent checkpointing with the crash + restart + value
+# re-assertions live in both modes; --validate asserts the JSON shape
+# (the p99_ratio acceptance bar is skipped for smoke files).
+ckpt_dir=$(mktemp -d)
+(cd "$ckpt_dir" && "$OLDPWD/target/release/ckpt_bench" --smoke > /dev/null)
+cargo run --release --offline -p qs-bench --bin ckpt_bench -- \
+    --validate "$ckpt_dir/BENCH_ckpt.json"
+rm -rf "$ckpt_dir"
 
 echo "== verify: all green =="

@@ -244,6 +244,93 @@ fn parallel_restart_is_bit_equivalent_to_serial() {
     }
 }
 
+/// Crash injected *between* a begin-checkpoint and its end record, for
+/// all six schemes: the header checkpoint only advances once the end
+/// record is durable, so restart must anchor on the previous *complete*
+/// checkpoint and recover exactly what a run without the orphaned begin
+/// recovers — under the serial and the parallel engines alike.
+#[test]
+fn crash_between_begin_and_end_checkpoint_falls_back() {
+    for (cfg, _) in SystemConfig::all_schemes() {
+        let cfg = cfg.with_memory(1.0, 0.25);
+        let name = cfg.name();
+
+        // Two runs of the same committed workload under the fuzzy
+        // protocol; `orphan` leaves a begin-checkpoint record with no end
+        // just before the crash.
+        let run = |orphan: bool| -> (Vec<u8>, Vec<u8>, Vec<Oid>) {
+            let meter = Meter::new();
+            let scfg = server_cfg(&cfg).with_background_flusher(true);
+            let server = Arc::new(Server::format(scfg, Arc::clone(&meter)).unwrap());
+            let pids = server.bulk_allocate(8).unwrap();
+            let mut oids = Vec::new();
+            for &pid in &pids {
+                let mut p = Page::new();
+                for _ in 0..2 {
+                    oids.push(Oid::new(pid, p.insert(pid, &[0u8; 100]).unwrap()));
+                }
+                server.bulk_write(pid, &p).unwrap();
+            }
+            server.bulk_sync().unwrap();
+            let client =
+                ClientConn::new(ClientId(0), Arc::clone(&server), cfg.client_pool_pages(), meter);
+            let mut store = Store::new(client, cfg.clone()).unwrap();
+            for round in 1..=4u8 {
+                store.begin().unwrap();
+                store.modify(oids[round as usize], 0, &[round; 32]).unwrap();
+                store.commit().unwrap();
+            }
+            drop(store);
+            // The previous complete (fuzzy) checkpoint — the anchor
+            // restart must fall back to.
+            server.checkpoint().unwrap();
+            let client = ClientConn::new(
+                ClientId(1),
+                Arc::clone(&server),
+                cfg.client_pool_pages(),
+                Meter::new(),
+            );
+            let mut store = Store::new(client, cfg.clone()).unwrap();
+            for round in 5..=9u8 {
+                store.begin().unwrap();
+                store.modify(oids[round as usize], 0, &[round; 32]).unwrap();
+                store.commit().unwrap();
+            }
+            drop(store);
+            if orphan {
+                // Begin record appended and forced; no drain, no end
+                // record, header still on the previous checkpoint.
+                server.begin_checkpoint_for_test().unwrap();
+            }
+            let parts = Arc::try_unwrap(server).ok().expect("sole owner").crash();
+            (image(&parts.data_media), image(&parts.log_media), oids)
+        };
+
+        let (bdata, blog, boids) = run(false);
+        let scfg = server_cfg(&cfg).with_background_flusher(true);
+        let baseline = restart_observed(&bdata, &blog, &boids, scfg.clone(), 1, None);
+
+        let (odata, olog, ooids) = run(true);
+        assert_eq!(boids, ooids, "{name}: scenario divergence");
+        let orphaned = restart_observed(&odata, &olog, &ooids, scfg.clone(), 1, None);
+
+        // Same recovered state as the run without the orphan: every
+        // committed value intact, nothing left active.
+        assert_eq!(
+            orphaned.values, baseline.values,
+            "{name}: orphaned begin-checkpoint changed recovered values"
+        );
+        assert_eq!(orphaned.active_txns, 0, "{name}: phantom txn after fallback");
+
+        // And the orphaned media itself restarts bit-identically under
+        // the parallel engine (anchor selection must agree).
+        for workers in [2, 4] {
+            let got = restart_observed(&odata, &olog, &ooids, scfg.clone(), workers, None);
+            assert_eq!(got, orphaned, "{name}: workers={workers} diverged on orphaned media");
+        }
+    }
+}
+
 /// Same comparison for a crash with *no* checkpoint and with whole-page
 /// records in the ARIES log (freshly allocated pages), covering the
 /// null-checkpoint scan window and whole-page redo routing.
