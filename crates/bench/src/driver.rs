@@ -310,7 +310,7 @@ impl SimClient {
                 self.page = None;
                 self.step = if next < self.set.len() { Step::Fetch(next) } else { Step::Commit };
             }
-            (Step::Commit, Response::Ok) => {
+            (Step::Commit, Response::Committed(_)) => {
                 self.seq += 1;
                 self.txns_left -= 1;
                 if self.txns_left == 0 {

@@ -1,18 +1,27 @@
-//! Dynamic buffer-pool / recovery-buffer balancing — the paper's proposed
-//! future work (§7): "dynamically varying the amount of memory allocated
-//! to the buffer pool and the recovery buffer of a client during and
-//! across transactions."
+//! Adaptive controllers: the memory-split balancer ([`AdaptiveSplit`],
+//! the paper's §7 future work) and the per-transaction logging-scheme
+//! elector ([`AdaptiveScheme`], DESIGN.md §6g).
 //!
-//! The policy watches two antagonistic signals from the last transaction:
-//! recovery-buffer overflows (too little recovery memory → early log
-//! records, the constrained-cache pathology of Figures 10–14) and client
-//! buffer-pool evictions (too little pool → paging, the big-database
-//! pathology of Figures 15–18). It shifts one step of memory toward
-//! whichever hurt, with hysteresis so a balanced system stays put.
+//! `AdaptiveSplit` watches two antagonistic signals from the last
+//! transaction: recovery-buffer overflows (too little recovery memory →
+//! early log records, the constrained-cache pathology of Figures 10–14)
+//! and client buffer-pool evictions (too little pool → paging, the
+//! big-database pathology of Figures 15–18). It shifts one step of memory
+//! toward whichever hurt, with hysteresis so a balanced system stays put.
+//!
+//! `AdaptiveScheme` goes further: instead of tuning one scheme's memory,
+//! it picks the *scheme itself*, per transaction. Page-diff capture keeps
+//! full before-images, so at commit the write set can be priced exactly
+//! under every candidate record format — PD and SD physical records, a
+//! WPL whole-page image, or a REDO-only logical record set — and the
+//! transaction's records are emitted in whichever format the online cost
+//! model scores cheapest.
 
+use crate::diff::{self, Region};
 use crate::store::Store;
 use qs_sim::MeterSnapshot;
-use qs_types::{QsResult, PAGE_SIZE};
+use qs_types::{QsResult, LOG_HEADER_SIZE, PAGE_SIZE};
+use qs_wal::{LogPressure, SchemeCode};
 
 /// Step-based adaptive controller for the client memory split.
 #[derive(Debug, Clone)]
@@ -91,6 +100,205 @@ impl AdaptiveSplit {
     }
 }
 
+// -- per-transaction scheme election (DESIGN.md §6g) -------------------------
+
+/// Exact per-scheme pricing of one transaction's write set, accumulated a
+/// page at a time from the diff pipeline's combined regions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteSetCosts {
+    /// Dirty pages in the write set (pages whose diff found nothing are
+    /// not counted — no scheme logs them).
+    pub pages: u64,
+    /// PD: one record per combined region, before+after images.
+    pub pd_log: u64,
+    /// SD: one record per touched `block`-byte block, before+after.
+    pub sd_log: u64,
+    /// WPL: one whole-page image record per page.
+    pub wpl_log: u64,
+    /// RLOG: one record per combined region, after image only.
+    pub rlog_log: u64,
+    /// Modified bytes (the after payload a deferred apply must install).
+    pub after_payload: u64,
+    /// Bytes the pricing pass compared (CPU accounting, not a score input).
+    pub bytes_diffed: u64,
+}
+
+impl WriteSetCosts {
+    /// Fold one object's combined diff regions into the per-record-format
+    /// totals (regions are object-relative; price each object separately).
+    pub fn add_object(&mut self, regions: &[Region], block: usize) {
+        let h = LOG_HEADER_SIZE;
+        self.pd_log += diff::log_bytes(regions, h) as u64;
+        self.sd_log += diff::block_rounded_log_bytes(regions, h, block) as u64;
+        self.rlog_log += diff::redo_only_log_bytes(regions, h) as u64;
+        self.after_payload += diff::after_bytes(regions) as u64;
+    }
+
+    /// Count one dirty page's fixed costs (a whole-page image under WPL,
+    /// a page ship under the physical schemes). Call once per page whose
+    /// objects contributed at least one region.
+    pub fn note_page(&mut self) {
+        self.pages += 1;
+        self.wpl_log += (LOG_HEADER_SIZE + PAGE_SIZE) as u64;
+    }
+
+    /// Fold one single-object dirty page into the totals.
+    pub fn add_page(&mut self, regions: &[Region], block: usize) {
+        if regions.is_empty() {
+            return;
+        }
+        self.add_object(regions, block);
+        self.note_page();
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Log bytes this write set would emit under `scheme`.
+    pub fn log_bytes(&self, scheme: SchemeCode) -> u64 {
+        match scheme {
+            SchemeCode::Pd => self.pd_log,
+            SchemeCode::Sd => self.sd_log,
+            SchemeCode::Wpl => self.wpl_log,
+            SchemeCode::Rlog => self.rlog_log,
+        }
+    }
+}
+
+/// The online cost model: prices a [`WriteSetCosts`] under each scheme and
+/// elects the cheapest (DESIGN.md §6g).
+///
+/// For scheme `s` the score is
+///
+/// ```text
+/// score(s) = log(s) · (1 + redo_weight + pressure_weight · P)
+///          + ship(s)                        physical schemes only
+///          + apply(s) · payload(s) · M      deferred schemes only
+/// ```
+///
+/// where `P = pressure.combined()` is the server's piggybacked log-pressure
+/// signal and `M = 1 + (pages / pending_page_budget)²` grows superlinearly
+/// with the write-set size. Rationale per term:
+///
+/// * every logged byte is written once at commit and replayed once if the
+///   server crashes before the next checkpoint, hence the `1 + redo_weight`
+///   multiplier (log forces are proportional to log bytes and fold in too);
+/// * a full log amplifies each byte's cost — truncation stalls and deeper
+///   force queues — so pressure scales the log term, steering elections
+///   toward compact records exactly when the log is the bottleneck;
+/// * physical elections ship each dirty page to the server (`ship(s) =
+///   pages · PAGE_SIZE` wire bytes) but apply on arrival;
+/// * deferred elections (WPL / RLOG) ship nothing, but their payload parks
+///   in server memory until commit and is applied inside the committer's
+///   critical section — `M` charges that residency superlinearly, so big
+///   write sets fall back to the physical steal-capable path. Replaying a
+///   logical record set re-executes object updates while a whole-page
+///   image is a single copy, hence `apply_rlog > apply_wpl`.
+#[derive(Debug, Clone)]
+pub struct AdaptiveScheme {
+    /// Block size used to price the SD candidate.
+    pub block: usize,
+    /// Projected restart-replay cost per logged byte.
+    pub redo_weight: f64,
+    /// How strongly full-log pressure amplifies the log term.
+    pub pressure_weight: f64,
+    /// Commit-critical-path cost per deferred after-payload byte (RLOG
+    /// re-executes updates) and per deferred image byte (WPL memcpy).
+    pub apply_rlog: f64,
+    pub apply_wpl: f64,
+    /// Write-set size (pages) at which deferred residency doubles.
+    pub pending_page_budget: u64,
+    /// Pin the election (tests, ablation oracles); `None` = model decides.
+    pub force: Option<SchemeCode>,
+    last: Option<SchemeCode>,
+    elections: u64,
+    switches: u64,
+}
+
+impl Default for AdaptiveScheme {
+    fn default() -> Self {
+        AdaptiveScheme {
+            block: crate::config::SystemConfig::DEFAULT_BLOCK,
+            redo_weight: 0.25,
+            pressure_weight: 1.0,
+            apply_rlog: 0.5,
+            apply_wpl: 0.25,
+            pending_page_budget: 64,
+            force: None,
+            last: None,
+            elections: 0,
+            switches: 0,
+        }
+    }
+}
+
+impl AdaptiveScheme {
+    pub fn new() -> AdaptiveScheme {
+        AdaptiveScheme::default()
+    }
+
+    /// Commits that elected a scheme (zero-dirty commits skip election).
+    pub fn elections(&self) -> u64 {
+        self.elections
+    }
+
+    /// Elections whose winner differed from the previous election's.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The previous election's winner, if any.
+    pub fn last(&self) -> Option<SchemeCode> {
+        self.last
+    }
+
+    /// Score every candidate, in the fixed order PD, SD, WPL, RLOG.
+    pub fn scores(&self, costs: &WriteSetCosts, pressure: LogPressure) -> [(SchemeCode, f64); 4] {
+        let w = 1.0 + self.redo_weight + self.pressure_weight * pressure.combined();
+        let ship = (costs.pages * PAGE_SIZE as u64) as f64;
+        let m = {
+            let load = costs.pages as f64 / self.pending_page_budget as f64;
+            1.0 + load * load
+        };
+        [
+            (SchemeCode::Pd, w * costs.pd_log as f64 + ship),
+            (SchemeCode::Sd, w * costs.sd_log as f64 + ship),
+            (
+                SchemeCode::Wpl,
+                w * costs.wpl_log as f64
+                    + self.apply_wpl * (costs.pages * PAGE_SIZE as u64) as f64 * m,
+            ),
+            (
+                SchemeCode::Rlog,
+                w * costs.rlog_log as f64 + self.apply_rlog * costs.after_payload as f64 * m,
+            ),
+        ]
+    }
+
+    /// Elect the cheapest scheme for this write set (first of the fixed
+    /// order wins exact ties, so elections are deterministic). Updates the
+    /// election/switch counters.
+    pub fn elect(&mut self, costs: &WriteSetCosts, pressure: LogPressure) -> SchemeCode {
+        let winner = self.force.unwrap_or_else(|| {
+            let scores = self.scores(costs, pressure);
+            let mut best = scores[0];
+            for &(s, score) in &scores[1..] {
+                if score < best.1 {
+                    best = (s, score);
+                }
+            }
+            best.0
+        });
+        self.elections += 1;
+        if self.last.is_some_and(|prev| prev != winner) {
+            self.switches += 1;
+        }
+        self.last = Some(winner);
+        winner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +348,80 @@ mod tests {
         let a = AdaptiveSplit::new(12.0, 4.0);
         assert_eq!(a.recovery_bytes(), 4 * 1024 * 1024);
         assert_eq!(a.pool_pages(), 1024);
+    }
+
+    // -- AdaptiveScheme ------------------------------------------------------
+
+    /// A write set of `pages` pages, each with one modified run of
+    /// `dirty_per_page` bytes at offset 0.
+    fn write_set(pages: u64, dirty_per_page: usize) -> WriteSetCosts {
+        let mut c = WriteSetCosts::default();
+        let regions = [Region { start: 0, end: dirty_per_page }];
+        for _ in 0..pages {
+            c.add_page(&regions, 64);
+        }
+        c
+    }
+
+    #[test]
+    fn write_set_costs_per_scheme() {
+        use qs_types::LOG_HEADER_SIZE as H;
+        let c = write_set(2, 100);
+        assert_eq!(c.pages, 2);
+        assert_eq!(c.log_bytes(SchemeCode::Pd), 2 * (H + 200) as u64);
+        // 100 dirty bytes touch two 64-byte blocks.
+        assert_eq!(c.log_bytes(SchemeCode::Sd), 2 * 2 * (H + 128) as u64);
+        assert_eq!(c.log_bytes(SchemeCode::Wpl), 2 * (H + PAGE_SIZE) as u64);
+        assert_eq!(c.log_bytes(SchemeCode::Rlog), 2 * (H + 100) as u64);
+        assert_eq!(c.after_payload, 200);
+        assert!(write_set(0, 0).is_empty());
+        // Clean pages never enter the write set.
+        let mut clean = WriteSetCosts::default();
+        clean.add_page(&[], 64);
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn election_oracle_on_hand_built_write_sets() {
+        let mut a = AdaptiveScheme::new();
+        let calm = LogPressure::default();
+        // Sparse small write set: compact logical records win.
+        assert_eq!(a.elect(&write_set(2, 64), calm), SchemeCode::Rlog);
+        // Dense small write set: a whole-page image beats before+after
+        // diffs and beats re-executing a page's worth of updates.
+        assert_eq!(a.elect(&write_set(2, PAGE_SIZE), calm), SchemeCode::Wpl);
+        // Dense and huge: deferred residency dominates; the steal-capable
+        // physical path wins.
+        assert_eq!(a.elect(&write_set(512, PAGE_SIZE), calm), SchemeCode::Pd);
+        assert_eq!(a.elections(), 3);
+        assert_eq!(a.switches(), 2);
+    }
+
+    #[test]
+    fn pressure_steers_toward_compact_records() {
+        // A dense write set just past the calm PD/WPL crossover: with the
+        // log quiet, the deferred-residency term hands the election to the
+        // physical path; a saturated log doubles every logged byte's cost,
+        // which hurts PD's before+after diffs (~2 pages of log per page)
+        // twice as hard as WPL's single image — the election flips to the
+        // log-lean format exactly when the log is the bottleneck.
+        let mut a = AdaptiveScheme::new();
+        let c = write_set(200, PAGE_SIZE);
+        assert_eq!(a.elect(&c, LogPressure::default()), SchemeCode::Pd);
+        assert_eq!(a.elect(&c, LogPressure::new(1.0, 1.0)), SchemeCode::Wpl);
+        assert_eq!(a.switches(), 1);
+    }
+
+    #[test]
+    fn forced_election_and_switch_counting() {
+        let mut a = AdaptiveScheme::new();
+        a.force = Some(SchemeCode::Sd);
+        assert_eq!(a.elect(&write_set(1, 8), LogPressure::default()), SchemeCode::Sd);
+        assert_eq!(a.elect(&write_set(1, 8), LogPressure::default()), SchemeCode::Sd);
+        assert_eq!(a.switches(), 0, "re-electing the same scheme is not a switch");
+        a.force = Some(SchemeCode::Pd);
+        assert_eq!(a.elect(&write_set(1, 8), LogPressure::default()), SchemeCode::Pd);
+        assert_eq!(a.switches(), 1);
+        assert_eq!(a.elections(), 3);
     }
 }

@@ -69,6 +69,12 @@ pub struct SystemConfig {
     /// Append the recovery-buffer size to the name (the paper does this in
     /// the big-database experiments where the split matters).
     pub name_buffer_suffix: bool,
+    /// Per-transaction adaptive scheme election (§6g): at each commit the
+    /// client prices its write set under PD / SD / WPL / RLOG and emits that
+    /// transaction's records in the cheapest format. Requires the
+    /// [`RecoveryFlavor::Adaptive`] server flavor; off everywhere else, so
+    /// all the fixed-scheme figures are untouched.
+    pub adaptive_scheme: bool,
 }
 
 impl SystemConfig {
@@ -112,7 +118,19 @@ impl SystemConfig {
             client_memory_mb: 12.0,
             recovery_buffer_mb: 0.0,
             name_buffer_suffix: false,
+            adaptive_scheme: false,
         }
+    }
+
+    /// Per-transaction adaptive logging (ADAPT): page-diffing update capture
+    /// (so full before-images are available and every scheme's records can
+    /// be priced exactly) over the adaptive server flavor. Deliberately not
+    /// part of [`SystemConfig::all_schemes`]: ADAPT is a meta-scheme whose
+    /// figures live in `BENCH_adaptive.json`, not in the Table 3 sweeps.
+    pub fn adaptive() -> SystemConfig {
+        let mut cfg = Self::build(LogGeneration::PageDiff, RecoveryFlavor::Adaptive);
+        cfg.adaptive_scheme = true;
+        cfg
     }
 
     /// The canonical software-version list: paper Table 3 order with the
@@ -144,6 +162,7 @@ impl SystemConfig {
             client_memory_mb: 12.0,
             recovery_buffer_mb: 4.0,
             name_buffer_suffix: false,
+            adaptive_scheme: false,
         }
     }
 
@@ -163,6 +182,23 @@ impl SystemConfig {
 
     /// Validate scheme/flavor compatibility.
     pub fn validate(&self) -> QsResult<()> {
+        if self.adaptive_scheme != (self.flavor == RecoveryFlavor::Adaptive) {
+            return Err(QsError::Config {
+                detail: format!(
+                    "adaptive_scheme={} requires the adaptive server flavor (got {:?})",
+                    self.adaptive_scheme, self.flavor
+                ),
+            });
+        }
+        if self.adaptive_scheme && self.log_gen != LogGeneration::PageDiff {
+            return Err(QsError::Config {
+                detail: format!(
+                    "adaptive election needs page-diff capture (full before-images \
+                     price every candidate scheme); got {:?}",
+                    self.log_gen
+                ),
+            });
+        }
         let whole = self.log_gen == LogGeneration::WholePage;
         let wpl = self.flavor == RecoveryFlavor::Wpl;
         if whole != wpl {
@@ -208,6 +244,9 @@ impl SystemConfig {
     pub fn name(&self) -> String {
         if self.log_gen == LogGeneration::WholePage {
             return "WPL".to_string();
+        }
+        if self.adaptive_scheme {
+            return "ADAPT".to_string();
         }
         let base = format!("{}-{}", self.log_gen.prefix(), self.flavor.name());
         if !self.name_buffer_suffix {
@@ -286,6 +325,29 @@ mod tests {
         assert!(s.validate().is_err(), "non power-of-two block");
         let bad = SystemConfig::pd_esm().with_memory(4.0, 4.0);
         assert!(bad.validate().is_err(), "no room for the pool");
+    }
+
+    #[test]
+    fn adaptive_config() {
+        let a = SystemConfig::adaptive();
+        a.validate().unwrap();
+        assert_eq!(a.name(), "ADAPT");
+        assert_eq!(a.flavor, RecoveryFlavor::Adaptive);
+        assert_eq!(a.log_gen, LogGeneration::PageDiff);
+        // A meta-scheme: not part of the Table 3 sweep list.
+        assert!(SystemConfig::by_name("ADAPT").is_none());
+
+        // The knob and the flavor must agree...
+        let mut bad = SystemConfig::adaptive();
+        bad.flavor = RecoveryFlavor::EsmAries;
+        assert!(bad.validate().is_err());
+        let mut bad = SystemConfig::pd_esm();
+        bad.flavor = RecoveryFlavor::Adaptive;
+        assert!(bad.validate().is_err());
+        // ...and election needs full before-images (page-diff capture).
+        let mut bad = SystemConfig::adaptive();
+        bad.log_gen = LogGeneration::SubPageDiff { block: 64 };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -213,6 +213,75 @@ pub fn log_bytes(regions: &[Region], h: usize) -> usize {
     regions.iter().map(|r| h + 2 * r.len()).sum()
 }
 
+/// Modified bytes only (no headers, no before-images): the payload a
+/// REDO-only logical record set carries for these regions.
+pub fn after_bytes(regions: &[Region]) -> usize {
+    regions.iter().map(Region::len).sum()
+}
+
+/// Log bytes a REDO-only logical record set would occupy: header plus the
+/// after-image per region (logical records carry no before half).
+pub fn redo_only_log_bytes(regions: &[Region], h: usize) -> usize {
+    regions.iter().map(|r| h + r.len()).sum()
+}
+
+/// Number of distinct `block`-byte blocks the regions touch — the
+/// sub-page schemes' write-set granularity. `regions` must be sorted and
+/// non-overlapping (what the diff pipeline produces).
+pub fn distinct_blocks(regions: &[Region], block: usize) -> usize {
+    debug_assert!(block.is_power_of_two());
+    let mut count = 0usize;
+    let mut last: Option<usize> = None;
+    for r in regions {
+        if r.is_empty() {
+            continue;
+        }
+        let mut first = r.start / block;
+        let end = (r.end - 1) / block;
+        if let Some(l) = last {
+            debug_assert!(first >= l, "regions must be sorted");
+            first = first.max(l + 1);
+            if end < first {
+                continue;
+            }
+        }
+        count += end - first + 1;
+        last = Some(end);
+    }
+    count
+}
+
+/// Log bytes under block-rounded (sub-page) logging: each touched block
+/// costs a header plus its before+after images, whatever the actual
+/// modified span inside it.
+pub fn block_rounded_log_bytes(regions: &[Region], h: usize, block: usize) -> usize {
+    distinct_blocks(regions, block) * (h + 2 * block)
+}
+
+/// Expand each region to `block`-byte boundaries (clipped to `len`) and
+/// merge any overlaps — the record spans an SD-format emission uses when
+/// the write set was captured at page granularity. `regions` must be
+/// sorted and non-overlapping; the output is too.
+pub fn block_align_regions(regions: &[Region], block: usize, len: usize, out: &mut Vec<Region>) {
+    debug_assert!(block.is_power_of_two());
+    out.clear();
+    for r in regions {
+        if r.is_empty() {
+            continue;
+        }
+        let start = (r.start / block * block).min(len);
+        let end = ((r.end - 1) / block + 1) * block;
+        let end = end.min(len);
+        if let Some(last) = out.last_mut() {
+            if start <= last.end {
+                last.end = last.end.max(end);
+                continue;
+            }
+        }
+        out.push(Region { start, end });
+    }
+}
+
 /// Exhaustive minimum over all ways of merging the raw runs into
 /// consecutive groups (exponential; test oracle only).
 pub fn brute_force_min_log_bytes(runs: &[Region], h: usize) -> usize {
@@ -387,6 +456,39 @@ mod tests {
             diff_object_into(&before, &after, &mut runs, &mut out);
             assert_eq!(out, diff_object(&before, &after));
         }
+    }
+
+    #[test]
+    fn density_stats() {
+        let rs = regions(&[(0, 4), (60, 68), (128, 192)]);
+        assert_eq!(after_bytes(&rs), 4 + 8 + 64);
+        assert_eq!(redo_only_log_bytes(&rs, 50), 3 * 50 + 76);
+        // Blocks of 64: region 1 → block 0; region 2 → blocks 0–1 (block 0
+        // already counted); region 3 → block 2.
+        assert_eq!(distinct_blocks(&rs, 64), 3);
+        assert_eq!(block_rounded_log_bytes(&rs, 50, 64), 3 * (50 + 128));
+        assert_eq!(distinct_blocks(&[], 64), 0);
+        // A region ending exactly on a block boundary stays in its block.
+        assert_eq!(distinct_blocks(&regions(&[(0, 64)]), 64), 1);
+        assert_eq!(distinct_blocks(&regions(&[(63, 65)]), 64), 2);
+    }
+
+    #[test]
+    fn block_alignment_expands_and_merges() {
+        let mut out = Vec::new();
+        // Two regions inside the same block collapse into it; the third
+        // touches the adjacent block, so the whole span merges into one
+        // record clipped to the object length.
+        block_align_regions(&regions(&[(2, 6), (10, 12), (70, 100)]), 64, 90, &mut out);
+        assert_eq!(out, regions(&[(0, 90)]));
+        // Adjacent aligned spans merge into one.
+        block_align_regions(&regions(&[(0, 4), (66, 68)]), 64, 128, &mut out);
+        assert_eq!(out, regions(&[(0, 128)]));
+        // Distant regions stay separate.
+        block_align_regions(&regions(&[(0, 4), (200, 204)]), 64, 512, &mut out);
+        assert_eq!(out, regions(&[(0, 64), (192, 256)]));
+        block_align_regions(&[], 64, 512, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

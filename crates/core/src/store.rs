@@ -24,6 +24,7 @@
 //! [`Store::modify`] dispatches to the right route for the configured
 //! scheme, letting one traversal implementation drive every system.
 
+use crate::adaptive::{AdaptiveScheme, WriteSetCosts};
 use crate::config::{LogGeneration, SystemConfig};
 use crate::descriptor::DescriptorTable;
 use crate::diff;
@@ -36,7 +37,7 @@ use qs_types::{
     FrameId, Lsn, Oid, PageId, QsError, QsResult, TxnId, VAddr, LOG_HEADER_SIZE, PAGE_SIZE,
 };
 use qs_vmem::{AccessFault, Mmu, Prot};
-use qs_wal::RecordWriter;
+use qs_wal::{RecordWriter, SchemeCode};
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -60,6 +61,38 @@ struct CommitScratch {
     snapshot: Option<Box<Page>>,
 }
 
+/// Diff regions computed by the adaptive pricing pass, kept for the
+/// emission pass of the *same* event (commit, eviction, rbuf overflow).
+/// No user write can land between the two passes — both run inside one
+/// `Store` call — so the regions stay exact and the adaptive transaction
+/// diffs each page once, not twice. Cleared (and `valid` dropped) at the
+/// end of every event that could have filled it.
+#[derive(Default)]
+struct PricedDiffs {
+    /// `(slot, region)` pairs in `live_objects` order, pages concatenated.
+    flat: Vec<(u16, diff::Region)>,
+    /// Per-page slices into `flat`.
+    pages: Vec<(PageId, usize, usize)>,
+    /// True only between a pricing pass and the end of its event.
+    valid: bool,
+}
+
+impl PricedDiffs {
+    fn clear(&mut self) {
+        self.flat.clear();
+        self.pages.clear();
+        self.valid = false;
+    }
+
+    /// The `flat` range priced for `pid`, if this event priced it.
+    fn lookup(&self, pid: PageId) -> Option<(usize, usize)> {
+        if !self.valid {
+            return None;
+        }
+        self.pages.iter().find(|e| e.0 == pid).map(|e| (e.1, e.2))
+    }
+}
+
 /// A QuickStore client store.
 pub struct Store {
     cfg: SystemConfig,
@@ -73,6 +106,12 @@ pub struct Store {
     /// Allocation cursor: the created page new objects go to.
     alloc_cursor: Option<PageId>,
     scratch: CommitScratch,
+    /// The per-transaction scheme elector (only when
+    /// `cfg.adaptive_scheme`; see DESIGN.md §6g).
+    elector: Option<AdaptiveScheme>,
+    /// Regions from the elector's pricing pass, reused by record emission
+    /// within the same event (empty and inert under the fixed schemes).
+    priced: PricedDiffs,
 }
 
 impl Store {
@@ -93,6 +132,7 @@ impl Store {
         // stack (the client shares the server's).
         let mut mmu = Mmu::new();
         mmu.set_tracer(Arc::clone(client.tracer()));
+        let elector = if cfg.adaptive_scheme { Some(AdaptiveScheme::new()) } else { None };
         Ok(Store {
             cfg,
             client,
@@ -102,6 +142,8 @@ impl Store {
             created: HashSet::new(),
             alloc_cursor: None,
             scratch: CommitScratch::default(),
+            elector,
+            priced: PricedDiffs::default(),
         })
     }
 
@@ -148,6 +190,102 @@ impl Store {
         self.rbuf.overflows()
     }
 
+    /// The per-transaction scheme elector (`None` unless the store runs
+    /// with `adaptive_scheme`).
+    pub fn elector(&self) -> Option<&AdaptiveScheme> {
+        self.elector.as_ref()
+    }
+
+    /// Mutable elector access — benches and tests use it to pin the
+    /// election (`force`) or tune the cost-model weights.
+    pub fn elector_mut(&mut self) -> Option<&mut AdaptiveScheme> {
+        self.elector.as_mut()
+    }
+
+    // ---------------------------------------------------------------------
+    // Adaptive scheme election (DESIGN.md §6g)
+    // ---------------------------------------------------------------------
+
+    /// Elect this transaction's logging scheme if the store is adaptive and
+    /// no election has happened yet. Called at every record-generation
+    /// event — commit, client eviction, recovery-buffer overflow — so the
+    /// `TxnScheme` record always precedes the transaction's first
+    /// page-bearing record; the election then sticks for the transaction.
+    ///
+    /// `pages` is the write set visible at the event (the sorted dirty-page
+    /// list at commit; the still-cached dirty pages mid-transaction), and
+    /// `extra` an already-evicted page whose content no longer sits in the
+    /// pool. A write set that prices to nothing (clean rewrites, created
+    /// pages only) elects no scheme: no records of any format would differ.
+    fn ensure_elected(&mut self, pages: &[PageId], extra: Option<(PageId, &Page)>) -> QsResult<()> {
+        let Some(elector) = &self.elector else { return Ok(()) };
+        if self.client.elected_scheme().is_some() {
+            return Ok(());
+        }
+        let block = elector.block;
+        let mut costs = WriteSetCosts::default();
+        self.priced.clear();
+        if let Some((pid, page)) = extra {
+            self.price_page(&mut costs, pid, page, block);
+        }
+        for &pid in pages {
+            if self.created.contains(&pid) || Some(pid) == extra.map(|(p, _)| p) {
+                continue; // created pages cost the same under every scheme
+            }
+            let Some(page) = self.client.peek(pid) else { continue };
+            price_page_parts(
+                &self.rbuf,
+                &mut self.scratch,
+                &mut self.priced,
+                &mut costs,
+                pid,
+                page,
+                block,
+            );
+        }
+        // The pricing pass is THE diff for this event: emission reuses its
+        // regions (`PricedDiffs`), so electing costs no second comparison.
+        self.priced.valid = true;
+        self.meter().bytes_diffed.fetch_add(costs.bytes_diffed, Ordering::Relaxed);
+        if costs.is_empty() {
+            return Ok(());
+        }
+        let pressure = self.client.last_pressure();
+        let elector = self.elector.as_mut().expect("checked above");
+        let switches_before = elector.switches();
+        let scheme = elector.elect(&costs, pressure);
+        let switched = elector.switches() > switches_before;
+        let m = self.meter();
+        match scheme {
+            SchemeCode::Pd => &m.txns_pd,
+            SchemeCode::Sd => &m.txns_sd,
+            SchemeCode::Wpl => &m.txns_wpl,
+            SchemeCode::Rlog => &m.txns_rlog,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        if switched {
+            m.scheme_switches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tracer().event(TraceCat::Commit, "elect", scheme as u64, costs.pages);
+        self.client.elect_scheme(scheme)
+    }
+
+    /// Price one page whose content lives outside the pool (`ensure_elected`'s
+    /// `extra`: the just-evicted frame).
+    fn price_page(&mut self, costs: &mut WriteSetCosts, pid: PageId, page: &Page, block: usize) {
+        if !self.created.contains(&pid) {
+            price_page_parts(
+                &self.rbuf,
+                &mut self.scratch,
+                &mut self.priced,
+                costs,
+                pid,
+                page,
+                block,
+            );
+        }
+    }
+
     // ---------------------------------------------------------------------
     // Transactions
     // ---------------------------------------------------------------------
@@ -168,6 +306,7 @@ impl Store {
         let t0 = tracer.now_secs();
         let mut dirty = self.client.dirty_pages();
         dirty.sort(); // deterministic shipping order
+        self.ensure_elected(&dirty, None)?;
         let diff_t0 = tracer.now_secs();
         for &pid in &dirty {
             self.flush_records_for_cached(pid)?;
@@ -200,6 +339,7 @@ impl Store {
     fn end_txn_reset(&mut self) -> QsResult<()> {
         // Commit drains the recovery buffer page by page; abort simply
         // discards the before-images (the server rolls back).
+        self.priced.clear();
         self.rbuf.clear();
         self.created.clear();
         self.alloc_cursor = None;
@@ -320,6 +460,11 @@ impl Store {
             self.mmu.protect(d.frame, Prot::None)?;
         }
         if ev.dirty {
+            // Mid-transaction record generation: the scheme must be elected
+            // now, from the partial write set (this page plus whatever else
+            // is already dirty), and sticks for the rest of the transaction.
+            let dirty = self.client.dirty_pages();
+            self.ensure_elected(&dirty, Some((pid, &ev.page)))?;
             self.flush_records_for(pid, &ev.page)?;
             self.client.ship_dirty_page(pid, ev.page)?;
             if let Some(d) = self.table.get_mut(pid) {
@@ -327,6 +472,9 @@ impl Store {
                 // re-enabled if the page is updated again this transaction.
                 d.recovery_enabled = false;
             }
+            // Still-cached pages may be written again before they flush:
+            // their priced regions are only good for this event.
+            self.priced.clear();
         }
         Ok(())
     }
@@ -391,6 +539,8 @@ impl Store {
             return Ok(());
         }
         self.meter().recovery_buffer_overflows.fetch_add(1, Ordering::Relaxed);
+        let dirty = self.client.dirty_pages();
+        self.ensure_elected(&dirty, None)?;
         for pid in victims {
             self.tracer().event(TraceCat::RbufEvict, "overflow", pid.0 as u64, need as u64);
             self.flush_records_for_cached(pid)?;
@@ -406,6 +556,9 @@ impl Store {
                 d.recovery_enabled = false;
             }
         }
+        // Surviving pages can still be written this transaction — their
+        // priced regions must not outlive the overflow event.
+        self.priced.clear();
         Ok(())
     }
 
@@ -610,9 +763,15 @@ impl Store {
             return Ok(()); // no client log records, ever
         }
         let txn = self.client.txn()?;
+        // The elected record format, when this store runs the adaptive
+        // scheme; `None` under the fixed schemes (and for the rare adaptive
+        // transaction whose write set priced to nothing).
+        let elected = if self.cfg.adaptive_scheme { self.client.elected_scheme() } else { None };
         // RLOG ships REDO-only logical records: same slot/offset/after
-        // image as a physical update, no before image.
-        let logical = self.cfg.flavor == RecoveryFlavor::RedoLogical;
+        // image as a physical update, no before image. An Rlog-elected
+        // adaptive transaction emits the identical format.
+        let logical =
+            self.cfg.flavor == RecoveryFlavor::RedoLogical || elected == Some(SchemeCode::Rlog);
         self.scratch.enc.clear();
         if self.created.contains(&pid) {
             // Newly created page: whole-page image (ESM's own policy).
@@ -625,26 +784,71 @@ impl Store {
             }
             return Ok(());
         }
+        if elected == Some(SchemeCode::Wpl) {
+            // WPL election: one whole-page image record carries the page;
+            // the captured before-image goes back unused (no diff at all —
+            // WPL's CPU advantage survives the page-diff capture).
+            if let Some(copied) = self.rbuf.remove(pid) {
+                self.rbuf.recycle(copied);
+            }
+            let mut w = RecordWriter::new(&mut self.scratch.enc);
+            w.whole_page(txn, Lsn::NULL, pid, current.bytes());
+            return self.client.add_encoded_records(pid, &self.scratch.enc);
+        }
         let Some(mut copied) = self.rbuf.remove(pid) else {
             // Dirty with no before-image: nothing was captured, so nothing
             // to log (e.g. WPL-style marking never reaches here). Declare
             // the page logged to satisfy the ordering rule.
             return self.client.note_page_logged(pid);
         };
+        let sd_block = self.elector.as_ref().map_or(SystemConfig::DEFAULT_BLOCK, |e| e.block);
         let nrecords = match (&mut copied, self.cfg.log_gen) {
             (Copied::Full(old), _) => {
-                self.meter().bytes_diffed.fetch_add(current.live_bytes() as u64, Ordering::Relaxed);
+                // An adaptive pricing pass in this same event already
+                // diffed the page; reuse its regions (no write can have
+                // landed in between). Otherwise diff now.
+                let cached = self.priced.lookup(pid);
+                if cached.is_none() {
+                    self.meter()
+                        .bytes_diffed
+                        .fetch_add(current.live_bytes() as u64, Ordering::Relaxed);
+                }
+                let mut cursor = cached.map(|(s, _)| s);
                 let mut w = RecordWriter::new(&mut self.scratch.enc);
                 for (slot, off, len) in current.live_objects() {
                     let before = &old[off..off + len];
                     let after = &current.bytes()[off..off + len];
-                    diff::diff_object_into(
-                        before,
-                        after,
-                        &mut self.scratch.runs,
-                        &mut self.scratch.regions,
-                    );
-                    for r in &self.scratch.regions {
+                    match (&mut cursor, cached) {
+                        (Some(c), Some((_, end))) => {
+                            self.scratch.regions.clear();
+                            while *c < end && self.priced.flat[*c].0 == slot {
+                                self.scratch.regions.push(self.priced.flat[*c].1);
+                                *c += 1;
+                            }
+                        }
+                        _ => diff::diff_object_into(
+                            before,
+                            after,
+                            &mut self.scratch.runs,
+                            &mut self.scratch.regions,
+                        ),
+                    }
+                    // An Sd-elected adaptive transaction emits SD-format
+                    // records: spans rounded out to block boundaries
+                    // (object-anchored), exactly what sub-page capture
+                    // would have produced.
+                    let spans: &[diff::Region] = if elected == Some(SchemeCode::Sd) {
+                        diff::block_align_regions(
+                            &self.scratch.regions,
+                            sd_block,
+                            len,
+                            &mut self.scratch.runs,
+                        );
+                        &self.scratch.runs
+                    } else {
+                        &self.scratch.regions
+                    };
+                    for r in spans {
                         emit_update(
                             &mut w,
                             logical,
@@ -770,6 +974,47 @@ impl Store {
         } else {
             self.client.add_encoded_records(pid, &self.scratch.enc)
         }
+    }
+}
+
+/// Price one dirty page's captured write set into `costs` (the adaptive
+/// election's pricing pass). A free function over disjoint [`Store`]
+/// fields so the caller can hold a borrow of the client pool's page.
+fn price_page_parts(
+    rbuf: &RecoveryBuffer,
+    scratch: &mut CommitScratch,
+    priced: &mut PricedDiffs,
+    costs: &mut WriteSetCosts,
+    pid: PageId,
+    page: &Page,
+    block: usize,
+) {
+    let Some(Copied::Full(old)) = rbuf.get(pid) else {
+        return; // nothing captured (or block capture — not adaptive's mode)
+    };
+    costs.bytes_diffed += page.live_bytes() as u64;
+    let start = priced.flat.len();
+    let mut any = false;
+    for (slot, off, len) in page.live_objects() {
+        diff::diff_object_into(
+            &old[off..off + len],
+            &page.bytes()[off..off + len],
+            &mut scratch.runs,
+            &mut scratch.regions,
+        );
+        for r in &scratch.regions {
+            priced.flat.push((slot, *r));
+        }
+        if !scratch.regions.is_empty() {
+            costs.add_object(&scratch.regions, block);
+            any = true;
+        }
+    }
+    // Record the page even when every object diffed clean: emission then
+    // knows "priced, zero records" instead of re-diffing the whole page.
+    priced.pages.push((pid, start, priced.flat.len()));
+    if any {
+        costs.note_page();
     }
 }
 

@@ -307,6 +307,203 @@ pub fn rlog_restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
     Ok(vec![ph_analysis, ph_redo])
 }
 
+/// What an `Adaptive` analysis pass learned from the log. A mixed-scheme
+/// log carries physically-logged transactions (PD/SD elections: before/
+/// after-image updates, stolen pages, CLR undo) and logically-logged ones
+/// (WPL/RLOG elections: deferred-apply, no-steal, REDO-only) side by side;
+/// each transaction's `TxnScheme` record — always the first record of its
+/// chain — says which rules apply. Shared by the serial and parallel
+/// engines so the two classifications cannot drift.
+///
+/// Truncation keeps `min(checkpoint, min active first-LSN)`, so every
+/// *active* transaction's chain is retained whole, `TxnScheme` included: a
+/// transaction whose scheme record is missing (truncated) is provably
+/// committed, and treating it as physical (DPT path) is correct for
+/// committed work — `apply_redo` replays `UpdateLogical` records too, and
+/// the pageLSN test skips whatever the pre-crash apply already flushed.
+#[derive(Debug, Default)]
+pub(crate) struct AdaptiveAnalysis {
+    /// Loser candidates: txn → last LSN seen (physical losers undo from
+    /// here; logical losers are dropped without undo).
+    pub(crate) att: HashMap<TxnId, Lsn>,
+    pub(crate) committed: std::collections::HashSet<TxnId>,
+    /// Elected scheme per transaction, from `TxnScheme` records.
+    pub(crate) scheme: HashMap<TxnId, qs_wal::SchemeCode>,
+    pub(crate) dpt: HashMap<PageId, Lsn>,
+    pub(crate) max_txn: TxnId,
+    pub(crate) max_alloc: u64,
+    /// Logically-elected transactions' page → first-LSN maps, merged into
+    /// the DPT only when their commit record shows up (rlog rule).
+    pub(crate) pending: HashMap<TxnId, HashMap<PageId, Lsn>>,
+}
+
+impl AdaptiveAnalysis {
+    pub(crate) fn note_txn(&mut self, txn: TxnId) {
+        if txn != TxnId::INVALID && (self.max_txn == TxnId::INVALID || txn.0 > self.max_txn.0) {
+            self.max_txn = txn;
+        }
+    }
+
+    /// Did `txn` elect a logical (deferred-apply, no-steal) scheme?
+    pub(crate) fn is_logical(&self, txn: TxnId) -> bool {
+        self.scheme.get(&txn).map(|s| s.is_logical()).unwrap_or(false)
+    }
+
+    /// Must redo skip `txn`'s records? Only known-logical losers: their
+    /// deferred ops never reached any page, and replaying them (via a
+    /// shared page's DPT entry from another transaction) would install
+    /// uncommitted data that nothing can undo.
+    pub(crate) fn redo_skips(&self, txn: TxnId) -> bool {
+        self.is_logical(txn) && !self.committed.contains(&txn)
+    }
+
+    /// Observe one record of the forward analysis scan, given the facts
+    /// both engines can supply (the serial one from a decoded `LogRecord`,
+    /// the parallel one from frame accessors). Checkpoint-body handling
+    /// (`max_alloc`) stays with the caller.
+    pub(crate) fn observe(
+        &mut self,
+        lsn: Lsn,
+        tag: u8,
+        txn: TxnId,
+        page: Option<PageId>,
+        scheme: Option<qs_wal::SchemeCode>,
+    ) {
+        self.note_txn(txn);
+        match tag {
+            qs_wal::record::tag::TXN_SCHEME => {
+                if let Some(s) = scheme {
+                    self.scheme.insert(txn, s);
+                }
+                self.att.insert(txn, lsn);
+            }
+            qs_wal::record::tag::COMMIT => {
+                self.committed.insert(txn);
+                self.att.remove(&txn);
+                if let Some(pages) = self.pending.remove(&txn) {
+                    for (p, l) in pages {
+                        let e = self.dpt.entry(p).or_insert(l);
+                        if l < *e {
+                            *e = l;
+                        }
+                    }
+                }
+            }
+            qs_wal::record::tag::ABORT => {
+                self.att.remove(&txn);
+                self.pending.remove(&txn);
+            }
+            _ => {
+                if txn != TxnId::INVALID {
+                    self.att.insert(txn, lsn);
+                }
+                if let Some(page) = page {
+                    self.max_alloc = self.max_alloc.max(page.0 as u64 + 1);
+                    if self.is_logical(txn) {
+                        self.pending.entry(txn).or_default().entry(page).or_insert(lsn);
+                    } else {
+                        self.dpt.entry(page).or_insert(lsn);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Mixed-scheme restart for the `Adaptive` flavor: one forward analysis
+/// pass over the whole retained log classifies every transaction via its
+/// `TxnScheme` record, redo repeats history with the pageLSN test while
+/// skipping logically-elected losers, and undo rolls back only the
+/// physically-elected losers (logical losers never reached shared state —
+/// same no-steal argument as `rlog_restart`).
+pub fn adaptive_restart(server: &Server) -> QsResult<Vec<PhaseStat>> {
+    let mut ph_analysis = PhaseStat { name: "analysis", ..PhaseStat::default() };
+    let mut ph_redo = PhaseStat { name: "redo", ..PhaseStat::default() };
+    let mut ph_undo = PhaseStat { name: "undo", ..PhaseStat::default() };
+
+    let analysis = server.with_quiesced(|inner| -> QsResult<AdaptiveAnalysis> {
+        let scan_from = inner.log.start_lsn();
+        ph_analysis.pages_read =
+            inner.log.tail_lsn().0.saturating_sub(scan_from.0).div_ceil(PAGE_SIZE as u64);
+
+        let mut a = AdaptiveAnalysis { max_txn: TxnId::INVALID, ..AdaptiveAnalysis::default() };
+        for item in inner.log.scan_forward(scan_from) {
+            let (lsn, rec) = item?;
+            ph_analysis.records += 1;
+            match &rec {
+                LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
+                    a.max_alloc = a.max_alloc.max(body.allocated_pages);
+                }
+                _ => {
+                    let scheme = match &rec {
+                        LogRecord::TxnScheme { scheme, .. } => Some(*scheme),
+                        _ => None,
+                    };
+                    a.observe(lsn, rec.tag(), rec.txn(), rec.page(), scheme);
+                }
+            }
+        }
+        inner.volume.ensure_allocated(a.max_alloc as usize)?;
+        Ok(a)
+    })?;
+
+    // Redo pass: repeat history, minus logically-elected losers.
+    server.with_quiesced(|inner| -> QsResult<()> {
+        let Some(&redo_from) = analysis.dpt.values().min() else {
+            return Ok(());
+        };
+        let redo_from = redo_from.max(inner.log.start_lsn());
+        ph_redo.pages_read =
+            inner.log.tail_lsn().0.saturating_sub(redo_from.0).div_ceil(PAGE_SIZE as u64);
+        let mut resident: HashMap<PageId, Page> = HashMap::new();
+        for item in inner.log.scan_forward(redo_from) {
+            let (lsn, rec) = item?;
+            let Some(pid) = rec.page() else { continue };
+            if analysis.redo_skips(rec.txn()) {
+                continue;
+            }
+            let Some(&rec_lsn) = analysis.dpt.get(&pid) else { continue };
+            if lsn < rec_lsn {
+                continue;
+            }
+            let page = match resident.entry(pid) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    ph_redo.data_reads += 1;
+                    e.insert(inner.volume.read_page(pid)?)
+                }
+            };
+            if page.lsn() >= lsn {
+                continue; // effect already on disk image
+            }
+            ph_redo.records += 1;
+            apply_redo(page, pid, &rec, lsn)?;
+        }
+        for (pid, page) in resident {
+            let ev = inner.pool.insert(pid, page, true)?;
+            if let Some(ev) = ev {
+                if ev.dirty {
+                    inner.volume.write_page(ev.page_id, &ev.page)?;
+                    ph_redo.data_writes += 1;
+                }
+            }
+            inner.dpt.insert(pid, redo_from);
+        }
+        Ok(())
+    })?;
+
+    // Undo only the physically-elected losers; logical losers are dropped
+    // (their deferred ops died with the crash).
+    let physical_losers: HashMap<TxnId, Lsn> = analysis
+        .att
+        .iter()
+        .filter(|(t, _)| !analysis.is_logical(**t))
+        .map(|(t, l)| (*t, *l))
+        .collect();
+    undo_and_finish(server, physical_losers, analysis.max_txn, &mut ph_undo)?;
+    Ok(vec![ph_analysis, ph_redo, ph_undo])
+}
+
 /// Restart epilogue shared by the serial and parallel `RedoLogical`
 /// engines: resume txn-id assignment, make the recovered state durable
 /// and truncate the log. No undo — there are no losers to roll back.

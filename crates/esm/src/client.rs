@@ -20,8 +20,8 @@ use crate::server::{RecoveryFlavor, Server};
 use qs_sim::Meter;
 use qs_storage::Page;
 use qs_trace::{TraceCat, Tracer};
-use qs_types::{ClientId, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
-use qs_wal::{record, LogRecord};
+use qs_types::{ClientId, Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
+use qs_wal::{record, LogPressure, LogRecord, RecordWriter, SchemeCode};
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -50,6 +50,12 @@ pub struct ClientConn {
     log_buf: Vec<u8>,
     /// Pages this transaction has generated (or declared) log records for.
     pages_logged: HashSet<PageId>,
+    /// Adaptive flavor: the scheme this transaction elected (its
+    /// `TxnScheme` record has been queued). `None` otherwise.
+    scheme: Option<SchemeCode>,
+    /// Most recent server log-pressure signal, piggybacked on the last
+    /// commit acknowledgement. Starts at zero pressure.
+    last_pressure: LogPressure,
     /// Shared with the server: a traced server's clients trace too.
     tracer: Arc<Tracer>,
     /// Transport to the server (direct calls or reactor messages).
@@ -84,6 +90,8 @@ impl ClientConn {
             txn: None,
             log_buf: Vec::new(),
             pages_logged: HashSet::new(),
+            scheme: None,
+            last_pressure: LogPressure::default(),
             tracer,
             wire: Wire::Direct,
         }
@@ -108,6 +116,8 @@ impl ClientConn {
             txn: None,
             log_buf: Vec::new(),
             pages_logged: HashSet::new(),
+            scheme: None,
+            last_pressure: LogPressure::default(),
             tracer,
             wire: Wire::Reactor(reactor.connect(id)),
         }
@@ -351,6 +361,54 @@ impl ClientConn {
         self.add_encoded_records(pid, &enc)
     }
 
+    // -- adaptive scheme election -------------------------------------------
+
+    /// Elect the logging scheme for the current transaction (adaptive
+    /// flavor). Queues the `TxnScheme` record, which must precede every
+    /// page-bearing record of the transaction, so election is only legal
+    /// before any records have been generated or declared.
+    pub fn elect_scheme(&mut self, scheme: SchemeCode) -> QsResult<()> {
+        let txn = self.txn()?;
+        if self.flavor() != RecoveryFlavor::Adaptive {
+            return Err(QsError::Protocol {
+                detail: "scheme election is only legal under the adaptive flavor".into(),
+            });
+        }
+        if self.scheme.is_some() {
+            return Err(QsError::Protocol {
+                detail: "transaction already elected a scheme".into(),
+            });
+        }
+        if !self.pages_logged.is_empty() || !self.log_buf.is_empty() {
+            return Err(QsError::Protocol {
+                detail: "scheme election must precede the transaction's log records".into(),
+            });
+        }
+        self.scheme = Some(scheme);
+        // The TxnScheme record names no page: queue it directly (the server
+        // rechains `prev` on receipt, as it does for every client record).
+        RecordWriter::new(&mut self.log_buf).scheme_mark(txn, Lsn::NULL, scheme);
+        self.meter.log_records_generated.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The scheme the running transaction elected, if any.
+    pub fn elected_scheme(&self) -> Option<SchemeCode> {
+        self.scheme
+    }
+
+    /// Whether the running transaction elected a *logical* (deferred-apply)
+    /// scheme; such transactions never ship dirty pages.
+    fn elected_logical(&self) -> bool {
+        self.scheme.map(|s| s.is_logical()).unwrap_or(false)
+    }
+
+    /// The log-pressure signal piggybacked on the most recent commit
+    /// acknowledgement (zero before the first commit).
+    pub fn last_pressure(&self) -> LogPressure {
+        self.last_pressure
+    }
+
     fn ship_log_page(&mut self, partial: bool) -> QsResult<()> {
         let txn = self.txn()?;
         if self.log_buf.is_empty() {
@@ -443,6 +501,19 @@ impl ClientConn {
                 self.tracer.event(TraceCat::Ship, "dirty_page", txn.0, pid.0 as u64);
                 self.ship_page_remote(txn, pid, page)
             }
+            RecoveryFlavor::Adaptive => {
+                // Physical elections follow the ESM protocol (log, then ship
+                // the page); logical elections leave the page home — the
+                // records carry everything and apply at commit.
+                self.flush_log()?;
+                if self.elected_logical() {
+                    return Ok(());
+                }
+                net::page_upload(&self.meter);
+                self.meter.dirty_pages_shipped.fetch_add(1, Ordering::Relaxed);
+                self.tracer.event(TraceCat::Ship, "dirty_page", txn.0, pid.0 as u64);
+                self.ship_page_remote(txn, pid, page)
+            }
         }
     }
 
@@ -476,20 +547,22 @@ impl ClientConn {
     pub fn finish_commit(&mut self) -> QsResult<()> {
         let txn = self.txn()?;
         self.flush_log()?;
+        let deferred =
+            matches!(self.flavor(), RecoveryFlavor::RedoAtServer | RecoveryFlavor::RedoLogical)
+                || (self.flavor() == RecoveryFlavor::Adaptive && self.elected_logical());
         debug_assert!(
-            self.pool.dirty_pages().is_empty()
-                || matches!(
-                    self.flavor(),
-                    RecoveryFlavor::RedoAtServer | RecoveryFlavor::RedoLogical
-                ),
+            self.pool.dirty_pages().is_empty() || deferred,
             "dirty pages remain at commit"
         );
         net::control_round_trip(&self.meter);
-        match &self.wire {
+        self.last_pressure = match &self.wire {
             Wire::Direct => self.server.commit(txn)?,
-            Wire::Reactor(port) => expect_unit("commit", port.call(Request::Commit { txn }))?,
-        }
-        if matches!(self.flavor(), RecoveryFlavor::RedoAtServer | RecoveryFlavor::RedoLogical) {
+            Wire::Reactor(port) => match port.call(Request::Commit { txn }) {
+                Response::Committed(p) => p,
+                other => return Err(reply_err("commit", other)),
+            },
+        };
+        if deferred {
             // Pages were never shipped; they are clean *locally* now in the
             // sense that recovery no longer depends on this copy.
             for pid in self.pool.dirty_pages() {
@@ -498,6 +571,7 @@ impl ClientConn {
         }
         self.txn = None;
         self.pages_logged.clear();
+        self.scheme = None;
         Ok(())
     }
 
@@ -516,6 +590,7 @@ impl ClientConn {
         }
         self.txn = None;
         self.pages_logged.clear();
+        self.scheme = None;
         Ok(())
     }
 

@@ -35,7 +35,7 @@
 //! downstream are byte-identical for any worker count — `redo_workers = 1`
 //! runs the original serial modules instead, pinning the baseline.
 
-use crate::aries::{self, Analysis, RlogAnalysis};
+use crate::aries::{self, AdaptiveAnalysis, Analysis, RlogAnalysis};
 use crate::server::{InnerView, Server};
 use crate::shard::shard_index;
 use crate::txn::TxnTable;
@@ -381,7 +381,26 @@ fn parallel_rlog_redo(
     chunk_bytes: usize,
     ph: &mut PhaseStat,
 ) -> QsResult<()> {
-    let Some(&redo_from) = analysis.dpt.values().min() else {
+    let committed = &analysis.committed;
+    let skip = |txn: TxnId| !committed.contains(&txn);
+    parallel_filtered_redo(view, &analysis.dpt, &skip, workers, chunk_bytes, ph)
+}
+
+/// Shared body of the filtered parallel redos (`RedoLogical` and
+/// `Adaptive`): route every page-bearing frame whose transaction survives
+/// `skip` to `shard_index(page, workers)`, let each worker repeat history
+/// on its own pages, then install the merged resident set into the pool
+/// exactly as the serial loops do. The filter runs on the router thread,
+/// so it needs no synchronization.
+fn parallel_filtered_redo(
+    view: &mut InnerView<'_>,
+    dpt: &HashMap<PageId, Lsn>,
+    skip: &dyn Fn(TxnId) -> bool,
+    workers: usize,
+    chunk_bytes: usize,
+    ph: &mut PhaseStat,
+) -> QsResult<()> {
+    let Some(&redo_from) = dpt.values().min() else {
         return Ok(());
     };
     let end = view.log.tail_lsn();
@@ -389,8 +408,6 @@ fn parallel_rlog_redo(
 
     let log = view.log;
     let volume = view.volume;
-    let dpt = &analysis.dpt;
-    let committed = &analysis.committed;
     let outcomes = std::thread::scope(|s| -> QsResult<Vec<RedoOutcome>> {
         let mut txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -411,7 +428,7 @@ fn parallel_rlog_redo(
             };
             for r in &chunk.frames {
                 let bytes = chunk.frame(r);
-                if !committed.contains(&record::frame_txn(bytes)) {
+                if skip(record::frame_txn(bytes)) {
                     continue;
                 }
                 if let Some(pid) = record::frame_page(bytes) {
@@ -457,6 +474,82 @@ fn parallel_rlog_redo(
         view.dpt.insert(pid, redo_from);
     }
     Ok(())
+}
+
+/// Parallel `Adaptive` restart: streamed mixed-scheme analysis (shared
+/// [`AdaptiveAnalysis`] bookkeeping), page-partitioned redo with the
+/// logically-elected losers filtered at the router, then the shared undo
+/// pass over the physically-elected losers only. Phase counts and all
+/// recovered state match [`crate::aries::adaptive_restart`] exactly.
+pub(crate) fn adaptive_restart(server: &Server, workers: usize) -> QsResult<Vec<PhaseStat>> {
+    let mut ph_analysis = PhaseStat { name: "analysis", ..PhaseStat::default() };
+    let mut ph_redo = PhaseStat { name: "redo", ..PhaseStat::default() };
+    let mut ph_undo = PhaseStat { name: "undo", ..PhaseStat::default() };
+    let chunk_bytes = server.config().restart.chunk_bytes;
+
+    let analysis = server
+        .with_quiesced(|view| streamed_adaptive_analysis(view, chunk_bytes, &mut ph_analysis))?;
+    server.with_quiesced(|view| {
+        let skip = |txn: TxnId| analysis.redo_skips(txn);
+        parallel_filtered_redo(view, &analysis.dpt, &skip, workers, chunk_bytes, &mut ph_redo)
+    })?;
+    let physical_losers: HashMap<TxnId, Lsn> = analysis
+        .att
+        .iter()
+        .filter(|(t, _)| !analysis.is_logical(**t))
+        .map(|(t, l)| (*t, *l))
+        .collect();
+    aries::undo_and_finish(server, physical_losers, analysis.max_txn, &mut ph_undo)?;
+    Ok(vec![ph_analysis, ph_redo, ph_undo])
+}
+
+/// `Adaptive` analysis over streamed chunks: same bookkeeping as the
+/// serial pass — the shared [`AdaptiveAnalysis::observe`] classifies every
+/// record, so the two engines cannot drift. A transaction's `TxnScheme`
+/// record precedes its page records in the log, so forward order
+/// classifies each page-bearing frame correctly at first sight.
+fn streamed_adaptive_analysis(
+    view: &mut InnerView<'_>,
+    chunk_bytes: usize,
+    ph: &mut PhaseStat,
+) -> QsResult<AdaptiveAnalysis> {
+    let scan_from = view.log.start_lsn();
+    let end = view.log.tail_lsn();
+    ph.pages_read = end.0.saturating_sub(scan_from.0).div_ceil(PAGE_SIZE as u64);
+
+    let mut a = AdaptiveAnalysis { max_txn: TxnId::INVALID, ..AdaptiveAnalysis::default() };
+    let log = view.log;
+    std::thread::scope(|s| -> QsResult<()> {
+        for chunk in stream_chunks(s, log, scan_from, end, chunk_bytes, DEPTH) {
+            let chunk = chunk?;
+            for r in &chunk.frames {
+                let bytes = chunk.frame(r);
+                let t = record::frame_tag(bytes);
+                if t != tag::WHOLE_PAGE {
+                    record::frame_verify(bytes)?;
+                }
+                ph.records += 1;
+                match t {
+                    tag::CHECKPOINT | tag::BEGIN_CHECKPOINT => match LogRecord::decode(bytes)? {
+                        LogRecord::Checkpoint { body } | LogRecord::BeginCheckpoint { body } => {
+                            a.max_alloc = a.max_alloc.max(body.allocated_pages);
+                        }
+                        _ => {}
+                    },
+                    _ => a.observe(
+                        r.lsn,
+                        t,
+                        record::frame_txn(bytes),
+                        record::frame_page(bytes),
+                        record::frame_scheme(bytes),
+                    ),
+                }
+            }
+        }
+        Ok(())
+    })?;
+    view.volume.ensure_allocated(a.max_alloc as usize)?;
+    Ok(a)
 }
 
 /// One whole-page image sighting: where it is (a shared chunk buffer

@@ -123,6 +123,9 @@ pub enum Response {
     Began(TxnId),
     Page(Box<Page>),
     Allocated(PageId),
+    /// Commit acknowledgement, carrying the server's log-pressure signal
+    /// (the 4-byte piggyback adaptive clients feed their cost model).
+    Committed(qs_wal::LogPressure),
     /// Admission control shed the request; resubmit after backoff. Never
     /// delivered for an *admitted* request.
     Overloaded,
@@ -137,6 +140,7 @@ impl Response {
             Response::Began(_) => "began",
             Response::Page(_) => "page",
             Response::Allocated(_) => "allocated",
+            Response::Committed(_) => "committed",
             Response::Overloaded => "overloaded",
             Response::Err(_) => "err",
         }
@@ -469,8 +473,10 @@ fn committer_loop(shared: Arc<Shared>, rx: Receiver<CommitJob>) {
         match shared.server.commit_force_batch(max_lsn, batch.len()) {
             Ok(()) => {
                 for j in batch {
-                    let r = shared.server.commit_finish(j.txn);
-                    shared.unit(j.client, r);
+                    match shared.server.commit_finish(j.txn) {
+                        Ok(pressure) => shared.finish(j.client, Response::Committed(pressure)),
+                        Err(e) => shared.finish(j.client, Response::Err(e)),
+                    }
                 }
                 // Maintenance is the committer's job now, once per batch —
                 // never billed to (or blocking) a victim client's commit.

@@ -52,7 +52,7 @@ use qs_storage::{MemDisk, Page, StableMedia, Volume};
 use qs_trace::{FlightRecording, PhaseStat, RestartReport, TraceCat, TracedMutex, Tracer};
 use qs_types::sync::Mutex;
 use qs_types::{Lsn, PageId, QsError, QsResult, TxnId, PAGE_SIZE};
-use qs_wal::{record, CheckpointBody, LogManager, LogRecord};
+use qs_wal::{record, CheckpointBody, LogManager, LogPressure, LogRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -74,6 +74,16 @@ pub enum RecoveryFlavor {
     /// server defers applying them until commit (no-steal — uncommitted
     /// data never reaches pool or disk), so restart has no undo phase.
     RedoLogical,
+    /// Per-transaction adaptive logging: the client captures PD-style
+    /// before-images but elects the cheapest record format per commit
+    /// (physical PD/SD diffs, a whole-page image, or logical REDO-only
+    /// records), declaring the choice in a leading `TxnScheme` record
+    /// (qs-wal tag 11). Physically-elected transactions run the EsmAries
+    /// protocol (page ship, steal, CLR undo); logically-elected ones run
+    /// the RedoLogical deferred-apply protocol (no-steal, no undo). One
+    /// log legally interleaves both families; restart is polymorphic per
+    /// transaction.
+    Adaptive,
 }
 
 impl RecoveryFlavor {
@@ -83,6 +93,7 @@ impl RecoveryFlavor {
             RecoveryFlavor::RedoAtServer => "REDO",
             RecoveryFlavor::Wpl => "WPL",
             RecoveryFlavor::RedoLogical => "RLOG",
+            RecoveryFlavor::Adaptive => "ADAPT",
         }
     }
 }
@@ -233,10 +244,11 @@ pub struct StableParts {
     pub flight: Option<FlightRecording>,
 }
 
-/// One deferred operation of an uncommitted `RedoLogical` transaction.
-/// Under that flavor the server is no-steal: updates are stashed here at
-/// receive time and applied to the pool only after the commit force, so
-/// the pool (and therefore the volume) only ever holds committed data.
+/// One deferred operation of an uncommitted `RedoLogical` transaction (or
+/// a logically-elected `Adaptive` one). Under those protocols the server
+/// is no-steal: updates are stashed here at receive time and applied to
+/// the pool only after the commit force, so the pool (and therefore the
+/// volume) only ever holds committed data.
 enum PendingOp {
     /// A slot-level logical after-image (`LogRecord::UpdateLogical`).
     Logical { page: PageId, slot: u16, offset: u16, after: Vec<u8>, lsn: Lsn },
@@ -462,6 +474,10 @@ impl Server {
             (RecoveryFlavor::Wpl, _) => crate::restart_par::wpl_restart(&server, workers)?,
             (RecoveryFlavor::RedoLogical, 1) => crate::aries::rlog_restart(&server)?,
             (RecoveryFlavor::RedoLogical, _) => crate::restart_par::rlog_restart(&server, workers)?,
+            (RecoveryFlavor::Adaptive, 1) => crate::aries::adaptive_restart(&server)?,
+            (RecoveryFlavor::Adaptive, _) => {
+                crate::restart_par::adaptive_restart(&server, workers)?
+            }
             (_, 1) => crate::aries::restart(&server)?,
             (_, _) => crate::restart_par::aries_restart(&server, workers)?,
         };
@@ -648,18 +664,19 @@ impl Server {
     pub fn fetch_page(&self, txn: TxnId, pid: PageId) -> QsResult<Page> {
         self.txns.lock(&self.tracer).active_mut(txn)?; // validate
         let mut page = self.read_page_hot(Some(txn), pid)?;
-        if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+        if matches!(self.cfg.flavor, RecoveryFlavor::RedoLogical | RecoveryFlavor::Adaptive) {
             // No-steal: the pool copy is committed-only, so a transaction
             // re-fetching a page it already updated (client-side eviction)
             // would see stale bytes. Overlay its own deferred ops onto the
-            // served copy; the pool copy stays clean.
+            // served copy; the pool copy stays clean. (Physically-elected
+            // adaptive transactions have no pending ops — a no-op.)
             self.overlay_pending(txn, pid, &mut page)?;
         }
         Ok(page)
     }
 
     /// Re-apply `txn`'s own pending (deferred, uncommitted) operations on
-    /// `pid` to a served page copy. `RedoLogical` only.
+    /// `pid` to a served page copy. `RedoLogical` and `Adaptive` only.
     fn overlay_pending(&self, txn: TxnId, pid: PageId, page: &mut Page) -> QsResult<()> {
         let pending = self.pending.lock(&self.tracer);
         let Some(ops) = pending.get(&txn) else { return Ok(()) };
@@ -895,6 +912,13 @@ impl Server {
                         .into(),
                 });
             }
+            if self.cfg.flavor != RecoveryFlavor::Adaptive
+                && matches!(rec, LogRecord::TxnScheme { .. })
+            {
+                return Err(QsError::Protocol {
+                    detail: "TxnScheme records are only legal under the adaptive flavor".into(),
+                });
+            }
             // Client-side `prev` is unknown to the client; rebuild the
             // backward chain here where the authoritative last_lsn lives.
             // The txn-table lock is held across the append so the chain
@@ -903,10 +927,15 @@ impl Server {
             let rec = Self::rechain(rec, txns.get(txn)?.last_lsn);
             let lsn = self.log.wal().append(&rec)?;
             txns.active_mut(txn)?.note_logged(lsn);
-            if let Some(pid) = rec.page() {
+            if let LogRecord::TxnScheme { scheme, .. } = rec {
+                // The transaction's elected scheme governs how every later
+                // record of this chain is processed.
+                txns.active_mut(txn)?.scheme = Some(scheme);
+            } else if let Some(pid) = rec.page() {
                 txns.active_mut(txn)?.pages_logged.insert(pid);
+                let deferred = self.defers_apply(&txns, txn)?;
                 drop(txns);
-                if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+                if deferred {
                     // No-steal deferred apply: the DPT is untouched until
                     // the op lands in the pool at commit.
                     self.stash_pending(txn, &rec, lsn);
@@ -919,6 +948,20 @@ impl Server {
             }
         }
         Ok(())
+    }
+
+    /// Does this transaction's receive path stash records for deferred
+    /// (post-commit) application rather than tracking them in the DPT?
+    /// True for `RedoLogical` always, and for `Adaptive` transactions that
+    /// elected a logical scheme via their `TxnScheme` record.
+    fn defers_apply(&self, txns: &crate::txn::TxnTable, txn: TxnId) -> QsResult<bool> {
+        Ok(match self.cfg.flavor {
+            RecoveryFlavor::RedoLogical => true,
+            RecoveryFlavor::Adaptive => {
+                txns.get(txn)?.scheme.map(|s| s.is_logical()).unwrap_or(false)
+            }
+            _ => false,
+        })
     }
 
     /// Byte-frame twin of [`Server::receive_log_records`]: the client ships
@@ -949,20 +992,30 @@ impl Server {
                         .into(),
                 });
             }
+            if self.cfg.flavor != RecoveryFlavor::Adaptive && record::frame_tag(frame) == 11 {
+                return Err(QsError::Protocol {
+                    detail: "TxnScheme records are only legal under the adaptive flavor".into(),
+                });
+            }
             let mut txns = self.txns.lock(&self.tracer);
-            // Mirror `rechain`: only update/whole-page/page-alloc/logical
-            // records get the transaction's backward chain; any other tag
-            // keeps the prev it was shipped with.
+            // Mirror `rechain`: only update/whole-page/page-alloc/logical/
+            // scheme records get the transaction's backward chain; any other
+            // tag keeps the prev it was shipped with.
             let prev = match record::frame_tag(frame) {
-                1..=3 | 8 => txns.get(txn)?.last_lsn,
+                1..=3 | 8 | 11 => txns.get(txn)?.last_lsn,
                 _ => record::frame_prev(frame),
             };
             let lsn = self.log.wal().append_rechained(frame, prev)?;
             txns.active_mut(txn)?.note_logged(lsn);
-            if let Some(pid) = record::frame_page(frame) {
+            if let Some(scheme) = record::frame_scheme(frame) {
+                // The transaction's elected scheme governs how every later
+                // record of this chain is processed.
+                txns.active_mut(txn)?.scheme = Some(scheme);
+            } else if let Some(pid) = record::frame_page(frame) {
                 txns.active_mut(txn)?.pages_logged.insert(pid);
+                let deferred = self.defers_apply(&txns, txn)?;
                 drop(txns);
-                if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+                if deferred {
                     // Deferred apply is off the allocation-free path by
                     // design; decoding per record is fine here.
                     let rec = LogRecord::decode(frame)?;
@@ -994,6 +1047,7 @@ impl Server {
             LogRecord::UpdateLogical { txn, page, slot, offset, after, .. } => {
                 LogRecord::UpdateLogical { txn, prev, page, slot, offset, after }
             }
+            LogRecord::TxnScheme { txn, scheme, .. } => LogRecord::TxnScheme { txn, prev, scheme },
             other => other,
         }
     }
@@ -1117,10 +1171,20 @@ impl Server {
             RecoveryFlavor::RedoLogical => Err(QsError::Protocol {
                 detail: "RLOG clients do not ship dirty pages (no-steal)".into(),
             }),
-            RecoveryFlavor::EsmAries => {
+            RecoveryFlavor::EsmAries | RecoveryFlavor::Adaptive => {
                 let mut page = page;
                 {
                     let txns = self.txns.lock(&self.tracer);
+                    // Adaptive transactions that elected a logical scheme
+                    // are no-steal: their updates live only in the pending
+                    // map until commit, so a dirty-page ship is a protocol
+                    // error.
+                    if txns.get(txn)?.scheme.map(|s| s.is_logical()).unwrap_or(false) {
+                        return Err(QsError::Protocol {
+                            detail: "logically-elected adaptive txns do not ship dirty pages"
+                                .into(),
+                        });
+                    }
                     // Log-before-page rule (§3.1): the server must never
                     // cache a page for which it lacks the update log records.
                     if !txns.get(txn)?.pages_logged.contains(&pid) {
@@ -1170,15 +1234,20 @@ impl Server {
     /// The txn-table lock is released across the force so concurrent
     /// committers can append their own commit records while this one's
     /// batch syncs — that window is what group commit batches over.
-    pub fn commit(&self, txn: TxnId) -> QsResult<()> {
+    ///
+    /// Returns the server's current [`LogPressure`], piggybacked on the
+    /// commit acknowledgement so adaptive clients can weight their next
+    /// scheme election without an extra round trip.
+    pub fn commit(&self, txn: TxnId) -> QsResult<LogPressure> {
         let lsn = self.commit_append(txn)?;
         let stats = self.log.commit_force(lsn, &self.tracer)?;
         self.meter_force(stats);
-        self.commit_finish(txn)?;
+        let pressure = self.commit_finish(txn)?;
         // Watermark maintenance rides on the committing client only on
         // the direct path; the reactor's committer triggers it once per
         // batch instead (`runtime::committer_loop`).
-        self.maybe_maintain()
+        self.maybe_maintain()?;
+        Ok(pressure)
     }
 
     /// First half of [`Server::commit`]: append the commit record and
@@ -1217,10 +1286,12 @@ impl Server {
     }
 
     /// Second half of [`Server::commit`]: everything after the force.
-    pub(crate) fn commit_finish(&self, txn: TxnId) -> QsResult<()> {
-        if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+    /// Returns the post-commit [`LogPressure`] for the reply piggyback.
+    pub(crate) fn commit_finish(&self, txn: TxnId) -> QsResult<LogPressure> {
+        if matches!(self.cfg.flavor, RecoveryFlavor::RedoLogical | RecoveryFlavor::Adaptive) {
             // The force just made every deferred op durable; apply them
-            // now, before the transaction leaves the table.
+            // now, before the transaction leaves the table. (Adaptive:
+            // only logically-elected transactions have pending ops.)
             self.apply_pending_committed(txn)?;
         }
         let mut txns = self.txns.lock(&self.tracer);
@@ -1234,7 +1305,22 @@ impl Server {
         drop(txns);
         self.locks.release_all(txn);
         self.meter.commits.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(self.log_pressure())
+    }
+
+    /// The server-side log-pressure signal piggybacked on commit replies:
+    /// `fill` is the log's distance past the low watermark toward the high
+    /// (truncation-anchor distance), `queue` is commit forces in flight
+    /// over [`LogPressure::QUEUE_SATURATION`]. Both clamp to `[0, 1]`.
+    pub fn log_pressure(&self) -> LogPressure {
+        let used = self.log.wal().used_bytes() as f64;
+        let cap = self.log.wal().body_capacity() as f64;
+        let low = self.cfg.log_low_watermark;
+        let high = self.cfg.log_high_watermark;
+        let span = (high - low).max(f64::EPSILON);
+        let fill = (used / cap - low) / span;
+        let queue = self.log.forces_in_flight() as f64 / LogPressure::QUEUE_SATURATION as f64;
+        LogPressure::new(fill, queue)
     }
 
     /// Abort: ARIES-style undo with CLRs (ESM/REDO flavors); under WPL
@@ -1243,14 +1329,17 @@ impl Server {
     /// updated values"). Undo reads and rewrites pages across subsystems,
     /// so the whole abort runs quiesced.
     pub fn abort(&self, txn: TxnId) -> QsResult<()> {
-        if self.cfg.flavor == RecoveryFlavor::RedoLogical {
+        if matches!(self.cfg.flavor, RecoveryFlavor::RedoLogical | RecoveryFlavor::Adaptive) {
             // Deferred ops were never applied anywhere; dropping them IS
             // the rollback. Taken before quiescing: the pending lock is
-            // never nested inside the subsystem locks.
+            // never nested inside the subsystem locks. (Adaptive: only
+            // logically-elected transactions have deferred ops.)
             self.pending.lock(&self.tracer).remove(&txn);
         }
         self.with_quiesced(|view| -> QsResult<()> {
             view.txns.active_mut(txn)?;
+            let elected_logical =
+                view.txns.get(txn)?.scheme.map(|s| s.is_logical()).unwrap_or(false);
             match self.cfg.flavor {
                 RecoveryFlavor::Wpl => {
                     view.wpl.on_abort(txn);
@@ -1263,6 +1352,12 @@ impl Server {
                     // No-steal + deferred apply: nothing of this
                     // transaction reached the pool or the volume. Close
                     // the chain with an abort record — no undo, no CLRs.
+                    let prev = view.txns.get(txn)?.last_lsn;
+                    view.log.append(&LogRecord::Abort { txn, prev })?;
+                }
+                RecoveryFlavor::Adaptive if elected_logical => {
+                    // Same no-steal argument as RLOG: the pending ops were
+                    // dropped above and nothing else reached shared state.
                     let prev = view.txns.get(txn)?.last_lsn;
                     view.log.append(&LogRecord::Abort { txn, prev })?;
                 }
@@ -1335,6 +1430,7 @@ impl Server {
                 LogRecord::WholePage { prev, .. }
                 | LogRecord::PageAlloc { prev, .. }
                 | LogRecord::UpdateLogical { prev, .. }
+                | LogRecord::TxnScheme { prev, .. }
                 | LogRecord::Commit { prev, .. }
                 | LogRecord::Abort { prev, .. } => at = prev,
                 LogRecord::Checkpoint { .. }
@@ -1735,6 +1831,28 @@ impl Server {
         Ok(begin)
     }
 
+    /// Write the live committed image at (`pid`, `lsn`) to its permanent
+    /// location — from the pool when still cached (the paper's
+    /// optimization), else read back from the log. Shared body of
+    /// [`Server::wpl_reclaim`] and the [`Server::quiesce`] drain.
+    fn wpl_write_home(&self, view: &mut InnerView<'_>, pid: PageId, lsn: Lsn) -> QsResult<()> {
+        let cached_ok =
+            view.wpl.newest(pid).map(|v| v.lsn == lsn && view.pool.contains(pid)).unwrap_or(false);
+        let page = if cached_ok {
+            view.pool.peek(pid).expect("cached").clone()
+        } else {
+            self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
+            self.meter.maint_log_pages_read.fetch_add(1, Ordering::Relaxed);
+            Self::page_image_from_log(view.log, lsn, pid)?
+        };
+        view.volume.write_page(pid, &page)?;
+        self.meter_data_write_maint(1);
+        if cached_ok {
+            view.pool.clear_dirty(pid);
+        }
+        Ok(())
+    }
+
     /// WPL log-space reclamation (the paper's background thread, §3.4.2,
     /// run here synchronously until the low watermark is reached). Images
     /// superseded by newer committed images are dropped without I/O; live
@@ -1753,24 +1871,21 @@ impl Server {
                     break;
                 };
                 if !superseded {
-                    // Find the committed image and flush it home.
-                    let cached_ok = view
-                        .wpl
-                        .newest(pid)
-                        .map(|v| v.lsn == lsn && view.pool.contains(pid))
-                        .unwrap_or(false);
-                    let page = if cached_ok {
-                        view.pool.peek(pid).expect("cached").clone()
-                    } else {
-                        self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-                        self.meter.maint_log_pages_read.fetch_add(1, Ordering::Relaxed);
-                        Self::page_image_from_log(view.log, lsn, pid)?
-                    };
-                    view.volume.write_page(pid, &page)?;
-                    self.meter_data_write_maint(1);
-                    if cached_ok {
-                        view.pool.clear_dirty(pid);
+                    // Interleaving invariance (§6f): when a newer
+                    // *uncommitted* version of this page exists, whether
+                    // the candidate reads as live or superseded is being
+                    // decided by a race against that in-flight
+                    // transaction's commit — one schedule pays a read-back
+                    // plus write-home, another pays nothing. Defer: the
+                    // commit (or abort) settles supersession on a stable
+                    // per-transaction account, and the next watermark
+                    // crossing retries. (`break`, not `continue`: the
+                    // candidate would not change.)
+                    if view.wpl.has_newer_uncommitted(pid, lsn) {
+                        break;
                     }
+                    // Find the committed image and flush it home.
+                    self.wpl_write_home(view, pid, lsn)?;
                 }
                 view.wpl.remove_version(pid, lsn);
                 self.reclaimed.fetch_add(1, Ordering::Relaxed);
@@ -1814,23 +1929,13 @@ impl Server {
             self.with_quiesced(|view| -> QsResult<()> {
                 while let Some((pid, lsn, superseded)) = view.wpl.reclaim_candidate() {
                     if !superseded {
-                        let cached_ok = view
-                            .wpl
-                            .newest(pid)
-                            .map(|v| v.lsn == lsn && view.pool.contains(pid))
-                            .unwrap_or(false);
-                        let page = if cached_ok {
-                            view.pool.peek(pid).expect("cached").clone()
-                        } else {
-                            self.meter.log_pages_read.fetch_add(1, Ordering::Relaxed);
-                            self.meter.maint_log_pages_read.fetch_add(1, Ordering::Relaxed);
-                            Self::page_image_from_log(view.log, lsn, pid)?
-                        };
-                        view.volume.write_page(pid, &page)?;
-                        self.meter_data_write_maint(1);
-                        if cached_ok {
-                            view.pool.clear_dirty(pid);
+                        // Same deferral as `wpl_reclaim`: a newer
+                        // uncommitted version means supersession is still
+                        // in flight; let the commit decide.
+                        if view.wpl.has_newer_uncommitted(pid, lsn) {
+                            break;
                         }
+                        self.wpl_write_home(view, pid, lsn)?;
                     }
                     view.wpl.remove_version(pid, lsn);
                     self.reclaimed.fetch_add(1, Ordering::Relaxed);

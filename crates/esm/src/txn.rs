@@ -28,6 +28,9 @@ pub struct TxnState {
     /// transaction has already shipped log records (or declared none
     /// needed).
     pub pages_logged: HashSet<PageId>,
+    /// Adaptive flavor: the logging scheme this transaction elected via its
+    /// `TxnScheme` record. `None` until (or unless) one arrives.
+    pub scheme: Option<qs_wal::SchemeCode>,
 }
 
 impl TxnState {
@@ -39,6 +42,7 @@ impl TxnState {
             first_lsn: Lsn::NULL,
             logged_pages: Vec::new(),
             pages_logged: HashSet::new(),
+            scheme: None,
         }
     }
 

@@ -129,6 +129,19 @@ impl WplTable {
         best
     }
 
+    /// Does `page` carry a version newer than `lsn` whose transaction has
+    /// not yet committed? Reclaim defers live write-homes in that case:
+    /// whether the candidate is superseded is about to be decided by that
+    /// transaction's commit or abort, and deferring keeps the reclaim I/O
+    /// count a function of commit order alone rather than of how the
+    /// reclaim pass interleaves with in-flight commits.
+    pub fn has_newer_uncommitted(&self, page: PageId, lsn: Lsn) -> bool {
+        self.pages
+            .get(&page)
+            .map(|versions| versions.iter().any(|v| !v.committed && v.lsn > lsn))
+            .unwrap_or(false)
+    }
+
     /// Is a version of this page held by an uncommitted transaction older
     /// than everything committed? (Then reclaim cannot advance past it.)
     pub fn oldest_is_uncommitted(&self) -> bool {
@@ -259,6 +272,25 @@ mod tests {
         assert!(t.oldest_is_uncommitted());
         t.on_commit(TxnId(9), &[P]);
         assert!(!t.oldest_is_uncommitted());
+    }
+
+    #[test]
+    fn has_newer_uncommitted_tracks_in_flight_supersession() {
+        let mut t = WplTable::new();
+        t.log_page(P, Lsn(100), TxnId(1));
+        t.on_commit(TxnId(1), &[P]);
+        assert!(!t.has_newer_uncommitted(P, Lsn(100)), "no in-flight writer");
+        t.log_page(P, Lsn(500), TxnId(2)); // newer, uncommitted
+        assert!(t.has_newer_uncommitted(P, Lsn(100)), "supersession undecided");
+        assert!(!t.has_newer_uncommitted(Q, Lsn(100)), "other pages unaffected");
+        t.on_commit(TxnId(2), &[P]);
+        assert!(!t.has_newer_uncommitted(P, Lsn(100)), "commit settled it");
+        let mut u = WplTable::new();
+        u.log_page(P, Lsn(100), TxnId(1));
+        u.on_commit(TxnId(1), &[P]);
+        u.log_page(P, Lsn(500), TxnId(2));
+        u.on_abort(TxnId(2));
+        assert!(!u.has_newer_uncommitted(P, Lsn(100)), "abort settled it");
     }
 
     #[test]

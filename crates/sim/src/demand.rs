@@ -133,6 +133,16 @@ meter_counters! {
     maint_log_forces,
     /// Log pages read back by maintenance (WPL reclaim re-reads).
     maint_log_pages_read,
+
+    // -- per-transaction adaptive scheme election (§6g) --------------------
+    /// Elections whose winner differed from the previous transaction's.
+    scheme_switches,
+    /// Transactions that elected (or were pinned to) each record format.
+    /// Zero-dirty commits elect nothing and count toward none of these.
+    txns_pd,
+    txns_sd,
+    txns_wpl,
+    txns_rlog,
 }
 
 impl Meter {
@@ -293,7 +303,7 @@ mod tests {
     fn field_count_matches_declaration() {
         let m = Meter::new();
         assert_eq!(m.all().len(), Meter::FIELD_COUNT);
-        assert_eq!(Meter::FIELD_COUNT, 32);
+        assert_eq!(Meter::FIELD_COUNT, 37);
     }
 
     #[test]

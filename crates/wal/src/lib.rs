@@ -26,7 +26,7 @@ pub mod stream;
 pub mod writer;
 
 pub use group::{GroupCommitter, GroupOutcome};
-pub use log::{ForceStats, LogManager};
-pub use record::{CheckpointBody, LogRecord, WplCheckpointEntry};
+pub use log::{ForceStats, LogManager, LogPressure};
+pub use record::{CheckpointBody, LogRecord, SchemeCode, WplCheckpointEntry};
 pub use stream::{stream_chunks, ChunkedScanner, FrameChunk, FrameRef, LogReadCache};
 pub use writer::RecordWriter;

@@ -43,6 +43,55 @@ pub struct ForceStats {
     pub wrote: bool,
 }
 
+/// Server-side log-pressure signal, piggybacked on commit replies so
+/// adaptively-logging clients can shift toward compact logical records as
+/// the log fills (DESIGN.md §6g). Both components are normalized to
+/// `[0, 1]`:
+///
+/// * `fill` — how far log occupancy sits between the low and high
+///   maintenance watermarks (distance to the truncation anchor);
+/// * `queue` — log-disk force queue depth (forces in flight), saturating
+///   at [`LogPressure::QUEUE_SATURATION`] concurrent forces.
+///
+/// The wire format is two little-endian `u16` per-mille values (4 bytes),
+/// pinned by [`LogPressure::encode`]/[`LogPressure::decode`] and their
+/// round-trip test.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LogPressure {
+    pub fill: f64,
+    pub queue: f64,
+}
+
+impl LogPressure {
+    /// Forces in flight at which the queue component reads 1.0.
+    pub const QUEUE_SATURATION: u64 = 4;
+
+    pub fn new(fill: f64, queue: f64) -> LogPressure {
+        LogPressure { fill: fill.clamp(0.0, 1.0), queue: queue.clamp(0.0, 1.0) }
+    }
+
+    /// Combined pressure in `[0, 1]`: fill dominates (it predicts
+    /// truncation stalls), queue adds up to a 25% kicker.
+    pub fn combined(&self) -> f64 {
+        (0.75 * self.fill + 0.25 * self.queue).clamp(0.0, 1.0)
+    }
+
+    /// The 4-byte commit-reply piggyback: `fill‰ (u16 LE) | queue‰ (u16 LE)`.
+    pub fn encode(&self) -> [u8; 4] {
+        let mille = |v: f64| (v.clamp(0.0, 1.0) * 1000.0).round() as u16;
+        let mut out = [0u8; 4];
+        out[0..2].copy_from_slice(&mille(self.fill).to_le_bytes());
+        out[2..4].copy_from_slice(&mille(self.queue).to_le_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8; 4]) -> LogPressure {
+        let fill = u16::from_le_bytes(bytes[0..2].try_into().unwrap()) as f64 / 1000.0;
+        let queue = u16::from_le_bytes(bytes[2..4].try_into().unwrap()) as f64 / 1000.0;
+        LogPressure::new(fill, queue)
+    }
+}
+
 /// Circular log over a stable medium.
 pub struct LogManager {
     media: Arc<dyn StableMedia>,
@@ -504,6 +553,24 @@ mod tests {
 
     fn commit(t: u64) -> LogRecord {
         LogRecord::Commit { txn: TxnId(t), prev: Lsn::NULL }
+    }
+
+    #[test]
+    fn log_pressure_wire_round_trip() {
+        for (fill, queue) in [(0.0, 0.0), (0.25, 0.5), (1.0, 1.0), (0.333, 0.667)] {
+            let p = LogPressure::new(fill, queue);
+            let rt = LogPressure::decode(&p.encode());
+            // Per-mille quantization: round trip within 0.0005.
+            assert!((rt.fill - p.fill).abs() < 0.0006, "{fill}");
+            assert!((rt.queue - p.queue).abs() < 0.0006, "{queue}");
+        }
+        // Out-of-range inputs clamp rather than wrap on the wire.
+        let p = LogPressure::new(7.0, -3.0);
+        assert_eq!(p.fill, 1.0);
+        assert_eq!(p.queue, 0.0);
+        assert_eq!(LogPressure::decode(&p.encode()).fill, 1.0);
+        assert!(LogPressure::default().combined() == 0.0);
+        assert!((LogPressure::new(1.0, 1.0).combined() - 1.0).abs() < 1e-12);
     }
 
     fn update(t: u64, p: u32, val: u8) -> LogRecord {

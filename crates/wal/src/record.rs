@@ -38,6 +38,52 @@ pub mod tag {
     pub const UPDATE_LOGICAL: u8 = 8;
     pub const BEGIN_CHECKPOINT: u8 = 9;
     pub const END_CHECKPOINT: u8 = 10;
+    pub const TXN_SCHEME: u8 = 11;
+}
+
+/// The per-transaction logging scheme a [`LogRecord::TxnScheme`] record
+/// declares — the adaptive controller's election, encoded as one byte so a
+/// single log can legally interleave transactions logged in different
+/// formats. `Pd`/`Sd` transactions follow the physical (ESM-ARIES, steal +
+/// undo) protocol; `Wpl`/`Rlog` transactions are logical: no-steal,
+/// deferred apply at commit, never undone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SchemeCode {
+    /// Exact page-diff regions as physical `Update` records.
+    Pd = 0,
+    /// Block-rounded (sub-page) regions as physical `Update` records.
+    Sd = 1,
+    /// One whole-page after image per dirty page, applied at commit.
+    Wpl = 2,
+    /// Exact regions as REDO-only `UpdateLogical` records.
+    Rlog = 3,
+}
+
+impl SchemeCode {
+    pub fn from_u8(v: u8) -> Option<SchemeCode> {
+        match v {
+            0 => Some(SchemeCode::Pd),
+            1 => Some(SchemeCode::Sd),
+            2 => Some(SchemeCode::Wpl),
+            3 => Some(SchemeCode::Rlog),
+            _ => None,
+        }
+    }
+
+    /// Logical schemes defer apply to commit and are never undone.
+    pub fn is_logical(self) -> bool {
+        matches!(self, SchemeCode::Wpl | SchemeCode::Rlog)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeCode::Pd => "pd",
+            SchemeCode::Sd => "sd",
+            SchemeCode::Wpl => "wpl",
+            SchemeCode::Rlog => "rlog",
+        }
+    }
 }
 
 /// FNV-1a, used as a lightweight corruption check on log records.
@@ -135,6 +181,11 @@ pub enum LogRecord {
     /// guarantees uncommitted data never reaches disk, so undo images are
     /// never needed (DESIGN.md §6e).
     UpdateLogical { txn: TxnId, prev: Lsn, page: PageId, slot: u16, offset: u16, after: Vec<u8> },
+    /// Per-transaction scheme election (DESIGN.md §6g): the *first* record
+    /// of an adaptively-logged transaction's chain, declaring which format
+    /// the rest of the chain uses so the server and restart can classify
+    /// the transaction before any page-bearing record arrives.
+    TxnScheme { txn: TxnId, prev: Lsn, scheme: SchemeCode },
 }
 
 impl LogRecord {
@@ -146,7 +197,8 @@ impl LogRecord {
             | LogRecord::Commit { txn, .. }
             | LogRecord::Abort { txn, .. }
             | LogRecord::Clr { txn, .. }
-            | LogRecord::UpdateLogical { txn, .. } => *txn,
+            | LogRecord::UpdateLogical { txn, .. }
+            | LogRecord::TxnScheme { txn, .. } => *txn,
             LogRecord::Checkpoint { .. }
             | LogRecord::BeginCheckpoint { .. }
             | LogRecord::EndCheckpoint { .. } => TxnId::INVALID,
@@ -162,7 +214,8 @@ impl LogRecord {
             | LogRecord::Commit { prev, .. }
             | LogRecord::Abort { prev, .. }
             | LogRecord::Clr { prev, .. }
-            | LogRecord::UpdateLogical { prev, .. } => *prev,
+            | LogRecord::UpdateLogical { prev, .. }
+            | LogRecord::TxnScheme { prev, .. } => *prev,
             LogRecord::Checkpoint { .. }
             | LogRecord::BeginCheckpoint { .. }
             | LogRecord::EndCheckpoint { .. } => Lsn::NULL,
@@ -181,7 +234,8 @@ impl LogRecord {
         }
     }
 
-    fn tag(&self) -> u8 {
+    /// This record's wire tag (the [`tag`] constants).
+    pub fn tag(&self) -> u8 {
         match self {
             LogRecord::Update { .. } => 1,
             LogRecord::WholePage { .. } => 2,
@@ -193,6 +247,7 @@ impl LogRecord {
             LogRecord::UpdateLogical { .. } => 8,
             LogRecord::BeginCheckpoint { .. } => 9,
             LogRecord::EndCheckpoint { .. } => 10,
+            LogRecord::TxnScheme { .. } => 11,
         }
     }
 
@@ -237,6 +292,9 @@ impl LogRecord {
                 b.extend_from_slice(&(after.len() as u16).to_le_bytes());
                 b.extend_from_slice(after);
             }
+            LogRecord::TxnScheme { scheme, .. } => {
+                b.push(*scheme as u8);
+            }
         }
         b
     }
@@ -262,6 +320,7 @@ impl LogRecord {
             }
             LogRecord::EndCheckpoint { .. } => 8,
             LogRecord::UpdateLogical { after, .. } => 10 + after.len(),
+            LogRecord::TxnScheme { .. } => 1,
         }
     }
 
@@ -366,6 +425,12 @@ impl LogRecord {
             }
             9 => LogRecord::BeginCheckpoint { body: decode_checkpoint_body(&mut r)? },
             10 => LogRecord::EndCheckpoint { begin: Lsn(r.u64()?) },
+            11 => {
+                let v = r.u8()?;
+                let scheme = SchemeCode::from_u8(v)
+                    .ok_or_else(|| corrupt(&format!("unknown scheme code {v}")))?;
+                LogRecord::TxnScheme { txn, prev, scheme }
+            }
             t => return Err(corrupt(&format!("unknown record tag {t}"))),
         };
         Ok(rec)
@@ -539,6 +604,15 @@ pub fn frame_redo_slice(bytes: &[u8]) -> QsResult<Option<(u16, u16, &[u8])>> {
         }
         _ => Ok(None),
     }
+}
+
+/// The scheme code carried by an encoded `TxnScheme` record; `None` for
+/// every other tag (and for a corrupt scheme byte).
+pub fn frame_scheme(bytes: &[u8]) -> Option<SchemeCode> {
+    if bytes[8] != tag::TXN_SCHEME {
+        return None;
+    }
+    bytes.get(PREFIX).copied().and_then(SchemeCode::from_u8)
 }
 
 /// Zero-copy view of an encoded whole-page record's image.
@@ -783,6 +857,31 @@ mod tests {
     }
 
     #[test]
+    fn txn_scheme_round_trip_and_size() {
+        for scheme in [SchemeCode::Pd, SchemeCode::Sd, SchemeCode::Wpl, SchemeCode::Rlog] {
+            let r = LogRecord::TxnScheme { txn: TxnId(12), prev: Lsn(7), scheme };
+            round_trip(&r);
+            // Pure control record: costs exactly one log header, like Commit.
+            assert_eq!(r.encoded_len(), LOG_HEADER_SIZE);
+            let enc = r.encode();
+            assert_eq!(frame_scheme(&enc), Some(scheme));
+            assert_eq!(frame_page(&enc), None);
+            assert_eq!(SchemeCode::from_u8(scheme as u8), Some(scheme));
+        }
+        // A scheme byte outside the vocabulary is rejected, not mapped.
+        let mut enc =
+            LogRecord::TxnScheme { txn: TxnId(1), prev: Lsn::NULL, scheme: SchemeCode::Pd }
+                .encode();
+        enc[PREFIX] = 9;
+        let total = enc.len();
+        let ck = fnv1a(&enc[8..total - 4]);
+        enc[4..8].copy_from_slice(&ck.to_le_bytes());
+        assert!(LogRecord::decode(&enc).unwrap_err().to_string().contains("unknown scheme"));
+        assert_eq!(frame_scheme(&enc), None);
+        assert_eq!(SchemeCode::from_u8(9), None);
+    }
+
+    #[test]
     fn corruption_detected() {
         let r = LogRecord::Commit { txn: TxnId(5), prev: Lsn(44) };
         let mut enc = r.encode();
@@ -894,6 +993,8 @@ mod tests {
                 },
             },
             LogRecord::EndCheckpoint { begin: Lsn(4096) },
+            LogRecord::TxnScheme { txn: TxnId(9), prev: Lsn::NULL, scheme: SchemeCode::Pd },
+            LogRecord::TxnScheme { txn: TxnId(10), prev: Lsn(33), scheme: SchemeCode::Rlog },
         ]
     }
 
@@ -968,6 +1069,7 @@ mod tests {
             LogRecord::UpdateLogical { txn, page, slot, offset, after, .. } => {
                 LogRecord::UpdateLogical { txn, prev, page, slot, offset, after }
             }
+            LogRecord::TxnScheme { txn, scheme, .. } => LogRecord::TxnScheme { txn, prev, scheme },
             c @ (LogRecord::Checkpoint { .. }
             | LogRecord::BeginCheckpoint { .. }
             | LogRecord::EndCheckpoint { .. }) => c,

@@ -104,6 +104,18 @@ impl<'a> RecordWriter<'a> {
         total
     }
 
+    /// Append a `TxnScheme` record declaring the transaction's elected
+    /// logging scheme (the first record of an adaptively-logged chain).
+    /// Returns its encoded length.
+    pub fn scheme_mark(&mut self, txn: TxnId, prev: Lsn, scheme: crate::SchemeCode) -> usize {
+        let body = 1;
+        let total = (PREFIX + body + TRAILER).max(LOG_HEADER_SIZE);
+        let at = self.begin(total, 11, txn, prev);
+        self.buf[at + PREFIX] = scheme as u8;
+        self.finish(at, total);
+        total
+    }
+
     /// Append a `WholePage` record from a borrowed page image. Returns its
     /// encoded length.
     pub fn whole_page(
@@ -219,6 +231,26 @@ mod tests {
         assert_eq!(n, enc.len());
         assert_eq!(&buf[..2], &[0xAA, 0xBB]);
         assert_eq!(&buf[2..], &enc[..]);
+    }
+
+    #[test]
+    fn scheme_mark_bytes_identical_to_encode() {
+        use crate::record::SchemeCode;
+        for (i, scheme) in
+            [SchemeCode::Pd, SchemeCode::Sd, SchemeCode::Wpl, SchemeCode::Rlog].iter().enumerate()
+        {
+            let rec = LogRecord::TxnScheme {
+                txn: TxnId(20 + i as u64),
+                prev: if i % 2 == 0 { Lsn::NULL } else { Lsn(5 + i as u64) },
+                scheme: *scheme,
+            };
+            let mut buf = Vec::new();
+            let mut w = RecordWriter::new(&mut buf);
+            let n = w.scheme_mark(rec.txn(), rec.prev(), *scheme);
+            let enc = rec.encode();
+            assert_eq!(n, enc.len());
+            assert_eq!(buf, enc);
+        }
     }
 
     #[test]

@@ -69,9 +69,13 @@ echo "== concurrency tests under a deadlock watchdog =="
 # two-phase fuzzy protocol equivalence against the quiesced oracle for
 # all six schemes, and reactor clients hammering hot pages while the
 # background flusher checkpoints in a loop (zero maintenance sheds).
+# adaptive_equivalence crashes a seeded mixed-scheme workload at several
+# commit points and requires the serial and parallel (1/2/4-worker)
+# restarts of the interleaved PD/SD/WPL/RLOG log to be byte-identical.
 for t in multi_client group_commit shard_independence restart_equivalence \
          runtime_admission runtime_equivalence lock_property \
-         record_granularity ckpt_fuzzy ckpt_concurrent; do
+         record_granularity ckpt_fuzzy ckpt_concurrent \
+         adaptive_equivalence; do
     if ! timeout 120 cargo test -q --offline --test "$t"; then
         echo "FAIL: --test $t did not finish within 120s (possible deadlock)" \
              "or failed; see output above"
@@ -133,5 +137,17 @@ ckpt_dir=$(mktemp -d)
 cargo run --release --offline -p qs-bench --bin ckpt_bench -- \
     --validate "$ckpt_dir/BENCH_ckpt.json"
 rm -rf "$ckpt_dir"
+
+echo "== adaptive benchmark smoke run =="
+# Per-transaction scheme election vs every fixed scheme on three
+# workloads, each run ending in a crash with serial-vs-parallel restart
+# equivalence asserted; --validate asserts the JSON covers every
+# workload × scheme (the 1.05×/1.3× acceptance bars are skipped for
+# smoke files).
+adaptive_dir=$(mktemp -d)
+(cd "$adaptive_dir" && "$OLDPWD/target/release/adaptive_bench" --smoke > /dev/null)
+cargo run --release --offline -p qs-bench --bin adaptive_bench -- \
+    --validate "$adaptive_dir/BENCH_adaptive.json"
+rm -rf "$adaptive_dir"
 
 echo "== verify: all green =="

@@ -64,7 +64,7 @@ fn commit_one(
             }
         }
     }
-    server.commit(txn)
+    server.commit(txn).map(|_| ())
 }
 
 fn run_flavor(flavor: RecoveryFlavor) {

@@ -40,6 +40,7 @@ fn private_working_sets_interleaved() {
         RecoveryFlavor::RedoAtServer,
         RecoveryFlavor::RedoLogical,
         RecoveryFlavor::Wpl,
+        RecoveryFlavor::Adaptive,
     ] {
         let (server, oids) = make_server(flavor, 16);
         let cfg_for = |_c: usize| match flavor {
@@ -47,6 +48,7 @@ fn private_working_sets_interleaved() {
             RecoveryFlavor::RedoAtServer => SystemConfig::pd_redo().with_memory(1.0, 0.25),
             RecoveryFlavor::RedoLogical => SystemConfig::pd_rlog().with_memory(1.0, 0.25),
             RecoveryFlavor::Wpl => SystemConfig::wpl().with_memory(1.0, 0.25),
+            RecoveryFlavor::Adaptive => SystemConfig::adaptive().with_memory(1.0, 0.25),
         };
         let mut stores: Vec<Store> = (0..4)
             .map(|c| {

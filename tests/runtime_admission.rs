@@ -84,13 +84,24 @@ fn expect_ok(resp: Response) {
     }
 }
 
+fn expect_committed(resp: Response) {
+    match resp {
+        Response::Committed(_) => {}
+        other => panic!("expected Committed, got {}", other.kind()),
+    }
+}
+
 /// Budget of 1: while one commit is being forced (the log disk carries a
-/// real 100 ms sync), a second client's submission is deterministically
-/// shed with `Overloaded` — and succeeds once the commit drains.
+/// real 400 ms sync), a second client's submission is deterministically
+/// shed with `Overloaded` — and succeeds once the commit drains. The
+/// sync is deliberately long: the shed is guaranteed unless this thread
+/// is preempted for the whole sync between the two `submit` calls, and
+/// 400 ms keeps that window comfortably beyond scheduler jitter when the
+/// suite's tests run on oversubscribed cores.
 #[test]
 fn inflight_budget_sheds_with_typed_reply() {
     let runtime = RuntimeConfig { workers: 1, inflight_budget: 1, ..RuntimeConfig::default() };
-    let (server, oids) = make_server(runtime, Some(Duration::from_millis(100)), 2);
+    let (server, oids) = make_server(runtime, Some(Duration::from_millis(400)), 2);
     let reactor = Reactor::start(&server);
     let a = reactor.connect(ClientId(0));
     let b = reactor.connect(ClientId(1));
@@ -114,7 +125,7 @@ fn inflight_budget_sheds_with_typed_reply() {
     assert_eq!(reactor.stats().shed_budget, 1, "the shed was counted");
 
     // A's commit completes; the slot frees; B gets through.
-    expect_ok(a.recv());
+    expect_committed(a.recv());
     let txn_b = expect_began(b.call(Request::Begin));
     expect_ok(b.call(Request::Abort { txn: txn_b }));
     assert_eq!(reactor.stats().admitted, 4, "begin-A, commit-A, begin-B, abort-B admitted");
@@ -184,7 +195,7 @@ fn hot_page_no_starvation_under_tiny_budget() {
                     bytes: update_rec(txn, target.page, target.slot, old, newv).encode(),
                 }));
                 expect_ok(port.call(Request::DirtyPage { txn, pid: target.page, page }));
-                expect_ok(port.call(Request::Commit { txn }));
+                expect_committed(port.call(Request::Commit { txn }));
             }
             port.sheds_seen()
         }));
@@ -242,7 +253,7 @@ fn queue_time_deadlock_denies_the_closer_and_resumes_the_survivor() {
     // The victim aborts; the survivor's parked request is granted.
     expect_ok(b.call(Request::Abort { txn: txn_b }));
     expect_page(a.recv());
-    expect_ok(a.call(Request::Commit { txn: txn_a }));
+    expect_committed(a.call(Request::Commit { txn: txn_a }));
 
     let stats = reactor.stats();
     assert!(stats.lock_parks >= 1, "A's second fetch parked");
